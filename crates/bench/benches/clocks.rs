@@ -1,0 +1,75 @@
+//! Clock-physics micro benches (the substrate behind Figs. 1–6): drift
+//! model evaluation, noisy clock reads, ensemble construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simclock::{
+    ClockDomain, ClockEnsemble, DriftModel, NtpDiscipline, Platform, RandomWalkDrift, Time,
+    TimerKind,
+};
+
+fn bench_drift_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drift_models");
+    let mut rng = StdRng::seed_from_u64(1);
+    let walk = RandomWalkDrift::generate(&mut rng, 1e-9, 10.0, 3600.0);
+    let ntp = NtpDiscipline::typical(2e-6).generate(&mut rng, 0.0, 3600.0);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("random_walk_integrated_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += walk.integrated(Time::from_secs_f64(i as f64 * 3.6));
+            }
+            acc
+        })
+    });
+    g.bench_function("ntp_path_integrated_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += ntp.integrated(Time::from_secs_f64(i as f64 * 3.6));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_clock_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clock_reads");
+    let shape = Platform::XeonCluster.shape(4);
+    let profile = Platform::XeonCluster.clock_profile(TimerKind::IntelTsc, 120.0);
+    let mut ens = ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, 2);
+    let cores: Vec<_> = shape.cores().collect();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("noisy_sample_1k", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            let mut acc = Time::ZERO;
+            for i in 0..1000u64 {
+                k += 1;
+                let core = cores[(i % cores.len() as u64) as usize];
+                acc = acc.max(ens.sample(core, Time::from_us((k * 7) as i64)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_ensemble_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ensemble_build");
+    g.sample_size(10);
+    g.bench_function("xeon_32nodes_per_chip_3600s", |b| {
+        b.iter(|| {
+            let shape = Platform::XeonCluster.shape(32);
+            let profile = Platform::XeonCluster.clock_profile(TimerKind::IntelTsc, 3600.0);
+            ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, 3).n_clocks()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_drift_models, bench_clock_reads, bench_ensemble_build);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Simulator-core performance: event-queue operations and end-to-end MPI
+//! simulation throughput (events per second).
+
+use bench::{ring_program, xeon_cluster};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpisim::{run, RunOptions};
+use netsim::EventQueue;
+use simclock::Time;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Pseudo-random interleaving without an RNG in the loop.
+                let t = Time::from_ns(((i * 2_654_435_761) % 1_000_000) as i64);
+                q.push(t, i);
+            }
+            let mut last = Time::MIN;
+            while let Some((t, _)) = q.pop() {
+                debug_assert!(t >= last);
+                last = t;
+            }
+            last
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let prog = ring_program(16, 200);
+    let ops = prog.n_ops() as u64;
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("ring_16r_200it", |b| {
+        b.iter(|| {
+            let mut cluster = xeon_cluster(2, 16, 30.0, 3);
+            run(&mut cluster, &prog, &RunOptions::default()).unwrap().stats.events
+        })
+    });
+    g.finish();
+}
+
+fn bench_probing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probing");
+    g.bench_function("probe_31_workers_20rounds", |b| {
+        b.iter(|| {
+            let mut cluster = xeon_cluster(4, 32, 30.0, 5);
+            mpisim::probe_all_workers(
+                &mut cluster,
+                tracefmt::Rank(0),
+                20,
+                Time::ZERO,
+                simclock::Dur::from_us(100),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulation_throughput, bench_probing);
+criterion_main!(benches);

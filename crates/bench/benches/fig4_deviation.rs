@@ -1,0 +1,30 @@
+//! Fig. 4 regeneration under Criterion: deviation measurement after offset
+//! alignment for the three timer technologies (shortened runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::common::{
+    cluster_one_rank_per_node, measure_deviations, Correction, RunLength,
+};
+use simclock::{Platform, TimerKind};
+
+fn series(timer: TimerKind, seed: u64) -> f64 {
+    let mut cluster =
+        cluster_one_rank_per_node(Platform::XeonCluster, timer, 4, 80.0, seed);
+    let len = RunLength { duration_s: 60.0, sample_every_s: 2.0 };
+    let s = measure_deviations(&mut cluster, len, Correction::AlignOnly, 6);
+    s.iter().map(|x| x.max_abs_us()).fold(0.0, f64::max)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("a_mpi_wtime", |b| b.iter(|| series(TimerKind::MpiWtime, 1)));
+    g.bench_function("b_gettimeofday", |b| {
+        b.iter(|| series(TimerKind::Gettimeofday, 2))
+    });
+    g.bench_function("c_intel_tsc", |b| b.iter(|| series(TimerKind::IntelTsc, 3)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figs. 5/6 regeneration under Criterion: residual deviations after linear
+//! offset interpolation on the three platforms (shortened runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::common::{
+    cluster_one_rank_per_node, measure_deviations, Correction, RunLength,
+};
+use simclock::{Platform, TimerKind};
+
+fn residual(platform: Platform, timer: TimerKind, dur: f64, seed: u64) -> f64 {
+    let mut cluster = cluster_one_rank_per_node(platform, timer, 4, dur * 1.2 + 30.0, seed);
+    let len = RunLength { duration_s: dur, sample_every_s: (dur / 40.0).max(1.0) };
+    let s = measure_deviations(&mut cluster, len, Correction::Linear, 6);
+    s.iter().map(|x| x.max_abs_us()).fold(0.0, f64::max)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig6");
+    g.sample_size(10);
+    g.bench_function("fig5a_xeon_tsc", |b| {
+        b.iter(|| residual(Platform::XeonCluster, TimerKind::IntelTsc, 120.0, 1))
+    });
+    g.bench_function("fig5b_powerpc_tb", |b| {
+        b.iter(|| residual(Platform::PowerPcCluster, TimerKind::IbmTimeBase, 120.0, 2))
+    });
+    g.bench_function("fig5c_opteron_gtod", |b| {
+        b.iter(|| residual(Platform::OpteronCluster, TimerKind::Gettimeofday, 120.0, 3))
+    });
+    g.bench_function("fig6_xeon_tsc_short", |b| {
+        b.iter(|| residual(Platform::XeonCluster, TimerKind::IntelTsc, 60.0, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

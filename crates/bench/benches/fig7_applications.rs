@@ -1,0 +1,29 @@
+//! Fig. 7 regeneration under Criterion: POP-like and SMG2000-like traced
+//! runs with Scalasca-style interpolation and violation census (small
+//! scale; the full-size numbers come from the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::fig7::{census_after_interpolation, pop_program, smg_program, traced_run};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("pop_traced_census", |b| {
+        b.iter(|| {
+            let (prog, dur, k) = pop_program(120);
+            let mut tr = traced_run(&prog, dur, k, 5);
+            census_after_interpolation(&mut tr).violated_pct
+        })
+    });
+    g.bench_function("smg_traced_census", |b| {
+        b.iter(|| {
+            let (prog, dur, k) = smg_program(300);
+            let mut tr = traced_run(&prog, dur, k, 6);
+            census_after_interpolation(&mut tr).violated_pct
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 8 regeneration under Criterion: the OpenMP POMP-violation sweep per
+//! team size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::violation_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for threads in [4usize, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::new("sweep", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let rows = violation_sweep(&[t], 60, 1, 7);
+                rows[0].any_pct
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Trace I/O throughput: text/binary codecs and on-disk archives.
+
+use bench::skewed_trace;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tracefmt::io::{from_binary, from_text, to_binary, to_text};
+
+fn bench_codecs(c: &mut Criterion) {
+    let (_, trace) = skewed_trace(8, 200, 29);
+    let events = trace.n_events() as u64;
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("text_encode", |b| b.iter(|| to_text(&trace).len()));
+    let text = to_text(&trace);
+    g.bench_function("text_decode", |b| b.iter(|| from_text(&text).unwrap().n_events()));
+    g.bench_function("binary_encode", |b| b.iter(|| to_binary(&trace).len()));
+    let bin = to_binary(&trace);
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| from_binary(bin.clone()).unwrap().n_events())
+    });
+    g.finish();
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let (_, trace) = skewed_trace(8, 200, 31);
+    let dir = std::env::temp_dir().join(format!("drift-lab-bench-{}", std::process::id()));
+    let mut g = c.benchmark_group("archive");
+    g.sample_size(10);
+    g.bench_function("write_read_round_trip", |b| {
+        b.iter(|| {
+            tracefmt::archive::write_archive(&dir, &trace).unwrap();
+            tracefmt::archive::read_archive(&dir).unwrap().n_events()
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let (_, trace) = skewed_trace(16, 300, 37);
+    let events = trace.n_events() as u64;
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("match_messages", |b| {
+        b.iter(|| tracefmt::match_messages(&trace).messages.len())
+    });
+    g.bench_function("match_collectives", |b| {
+        b.iter(|| tracefmt::match_collectives(&trace).unwrap().len())
+    });
+    g.bench_function("profile", |b| b.iter(|| tracefmt::profile(&trace).messages));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_archive, bench_analysis);
+criterion_main!(benches);

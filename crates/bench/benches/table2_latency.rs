@@ -1,0 +1,63 @@
+//! Table II regeneration under Criterion: message/collective latency
+//! measurement per placement level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{HierarchicalLatency, Placement, Topology};
+use simclock::{ClockDomain, ClockEnsemble, ClockProfile, Platform, TimerKind};
+use workloads::{measure_allreduce_latency, measure_p2p_latency};
+
+fn fresh(placement: Placement, seed: u64) -> mpisim::Cluster {
+    let shape = placement.shape();
+    let clocks = ClockEnsemble::build(
+        shape,
+        ClockDomain::Global,
+        &ClockProfile::bare(TimerKind::IntelTsc),
+        seed,
+    );
+    mpisim::Cluster::new(
+        placement,
+        Topology::FatTree { leaf_radix: 16 },
+        HierarchicalLatency::xeon_infiniband(),
+        clocks,
+        seed,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let shape = Platform::XeonCluster.shape(4);
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    g.bench_function("inter_node_pingpong", |b| {
+        b.iter(|| {
+            let mut cl = fresh(Placement::one_per_node(shape, 4), 1);
+            let m = measure_p2p_latency(&mut cl, 200, 0).unwrap();
+            assert!((m.mean_us() - 4.29).abs() < 0.5);
+            m.mean_us()
+        })
+    });
+    g.bench_function("inter_chip_pingpong", |b| {
+        b.iter(|| {
+            let mut cl = fresh(Placement::one_per_chip(shape, 2), 2);
+            measure_p2p_latency(&mut cl, 200, 0).unwrap().mean_us()
+        })
+    });
+    g.bench_function("inter_core_pingpong", |b| {
+        b.iter(|| {
+            let mut cl = fresh(Placement::one_per_core(shape, 4), 3);
+            measure_p2p_latency(&mut cl, 200, 0).unwrap().mean_us()
+        })
+    });
+    g.bench_function("inter_node_allreduce", |b| {
+        b.iter(|| {
+            let mut cl = fresh(Placement::one_per_node(shape, 4), 4);
+            let m = measure_allreduce_latency(&mut cl, 4, 200, 8).unwrap();
+            assert!((m.mean_us() - 12.86).abs() < 2.5);
+            m.mean_us()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,327 @@
+//! CLC extension to shared-memory (OpenMP/POMP) traces.
+//!
+//! The paper names this as an open limitation of the CLC (§VI: "current
+//! limitations … include the non-observance of shared-memory clock
+//! conditions related to OpenMP constructs"). This module closes it: the
+//! POMP happened-before rules are expressed as generic timing constraints —
+//!
+//! * every event of a parallel region happens after the **fork**,
+//! * the **join** happens after every event of the region,
+//! * every barrier **exit** happens after every barrier **enter**,
+//!
+//! — and a generalized forward pass (same amortized arithmetic as the
+//! message CLC) enforces them. Because threads of one SMP node communicate
+//! through shared memory, the minimum "latency" of these constraints is the
+//! synchronisation cost `d_min`, typically tens to hundreds of
+//! nanoseconds.
+
+use super::{ClcError, ClcParams, ClcReport, Jump};
+use simclock::{Dur, Time};
+use tracefmt::{match_parallel_regions, EventId, Trace};
+
+/// One happened-before constraint: `time(to) ≥ time(from) + bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraint {
+    /// The earlier event.
+    pub from: EventId,
+    /// The later event.
+    pub to: EventId,
+    /// Minimum separation.
+    pub bound: Dur,
+}
+
+/// Extract the POMP constraints from a thread-team trace.
+///
+/// `d_min` is the minimum shared-memory synchronisation latency (the
+/// shared-memory analogue of the paper's `l_min`).
+pub fn pomp_constraints(trace: &Trace, d_min: Dur) -> Result<Vec<Constraint>, ClcError> {
+    let regions = match_parallel_regions(trace).map_err(ClcError::BadCollectives)?;
+    let mut out = Vec::new();
+    for reg in &regions {
+        let mut barrier_enters = Vec::new();
+        let mut barrier_exits = Vec::new();
+        for th in &reg.threads {
+            // Fork precedes the thread's first event; the thread's last
+            // event precedes the join. (Interior events are ordered by the
+            // per-thread monotonicity the forward pass maintains anyway.)
+            let first = EventId::new(th.proc, th.first as usize);
+            let last = EventId::new(th.proc, th.last as usize);
+            if first != reg.fork {
+                out.push(Constraint { from: reg.fork, to: first, bound: d_min });
+            }
+            if last != reg.join {
+                out.push(Constraint { from: last, to: reg.join, bound: d_min });
+            }
+            if let Some(be) = th.barrier_enter {
+                barrier_enters.push(be);
+            }
+            if let Some(bx) = th.barrier_exit {
+                barrier_exits.push(bx);
+            }
+        }
+        // Barrier overlap: no thread leaves before every thread entered.
+        for &exit in &barrier_exits {
+            for &enter in &barrier_enters {
+                if enter.p() != exit.p() {
+                    out.push(Constraint { from: enter, to: exit, bound: d_min });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Apply the CLC forward pass to an arbitrary constraint set.
+///
+/// Constraints must be acyclic when combined with per-timeline program
+/// order (true for POMP rules and any happened-before relation); a cycle
+/// yields [`ClcError::CyclicTrace`].
+pub fn controlled_logical_clock_generic(
+    trace: &mut Trace,
+    constraints: &[Constraint],
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
+    if !(params.mu > 0.0 && params.mu <= 1.0) {
+        return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
+    }
+    // Index constraints by target event.
+    let mut incoming: std::collections::HashMap<EventId, Vec<(EventId, Dur)>> =
+        std::collections::HashMap::new();
+    for c in constraints {
+        incoming.entry(c.to).or_default().push((c.from, c.bound));
+    }
+
+    let originals: Vec<Vec<Time>> = trace
+        .procs
+        .iter()
+        .map(|p| p.events.iter().map(|e| e.time).collect())
+        .collect();
+    let n = trace.n_procs();
+    let mut pc = vec![0usize; n];
+    let mut prev_orig = vec![Time::MIN; n];
+    let mut prev_corr = vec![Time::MIN; n];
+    let mut report = ClcReport::default();
+
+    loop {
+        let mut progressed = false;
+        for p in 0..n {
+            'events: while pc[p] < trace.procs[p].events.len() {
+                let i = pc[p];
+                let id = EventId::new(p, i);
+                let orig = originals[p][i];
+                let mut remote: Option<Time> = None;
+                if let Some(deps) = incoming.get(&id) {
+                    let mut bound: Option<Time> = None;
+                    for &(from, d) in deps {
+                        // Same-timeline constraints are satisfied by
+                        // program order; only remote ones can block.
+                        if from.p() == p {
+                            if from.i() >= i {
+                                return Err(ClcError::CyclicTrace);
+                            }
+                        } else if from.i() >= pc[from.p()] {
+                            break 'events;
+                        }
+                        let c = trace.time(from) + d;
+                        bound = Some(bound.map_or(c, |b: Time| b.max(c)));
+                    }
+                    remote = bound;
+                }
+                let candidate = if i == 0 {
+                    orig
+                } else {
+                    let gap = (orig - prev_orig[p]).max(Dur::ZERO);
+                    orig.max(prev_corr[p] + gap.scale(params.mu))
+                };
+                let corrected = match remote {
+                    Some(r) if r > candidate => {
+                        let size = r - candidate;
+                        report.jumps.push(Jump { event: id, size });
+                        report.max_jump = report.max_jump.max(size);
+                        r
+                    }
+                    _ => candidate,
+                };
+                trace.procs[p].events[i].time = corrected;
+                prev_orig[p] = orig;
+                prev_corr[p] = corrected;
+                pc[p] += 1;
+                progressed = true;
+            }
+        }
+        if (0..n).all(|p| pc[p] == trace.procs[p].events.len()) {
+            break;
+        }
+        if !progressed {
+            return Err(ClcError::CyclicTrace);
+        }
+    }
+    report.events_total = trace.n_events();
+    report.events_moved = trace
+        .procs
+        .iter()
+        .zip(&originals)
+        .map(|(p, orig)| {
+            p.events
+                .iter()
+                .zip(orig)
+                .filter(|(e, &o)| e.time != o)
+                .count()
+        })
+        .sum();
+    Ok(report)
+}
+
+/// Restore the POMP shared-memory clock conditions in an OpenMP trace.
+pub fn controlled_logical_clock_pomp(
+    trace: &mut Trace,
+    d_min: Dur,
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
+    let constraints = pomp_constraints(trace, d_min)?;
+    controlled_logical_clock_generic(trace, &constraints, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Time;
+    use tracefmt::{check_pomp, EventKind, RegionId};
+
+    fn us(n: i64) -> Time {
+        Time::from_us(n)
+    }
+
+    /// A 2-thread region with every POMP rule violated by skewed clocks:
+    /// worker events before the fork, barrier non-overlap, events after the
+    /// join.
+    fn broken_trace() -> Trace {
+        let r = RegionId(0);
+        let mut t = Trace::for_threads(2);
+        // Master (thread 0), "correct" clock.
+        t.procs[0].push(us(100), EventKind::Fork { region: r });
+        t.procs[0].push(us(101), EventKind::Enter { region: r });
+        t.procs[0].push(us(150), EventKind::Exit { region: r });
+        t.procs[0].push(us(150), EventKind::BarrierEnter { region: r });
+        t.procs[0].push(us(181), EventKind::BarrierExit { region: r });
+        t.procs[0].push(us(182), EventKind::Join { region: r });
+        // Worker (thread 1), clock 90 µs behind: everything looks early.
+        t.procs[1].push(us(12), EventKind::Enter { region: r });
+        t.procs[1].push(us(90), EventKind::Exit { region: r });
+        t.procs[1].push(us(90), EventKind::BarrierEnter { region: r });
+        t.procs[1].push(us(91), EventKind::BarrierExit { region: r });
+        t
+    }
+
+    #[test]
+    fn pomp_clc_restores_all_rules() {
+        let mut t = broken_trace();
+        let regions = match_parallel_regions(&t).unwrap();
+        let before = check_pomp(&t, &regions);
+        assert!(before.any_violations > 0, "fixture must violate");
+
+        let d_min = Dur::from_ns(100);
+        let rep = controlled_logical_clock_pomp(&mut t, d_min, &ClcParams::default()).unwrap();
+        assert!(rep.n_jumps() > 0);
+
+        let regions = match_parallel_regions(&t).unwrap();
+        let after = check_pomp(&t, &regions);
+        assert_eq!(after.any_violations, 0, "{after:?}");
+        assert!(t.is_locally_monotone());
+    }
+
+    #[test]
+    fn constraint_extraction_shapes() {
+        let t = broken_trace();
+        let cs = pomp_constraints(&t, Dur::from_ns(100)).unwrap();
+        // fork -> first event of each thread (master's first is its Enter),
+        // last events -> join, and 2 cross-thread barrier pairs... plus the
+        // master's own fork->enter and exit->join edges.
+        assert!(cs.len() >= 5, "{} constraints", cs.len());
+        // Every constraint's endpoints are valid events.
+        for c in &cs {
+            assert!(c.from.i() < t.procs[c.from.p()].events.len());
+            assert!(c.to.i() < t.procs[c.to.p()].events.len());
+        }
+    }
+
+    #[test]
+    fn consistent_trace_untouched() {
+        let r = RegionId(0);
+        let mut t = Trace::for_threads(2);
+        t.procs[0].push(us(0), EventKind::Fork { region: r });
+        t.procs[0].push(us(10), EventKind::BarrierEnter { region: r });
+        t.procs[0].push(us(30), EventKind::BarrierExit { region: r });
+        t.procs[0].push(us(40), EventKind::Join { region: r });
+        t.procs[1].push(us(5), EventKind::Enter { region: r });
+        t.procs[1].push(us(12), EventKind::Exit { region: r });
+        t.procs[1].push(us(12), EventKind::BarrierEnter { region: r });
+        t.procs[1].push(us(31), EventKind::BarrierExit { region: r });
+        let before = t.clone();
+        let rep =
+            controlled_logical_clock_pomp(&mut t, Dur::from_ns(100), &ClcParams::default())
+                .unwrap();
+        assert_eq!(rep.n_jumps(), 0);
+        for p in 0..2 {
+            assert_eq!(t.procs[p].events, before.procs[p].events);
+        }
+    }
+
+    #[test]
+    fn repairs_a_simulated_openmp_run() {
+        // End-to-end: the Fig. 8 benchmark at 4 threads is full of
+        // violations; the POMP CLC must clear them all.
+        let shape = simclock::Platform::ItaniumSmp.shape(1);
+        let profile = simclock::Platform::ItaniumSmp
+            .clock_profile(simclock::TimerKind::CycleCounter, 60.0);
+        let clocks =
+            simclock::ClockEnsemble::build(shape, simclock::ClockDomain::PerChip, &profile, 3);
+        // (mpisim is a dev-dependency of clocksync? No — construct manually.)
+        // Build a small synthetic multi-region trace instead, with per-chip
+        // clock offsets applied by hand.
+        let r = RegionId(0);
+        let mut t = Trace::for_threads(4);
+        let offs: Vec<Dur> = (0..4)
+            .map(|chip| {
+                let c = shape.core(0, chip, 0);
+                clocks.ideal_at(c, Time::ZERO) - Time::ZERO
+            })
+            .collect();
+        for k in 0..20i64 {
+            let base = k * 1000;
+            t.procs[0].push(us(base) + offs[0], EventKind::Fork { region: r });
+            #[allow(clippy::needless_range_loop)]
+            for th in 0..4usize {
+                t.procs[th].push(us(base + 2) + offs[th], EventKind::Enter { region: r });
+                t.procs[th].push(us(base + 50) + offs[th], EventKind::Exit { region: r });
+                t.procs[th].push(us(base + 50) + offs[th], EventKind::BarrierEnter { region: r });
+                t.procs[th].push(us(base + 52) + offs[th], EventKind::BarrierExit { region: r });
+            }
+            t.procs[0].push(us(base + 53) + offs[0], EventKind::Join { region: r });
+        }
+        let regions = match_parallel_regions(&t).unwrap();
+        let before = check_pomp(&t, &regions);
+        assert!(before.any_violations > 0, "chip offsets should violate");
+        controlled_logical_clock_pomp(&mut t, Dur::from_ns(100), &ClcParams::default())
+            .unwrap();
+        let regions = match_parallel_regions(&t).unwrap();
+        let after = check_pomp(&t, &regions);
+        assert_eq!(after.any_violations, 0, "{after:?}");
+    }
+
+    #[test]
+    fn cyclic_constraints_detected() {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(us(0), EventKind::Enter { region: RegionId(0) });
+        t.procs[1].push(us(0), EventKind::Enter { region: RegionId(0) });
+        let a = EventId::new(0, 0);
+        let b = EventId::new(1, 0);
+        let cs = vec![
+            Constraint { from: a, to: b, bound: Dur::from_us(1) },
+            Constraint { from: b, to: a, bound: Dur::from_us(1) },
+        ];
+        let err =
+            controlled_logical_clock_generic(&mut t, &cs, &ClcParams::default()).unwrap_err();
+        assert_eq!(err, ClcError::CyclicTrace);
+    }
+}

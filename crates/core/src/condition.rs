@@ -1,0 +1,117 @@
+//! Clock-condition diagnostics (paper Eq. 1).
+//!
+//! Beyond the binary violated/not-violated verdicts of
+//! [`tracefmt::violation`], the experiments need the *distribution* of
+//! message slack — how far each receive sits above (or below) its bound —
+//! because the paper's requirement "timestamp error smaller than half the
+//! message latency" is a statement about margins, not just counts.
+
+use simclock::Dur;
+use tracefmt::{Matching, MinLatency, Summary, Trace};
+
+/// Slack of every matched message: `t_recv − t_send − l_min` (negative =
+/// violated), in message order.
+pub fn message_slacks(trace: &Trace, matching: &Matching, lmin: &dyn MinLatency) -> Vec<Dur> {
+    matching
+        .messages
+        .iter()
+        .map(|m| trace.time(m.recv) - trace.time(m.send) - lmin.l_min(m.from, m.to))
+        .collect()
+}
+
+/// Slack distribution summary.
+#[derive(Debug, Clone)]
+pub struct SlackStats {
+    /// Mean/min/max/std of the slack in microseconds.
+    pub summary: Summary,
+    /// Number of negative-slack (violated) messages.
+    pub violated: usize,
+    /// Number of messages inspected.
+    pub total: usize,
+}
+
+impl SlackStats {
+    /// Percentage of violated messages.
+    pub fn violated_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.violated as f64 / self.total as f64
+        }
+    }
+}
+
+/// Summarise the slack distribution of a trace.
+pub fn slack_stats(trace: &Trace, matching: &Matching, lmin: &dyn MinLatency) -> SlackStats {
+    let slacks = message_slacks(trace, matching, lmin);
+    let violated = slacks.iter().filter(|s| s.is_negative()).count();
+    SlackStats {
+        summary: slacks.iter().map(|s| s.as_us_f64()).collect(),
+        violated,
+        total: slacks.len(),
+    }
+}
+
+/// The paper's accuracy requirement: to *guarantee* no violations, the
+/// timestamp error must stay below half the minimum message latency.
+/// Returns that bound for a given `l_min`.
+pub fn required_accuracy(l_min: Dur) -> Dur {
+    l_min / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Time;
+    use tracefmt::{match_messages, EventKind, Rank, Tag, UniformLatency};
+
+    fn trace_with_transfers(transfers_us: &[i64]) -> Trace {
+        let mut t = Trace::for_ranks(2);
+        for (i, &d) in transfers_us.iter().enumerate() {
+            let base = (i as i64) * 1000;
+            t.procs[0].push(
+                Time::from_us(base),
+                EventKind::Send { to: Rank(1), tag: Tag(i as u32), bytes: 0 },
+            );
+            t.procs[1].push(
+                Time::from_us(base + d),
+                EventKind::Recv { from: Rank(0), tag: Tag(i as u32), bytes: 0 },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn slacks_are_transfer_minus_lmin() {
+        let t = trace_with_transfers(&[10, 4, 2, -5]);
+        let m = match_messages(&t);
+        let lmin = UniformLatency(Dur::from_us(4));
+        let slacks = message_slacks(&t, &m, &lmin);
+        assert_eq!(
+            slacks,
+            vec![
+                Dur::from_us(6),
+                Dur::from_us(0),
+                Dur::from_us(-2),
+                Dur::from_us(-9)
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_count_violations() {
+        let t = trace_with_transfers(&[10, 4, 2, -5]);
+        let m = match_messages(&t);
+        let s = slack_stats(&t, &m, &UniformLatency(Dur::from_us(4)));
+        assert_eq!(s.total, 4);
+        assert_eq!(s.violated, 2);
+        assert_eq!(s.violated_pct(), 50.0);
+        assert_eq!(s.summary.min(), -9.0);
+        assert_eq!(s.summary.max(), 6.0);
+    }
+
+    #[test]
+    fn accuracy_requirement_is_half_latency() {
+        assert_eq!(required_accuracy(Dur::from_us_f64(4.29)), Dur::from_us_f64(2.145));
+    }
+}

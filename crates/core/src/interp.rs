@@ -1,0 +1,385 @@
+//! Timestamp maps: offset alignment and linear offset interpolation.
+//!
+//! Given offset measurements `(w, o)` — master-minus-worker offset `o` at
+//! worker time `w` — a [`TimestampMap`] converts worker-local timestamps to
+//! estimated master time:
+//!
+//! * [`OffsetAlignment`] uses a single measurement (paper's "offset
+//!   alignment only at program initialization"): `m(t) = t + o₁`;
+//! * [`LinearInterpolation`] uses two measurements, typically from
+//!   `MPI_Init` and `MPI_Finalize` (Scalasca-style), via the paper's Eq. 3:
+//!
+//! ```text
+//! m(t) = t + (o₂ − o₁)/(w₂ − w₁) · (t − w₁) + o₁
+//! ```
+//!
+//! * [`PiecewiseInterpolation`] generalises to any number of anchor points —
+//!   the "piecewise" option the paper mentions as perturbation-prone but
+//!   strictly more accurate when mid-run measurements exist.
+
+use crate::offset::OffsetMeasurement;
+use simclock::{Dur, Time};
+use tracefmt::Trace;
+
+/// A worker-local → master-time mapping.
+pub trait TimestampMap {
+    /// Map one worker-local timestamp to estimated master time.
+    fn map(&self, t: Time) -> Time;
+}
+
+/// The identity map (used for the master itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityMap;
+
+impl TimestampMap for IdentityMap {
+    fn map(&self, t: Time) -> Time {
+        t
+    }
+}
+
+/// Constant-offset correction from a single measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct OffsetAlignment {
+    /// The measured master − worker offset.
+    pub offset: Dur,
+}
+
+impl OffsetAlignment {
+    /// Alignment from a measurement.
+    pub fn new(m: &OffsetMeasurement) -> Self {
+        OffsetAlignment { offset: m.offset }
+    }
+}
+
+impl TimestampMap for OffsetAlignment {
+    fn map(&self, t: Time) -> Time {
+        t + self.offset
+    }
+}
+
+/// Eq. 3: linear interpolation between two offset measurements.
+///
+/// ```
+/// use clocksync::{LinearInterpolation, OffsetMeasurement, TimestampMap};
+/// use simclock::{Dur, Time};
+///
+/// // Offset measured as +100 µs at worker time 0 and +300 µs at 100 s:
+/// // the worker runs 2 ppm slow relative to the master.
+/// let a = OffsetMeasurement {
+///     worker_time: Time::ZERO, offset: Dur::from_us(100), rtt: Dur::from_us(9) };
+/// let b = OffsetMeasurement {
+///     worker_time: Time::from_secs(100), offset: Dur::from_us(300), rtt: Dur::from_us(9) };
+/// let map = LinearInterpolation::new(&a, &b);
+/// assert_eq!(map.map(Time::from_secs(50)), Time::from_secs(50) + Dur::from_us(200));
+/// assert!((map.slope() - 2e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LinearInterpolation {
+    w1: Time,
+    o1: Dur,
+    /// Offset change per second of worker time.
+    slope: f64,
+}
+
+impl LinearInterpolation {
+    /// Build from the two measurements (order is normalised internally).
+    ///
+    /// # Panics
+    /// Panics if both anchors share the same worker time.
+    pub fn new(a: &OffsetMeasurement, b: &OffsetMeasurement) -> Self {
+        let (first, second) = if a.worker_time <= b.worker_time {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let dw = (second.worker_time - first.worker_time).as_secs_f64();
+        assert!(dw > 0.0, "interpolation anchors coincide");
+        LinearInterpolation {
+            w1: first.worker_time,
+            o1: first.offset,
+            slope: (second.offset - first.offset).as_secs_f64() / dw,
+        }
+    }
+
+    /// The interpolated offset at worker time `t`.
+    pub fn offset_at(&self, t: Time) -> Dur {
+        self.o1 + Dur::from_secs_f64(self.slope * (t - self.w1).as_secs_f64())
+    }
+
+    /// The fitted drift slope (seconds of offset per second — the relative
+    /// rate difference between worker and master).
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+}
+
+impl TimestampMap for LinearInterpolation {
+    fn map(&self, t: Time) -> Time {
+        t + self.offset_at(t)
+    }
+}
+
+/// Piecewise-linear interpolation through any number of anchors; constant
+/// extrapolation of the boundary segments outside the anchored range.
+#[derive(Debug, Clone)]
+pub struct PiecewiseInterpolation {
+    anchors: Vec<OffsetMeasurement>,
+}
+
+impl PiecewiseInterpolation {
+    /// Build from measurements (sorted internally by worker time).
+    ///
+    /// # Panics
+    /// Panics when fewer than two anchors are given or two anchors share a
+    /// worker time.
+    pub fn new(mut anchors: Vec<OffsetMeasurement>) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        anchors.sort_by_key(|m| m.worker_time);
+        for w in anchors.windows(2) {
+            assert!(
+                w[0].worker_time < w[1].worker_time,
+                "duplicate anchor times"
+            );
+        }
+        PiecewiseInterpolation { anchors }
+    }
+
+    /// Number of anchors.
+    pub fn len(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Always false (construction requires ≥ 2 anchors).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn segment(&self, t: Time) -> (&OffsetMeasurement, &OffsetMeasurement) {
+        let n = self.anchors.len();
+        let idx = match self.anchors.binary_search_by_key(&t, |m| m.worker_time) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+        .min(n - 2);
+        (&self.anchors[idx], &self.anchors[idx + 1])
+    }
+}
+
+impl TimestampMap for PiecewiseInterpolation {
+    fn map(&self, t: Time) -> Time {
+        let (a, b) = self.segment(t);
+        LinearInterpolation::new(a, b).map(t)
+    }
+}
+
+/// Least-squares line through many offset measurements, weighted by probe
+/// quality (`1/rtt`).
+///
+/// Sits between Eq. 3 (which trusts exactly two anchors) and
+/// [`PiecewiseInterpolation`] (which follows every anchor, noise included):
+/// the regression averages measurement noise away but still assumes a
+/// constant drift — useful when many probes exist but the clock is a
+/// well-behaved hardware counter.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionInterpolation {
+    slope: f64,
+    intercept_s: f64,
+}
+
+impl RegressionInterpolation {
+    /// Weighted least-squares fit through the measurements.
+    ///
+    /// Returns `None` for fewer than two measurements or zero time spread.
+    pub fn fit(ms: &[OffsetMeasurement]) -> Option<Self> {
+        if ms.len() < 2 {
+            return None;
+        }
+        let weight = |m: &OffsetMeasurement| {
+            let rtt = m.rtt.as_secs_f64();
+            if rtt > 0.0 {
+                1.0 / rtt
+            } else {
+                1.0
+            }
+        };
+        let wsum: f64 = ms.iter().map(weight).sum();
+        let mx: f64 = ms.iter().map(|m| weight(m) * m.worker_time.as_secs_f64()).sum::<f64>() / wsum;
+        let my: f64 = ms.iter().map(|m| weight(m) * m.offset.as_secs_f64()).sum::<f64>() / wsum;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for m in ms {
+            let w = weight(m);
+            let dx = m.worker_time.as_secs_f64() - mx;
+            sxx += w * dx * dx;
+            sxy += w * dx * (m.offset.as_secs_f64() - my);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        Some(RegressionInterpolation {
+            slope,
+            intercept_s: my - slope * mx,
+        })
+    }
+
+    /// Fitted relative rate difference.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Fitted offset at worker time `t`.
+    pub fn offset_at(&self, t: Time) -> Dur {
+        Dur::from_secs_f64(self.slope * t.as_secs_f64() + self.intercept_s)
+    }
+}
+
+impl TimestampMap for RegressionInterpolation {
+    fn map(&self, t: Time) -> Time {
+        t + self.offset_at(t)
+    }
+}
+
+/// Apply per-process maps to a whole trace (`maps[p]` for process `p`).
+pub fn apply_maps(trace: &mut Trace, maps: &[Box<dyn TimestampMap>]) {
+    assert_eq!(maps.len(), trace.n_procs(), "one map per process required");
+    trace.map_times(|p, t| maps[p].map(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(w_s: f64, o_us: f64) -> OffsetMeasurement {
+        OffsetMeasurement {
+            worker_time: Time::from_secs_f64(w_s),
+            offset: Dur::from_us_f64(o_us),
+            rtt: Dur::from_us(10),
+        }
+    }
+
+    #[test]
+    fn alignment_shifts_constantly() {
+        let a = OffsetAlignment::new(&m(0.0, 250.0));
+        assert_eq!(a.map(Time::ZERO), Time::from_us(250));
+        assert_eq!(
+            a.map(Time::from_secs(100)),
+            Time::from_secs(100) + Dur::from_us(250)
+        );
+    }
+
+    #[test]
+    fn eq3_is_exact_at_anchors() {
+        let m1 = m(10.0, 100.0);
+        let m2 = m(110.0, 300.0);
+        let li = LinearInterpolation::new(&m1, &m2);
+        assert_eq!(li.map(m1.worker_time), m1.worker_time + m1.offset);
+        assert_eq!(li.map(m2.worker_time), m2.worker_time + m2.offset);
+    }
+
+    #[test]
+    fn eq3_interpolates_linearly() {
+        // Offset grows 200 µs over 100 s → 2 µs/s; halfway: +200 µs.
+        let li = LinearInterpolation::new(&m(0.0, 100.0), &m(100.0, 300.0));
+        assert_eq!(li.offset_at(Time::from_secs(50)), Dur::from_us(200));
+        assert!((li.slope() - 2e-6).abs() < 1e-12);
+        // Extrapolates beyond the anchors (the linear model's whole point).
+        assert_eq!(li.offset_at(Time::from_secs(200)), Dur::from_us(500));
+        assert_eq!(li.offset_at(Time::from_secs(-50)), Dur::from_us(0));
+    }
+
+    #[test]
+    fn anchor_order_does_not_matter() {
+        let a = LinearInterpolation::new(&m(0.0, 0.0), &m(100.0, 100.0));
+        let b = LinearInterpolation::new(&m(100.0, 100.0), &m(0.0, 0.0));
+        let t = Time::from_secs(33);
+        assert_eq!(a.map(t), b.map(t));
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn coincident_anchors_panic() {
+        let _ = LinearInterpolation::new(&m(5.0, 1.0), &m(5.0, 2.0));
+    }
+
+    #[test]
+    fn piecewise_follows_kinks() {
+        // Offset: 0 at t=0, 100 µs at t=100, back to 0 at t=200 — a shape a
+        // single line cannot fit.
+        let pw = PiecewiseInterpolation::new(vec![m(0.0, 0.0), m(100.0, 100.0), m(200.0, 0.0)]);
+        assert_eq!(pw.len(), 3);
+        let at = |s: f64| pw.map(Time::from_secs_f64(s)) - Time::from_secs_f64(s);
+        assert_eq!(at(50.0), Dur::from_us(50));
+        assert_eq!(at(150.0), Dur::from_us(50));
+        assert_eq!(at(100.0), Dur::from_us(100));
+        // Boundary-segment extrapolation.
+        assert_eq!(at(250.0), Dur::from_us(-50));
+    }
+
+    #[test]
+    fn regression_fits_through_noisy_anchors() {
+        // True offset line: 3 µs/s + 50 µs, with alternating ±2 µs noise.
+        let anchors: Vec<OffsetMeasurement> = (0..20)
+            .map(|k| {
+                let noise = if k % 2 == 0 { 2.0 } else { -2.0 };
+                m(k as f64 * 10.0, 50.0 + 3.0 * (k as f64 * 10.0) + noise)
+            })
+            .collect();
+        let r = RegressionInterpolation::fit(&anchors).unwrap();
+        assert!((r.slope() - 3e-6).abs() < 1e-8, "slope {}", r.slope());
+        let mid = r.offset_at(Time::from_secs(95));
+        assert!((mid.as_us_f64() - (50.0 + 285.0)).abs() < 2.5, "{mid:?}");
+        // Two-point Eq. 3 through the first and last anchors is fully
+        // exposed to their noise; the regression averages it away.
+        let two = LinearInterpolation::new(&anchors[0], &anchors[19]);
+        let reg_err = (r.offset_at(Time::from_secs(95)).as_us_f64() - 335.0).abs();
+        let two_err = (two.offset_at(Time::from_secs(95)).as_us_f64() - 335.0).abs();
+        assert!(reg_err <= two_err + 1e-9);
+    }
+
+    #[test]
+    fn regression_weighting_prefers_clean_probes() {
+        // One wild anchor with a huge rtt (low weight) must barely matter.
+        let mut anchors: Vec<OffsetMeasurement> =
+            (0..10).map(|k| m(k as f64 * 10.0, 100.0)).collect();
+        anchors.push(OffsetMeasurement {
+            worker_time: Time::from_secs(45),
+            offset: Dur::from_us(10_000),
+            rtt: Dur::from_ms(50), // terrible probe
+        });
+        let r = RegressionInterpolation::fit(&anchors).unwrap();
+        let at = r.offset_at(Time::from_secs(45)).as_us_f64();
+        assert!((at - 100.0).abs() < 50.0, "outlier dominated: {at}");
+    }
+
+    #[test]
+    fn regression_degenerate_inputs() {
+        assert!(RegressionInterpolation::fit(&[]).is_none());
+        assert!(RegressionInterpolation::fit(&[m(1.0, 2.0)]).is_none());
+        assert!(
+            RegressionInterpolation::fit(&[m(5.0, 1.0), m(5.0, 2.0)]).is_none(),
+            "no time spread"
+        );
+    }
+
+    #[test]
+    fn apply_maps_per_process() {
+        use tracefmt::{EventKind, RegionId};
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_us(10), EventKind::Enter { region: RegionId(0) });
+        t.procs[1].push(Time::from_us(10), EventKind::Enter { region: RegionId(0) });
+        let maps: Vec<Box<dyn TimestampMap>> = vec![
+            Box::new(IdentityMap),
+            Box::new(OffsetAlignment { offset: Dur::from_us(5) }),
+        ];
+        apply_maps(&mut t, &maps);
+        assert_eq!(t.procs[0].events[0].time, Time::from_us(10));
+        assert_eq!(t.procs[1].events[0].time, Time::from_us(15));
+    }
+
+    #[test]
+    fn identity_map_is_identity() {
+        let id = IdentityMap;
+        assert_eq!(id.map(Time::from_ns(12345)), Time::from_ns(12345));
+    }
+}

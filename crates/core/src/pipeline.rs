@@ -1,0 +1,313 @@
+//! The end-to-end synchronisation pipeline the paper recommends (§V/§VI):
+//! weak pre-synchronisation by linear offset interpolation, then the CLC to
+//! remove residual clock-condition violations.
+//!
+//! [`synchronize`] drives the whole chain on a trace and reports violation
+//! counts before, after interpolation, and after the CLC — the numbers the
+//! constructive experiments print.
+
+use crate::clc::{controlled_logical_clock, ClcError, ClcParams, ClcReport};
+use crate::interp::{IdentityMap, LinearInterpolation, OffsetAlignment, TimestampMap};
+use crate::offset::OffsetMeasurement;
+use tracefmt::{
+    check_collectives, check_p2p, match_collectives, match_messages, CollReport, MinLatency,
+    P2pReport, Trace,
+};
+
+/// Which pre-synchronisation to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreSync {
+    /// Leave timestamps untouched.
+    None,
+    /// Offset alignment from the initialization measurement only.
+    AlignOnly,
+    /// Eq. 3 linear interpolation between the init and finalize
+    /// measurements (Scalasca's scheme).
+    Linear,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Pre-synchronisation stage.
+    pub presync: PreSync,
+    /// CLC stage (None = skip).
+    pub clc: Option<ClcParams>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            presync: PreSync::Linear,
+            clc: Some(ClcParams::default()),
+        }
+    }
+}
+
+/// Violation census of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Point-to-point check.
+    pub p2p: P2pReport,
+    /// Collective (logical message) check.
+    pub coll: CollReport,
+}
+
+impl StageReport {
+    fn capture(trace: &Trace, lmin: &dyn MinLatency) -> Result<Self, String> {
+        let m = match_messages(trace);
+        let insts = match_collectives(trace)?;
+        Ok(StageReport {
+            p2p: check_p2p(trace, &m, lmin),
+            coll: check_collectives(trace, &insts, lmin),
+        })
+    }
+
+    /// Total violated constraints (messages + logical messages).
+    pub fn total_violations(&self) -> usize {
+        self.p2p.violations.len() + self.coll.logical_violated
+    }
+}
+
+/// Outcome of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Census on the raw trace.
+    pub raw: StageReport,
+    /// Census after pre-synchronisation (equals `raw` when
+    /// `PreSync::None`).
+    pub after_presync: StageReport,
+    /// Census after the CLC (None when the CLC stage was skipped).
+    pub after_clc: Option<StageReport>,
+    /// CLC statistics (None when skipped).
+    pub clc: Option<ClcReport>,
+}
+
+/// Pipeline failures.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// A measurement vector does not match the process count.
+    BadMeasurements(String),
+    /// Trace reconstruction failed.
+    BadTrace(String),
+    /// The CLC stage failed.
+    Clc(ClcError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::BadMeasurements(s) => write!(f, "bad measurements: {s}"),
+            PipelineError::BadTrace(s) => write!(f, "bad trace: {s}"),
+            PipelineError::Clc(e) => write!(f, "CLC failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Run the pipeline on `trace` in place.
+///
+/// `init[p]` / `fin[p]` are the offset measurements of process `p` taken at
+/// program initialization and finalization (`None` entries for the master,
+/// which is never remapped). `fin` may be `None` as a whole when only
+/// alignment is requested.
+pub fn synchronize(
+    trace: &mut Trace,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, PipelineError> {
+    let n = trace.n_procs();
+    if init.len() != n {
+        return Err(PipelineError::BadMeasurements(format!(
+            "init has {} entries for {} procs",
+            init.len(),
+            n
+        )));
+    }
+    if let Some(f) = fin {
+        if f.len() != n {
+            return Err(PipelineError::BadMeasurements(format!(
+                "fin has {} entries for {} procs",
+                f.len(),
+                n
+            )));
+        }
+    }
+
+    let raw = StageReport::capture(trace, lmin).map_err(PipelineError::BadTrace)?;
+
+    // Pre-synchronisation.
+    match cfg.presync {
+        PreSync::None => {}
+        PreSync::AlignOnly => {
+            let maps: Vec<Box<dyn TimestampMap>> = init
+                .iter()
+                .map(|m| -> Box<dyn TimestampMap> {
+                    match m {
+                        Some(m) => Box::new(OffsetAlignment::new(m)),
+                        None => Box::new(IdentityMap),
+                    }
+                })
+                .collect();
+            crate::interp::apply_maps(trace, &maps);
+        }
+        PreSync::Linear => {
+            let fin = fin.ok_or_else(|| {
+                PipelineError::BadMeasurements(
+                    "linear interpolation requires finalize measurements".into(),
+                )
+            })?;
+            let maps: Vec<Box<dyn TimestampMap>> = init
+                .iter()
+                .zip(fin)
+                .map(|(a, b)| -> Box<dyn TimestampMap> {
+                    match (a, b) {
+                        (Some(a), Some(b)) => Box::new(LinearInterpolation::new(a, b)),
+                        _ => Box::new(IdentityMap),
+                    }
+                })
+                .collect();
+            crate::interp::apply_maps(trace, &maps);
+        }
+    }
+    let after_presync = StageReport::capture(trace, lmin).map_err(PipelineError::BadTrace)?;
+
+    // CLC cleanup.
+    let (after_clc, clc) = match &cfg.clc {
+        None => (None, None),
+        Some(params) => {
+            let rep =
+                controlled_logical_clock(trace, lmin, params).map_err(PipelineError::Clc)?;
+            let census = StageReport::capture(trace, lmin).map_err(PipelineError::BadTrace)?;
+            (Some(census), Some(rep))
+        }
+    };
+
+    Ok(PipelineReport {
+        raw,
+        after_presync,
+        after_clc,
+        clc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::{Dur, Time};
+    use tracefmt::{EventKind, Rank, Tag, UniformLatency};
+
+    const LMIN: UniformLatency = UniformLatency(Dur::from_ps(4_000_000));
+
+    /// Worker clock +500 µs ahead; messages both directions with 10 µs true
+    /// transfer. Raw trace: master→worker messages look "too long"
+    /// (510 µs), worker→master messages look reversed (−490 µs).
+    fn skewed_trace() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        let off = 500;
+        for k in 0..10 {
+            let base = k * 1000;
+            t.procs[0].push(
+                Time::from_us(base),
+                EventKind::Send { to: Rank(1), tag: Tag(k as u32), bytes: 0 },
+            );
+            t.procs[1].push(
+                Time::from_us(base + 10 + off),
+                EventKind::Recv { from: Rank(0), tag: Tag(k as u32), bytes: 0 },
+            );
+            t.procs[1].push(
+                Time::from_us(base + 500 + off),
+                EventKind::Send { to: Rank(0), tag: Tag(1000 + k as u32), bytes: 0 },
+            );
+            t.procs[0].push(
+                Time::from_us(base + 510),
+                EventKind::Recv { from: Rank(1), tag: Tag(1000 + k as u32), bytes: 0 },
+            );
+        }
+        t
+    }
+
+    fn measurements(offset_us: i64, w: i64) -> Option<OffsetMeasurement> {
+        Some(OffsetMeasurement {
+            worker_time: Time::from_us(w),
+            offset: Dur::from_us(offset_us),
+            rtt: Dur::from_us(10),
+        })
+    }
+
+    #[test]
+    fn full_pipeline_repairs_everything() {
+        let mut t = skewed_trace();
+        // Measured offsets: master - worker = -500 µs (accurate).
+        let init = vec![None, measurements(-500, 0)];
+        let fin = vec![None, measurements(-500, 10_000)];
+        let rep = synchronize(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        // Raw trace: the 10 worker→master messages are reversed.
+        assert_eq!(rep.raw.p2p.reversed, 10);
+        // Interpolation with accurate offsets already fixes them.
+        assert_eq!(rep.after_presync.total_violations(), 0);
+        let after = rep.after_clc.unwrap();
+        assert_eq!(after.total_violations(), 0);
+    }
+
+    #[test]
+    fn clc_rescues_inaccurate_interpolation() {
+        let mut t = skewed_trace();
+        // Offset measurements off by 30 µs (asymmetric probe error): the
+        // interpolation leaves violations behind; the CLC must clear them.
+        let init = vec![None, measurements(-530, 0)];
+        let fin = vec![None, measurements(-530, 10_000)];
+        let rep = synchronize(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            rep.after_presync.total_violations() > 0,
+            "expected residual violations after bad interpolation"
+        );
+        assert_eq!(rep.after_clc.unwrap().total_violations(), 0);
+        assert!(rep.clc.unwrap().n_jumps() > 0);
+    }
+
+    #[test]
+    fn align_only_without_finalize() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let cfg = PipelineConfig {
+            presync: PreSync::AlignOnly,
+            clc: None,
+        };
+        let rep = synchronize(&mut t, &init, None, &LMIN, &cfg).unwrap();
+        assert_eq!(rep.after_presync.total_violations(), 0);
+        assert!(rep.after_clc.is_none());
+    }
+
+    #[test]
+    fn linear_without_finalize_is_an_error() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let err = synchronize(&mut t, &init, None, &LMIN, &PipelineConfig::default());
+        assert!(matches!(err, Err(PipelineError::BadMeasurements(_))));
+    }
+
+    #[test]
+    fn wrong_measurement_count_is_an_error() {
+        let mut t = skewed_trace();
+        let err = synchronize(&mut t, &[], None, &LMIN, &PipelineConfig::default());
+        assert!(matches!(err, Err(PipelineError::BadMeasurements(_))));
+    }
+}

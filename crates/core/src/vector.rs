@@ -1,0 +1,149 @@
+//! Fidge/Mattern vector clocks.
+//!
+//! Each process keeps a vector of per-process counters; local events bump
+//! the own component, receives merge the sender's vector element-wise
+//! (paper §V, [25]–[27]). Unlike Lamport stamps, vector timestamps are
+//! *complete*: `a happened-before b` **iff** `V(a) < V(b)`, so they can
+//! decide concurrency, which makes them the reference oracle for validating
+//! happened-before-based corrections.
+
+use tracefmt::{match_messages, EventKind, EventId, Trace};
+
+/// A vector timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorStamp(pub Vec<u32>);
+
+impl VectorStamp {
+    /// Strict happened-before: every component ≤, at least one <.
+    pub fn happened_before(&self, other: &VectorStamp) -> bool {
+        let mut strict = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Neither happened before the other.
+    pub fn concurrent_with(&self, other: &VectorStamp) -> bool {
+        !self.happened_before(other) && !other.happened_before(self) && self != other
+    }
+}
+
+/// Vector timestamps for every event: `out[p][i]` stamps event `i` of
+/// process `p`.
+pub fn vector_timestamps(trace: &Trace) -> Vec<Vec<VectorStamp>> {
+    let matching = match_messages(trace);
+    let mut send_of = std::collections::HashMap::new();
+    for m in &matching.messages {
+        send_of.insert(m.recv, m.send);
+    }
+    let n = trace.n_procs();
+    let mut out: Vec<Vec<VectorStamp>> = trace
+        .procs
+        .iter()
+        .map(|p| Vec::with_capacity(p.events.len()))
+        .collect();
+    let mut current: Vec<Vec<u32>> = vec![vec![0; n]; n];
+    let mut pc = vec![0usize; n];
+
+    loop {
+        let mut progressed = false;
+        for p in 0..n {
+            while pc[p] < trace.procs[p].events.len() {
+                let i = pc[p];
+                let ev = &trace.procs[p].events[i];
+                if let EventKind::Recv { .. } = ev.kind {
+                    if let Some(s) = send_of.get(&EventId::new(p, i)) {
+                        if s.i() >= pc[s.p()] {
+                            break; // wait for the send to be stamped
+                        }
+                        let sender = out[s.p()][s.i()].0.clone();
+                        for (c, m) in current[p].iter_mut().zip(&sender) {
+                            *c = (*c).max(*m);
+                        }
+                    }
+                }
+                current[p][p] += 1;
+                out[p].push(VectorStamp(current[p].clone()));
+                pc[p] += 1;
+                progressed = true;
+            }
+        }
+        if (0..n).all(|p| pc[p] == trace.procs[p].events.len()) {
+            return out;
+        }
+        assert!(progressed, "cyclic message structure in trace");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Time;
+    use tracefmt::{Rank, RegionId, Tag};
+
+    fn msg_trace() -> Trace {
+        // p0: local, send     p1: local, recv, local
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_us(0), EventKind::Enter { region: RegionId(0) });
+        t.procs[0].push(Time::from_us(1), EventKind::Send { to: Rank(1), tag: Tag(0), bytes: 0 });
+        t.procs[1].push(Time::from_us(0), EventKind::Enter { region: RegionId(0) });
+        t.procs[1].push(Time::from_us(5), EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 0 });
+        t.procs[1].push(Time::from_us(6), EventKind::Exit { region: RegionId(0) });
+        t
+    }
+
+    #[test]
+    fn components_advance_locally() {
+        let t = msg_trace();
+        let v = vector_timestamps(&t);
+        assert_eq!(v[0][0].0, vec![1, 0]);
+        assert_eq!(v[0][1].0, vec![2, 0]);
+        assert_eq!(v[1][0].0, vec![0, 1]);
+        // Recv merges the sender's vector.
+        assert_eq!(v[1][1].0, vec![2, 2]);
+        assert_eq!(v[1][2].0, vec![2, 3]);
+    }
+
+    #[test]
+    fn happened_before_iff_path() {
+        let t = msg_trace();
+        let v = vector_timestamps(&t);
+        // send happened-before recv and its successors.
+        assert!(v[0][1].happened_before(&v[1][1]));
+        assert!(v[0][1].happened_before(&v[1][2]));
+        assert!(v[0][0].happened_before(&v[1][2]));
+        // p1's first local event is concurrent with everything on p0.
+        assert!(v[1][0].concurrent_with(&v[0][0]));
+        assert!(v[1][0].concurrent_with(&v[0][1]));
+        // Nothing happens before itself.
+        assert!(!v[0][0].happened_before(&v[0][0]));
+    }
+
+    #[test]
+    fn concurrency_is_symmetric() {
+        let t = msg_trace();
+        let v = vector_timestamps(&t);
+        assert_eq!(
+            v[1][0].concurrent_with(&v[0][1]),
+            v[0][1].concurrent_with(&v[1][0])
+        );
+    }
+
+    #[test]
+    fn vector_condition_matches_lamport_condition() {
+        // Every message in a consistent or inconsistent trace must yield
+        // send happened-before recv in the vector order.
+        let t = msg_trace();
+        let v = vector_timestamps(&t);
+        let m = match_messages(&t);
+        for msg in &m.messages {
+            assert!(v[msg.send.p()][msg.send.i()].happened_before(&v[msg.recv.p()][msg.recv.i()]));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! CSV export of experiment results (plot-ready series and tables).
+//!
+//! Activated by `experiments … --csv <dir>`: each experiment that produces
+//! series or rows additionally writes a CSV file named after the paper
+//! artefact (`fig4a.csv`, `fig7.csv`, …) with a header row. Files are
+//! overwritten on re-runs so the directory always reflects the last
+//! campaign.
+
+use crate::common::DeviationSeries;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Write one deviation-series family (one column per worker).
+pub fn save_series(
+    dir: &Path,
+    name: &str,
+    series: &[DeviationSeries],
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
+    write!(f, "t_s")?;
+    for s in series {
+        write!(f, ",worker{}_us", s.worker)?;
+    }
+    writeln!(f)?;
+    let rows = series.first().map_or(0, |s| s.points.len());
+    for k in 0..rows {
+        write!(f, "{}", series[0].points[k].0)?;
+        for s in series {
+            write!(f, ",{}", s.points[k].1)?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Write a generic rows table: `header` is the comma-joined column names,
+/// each row a vector of cells already formatted.
+pub fn save_rows(
+    dir: &Path,
+    name: &str,
+    header: &str,
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
+    writeln!(f, "{header}")?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("drift-lab-csv-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        let dir = scratch("series");
+        let series = vec![
+            DeviationSeries { worker: 1, points: vec![(0.0, 1.5), (10.0, 2.5)] },
+            DeviationSeries { worker: 2, points: vec![(0.0, -0.5), (10.0, 0.5)] },
+        ];
+        save_series(&dir, "figX", &series).unwrap();
+        let text = fs::read_to_string(dir.join("figX.csv")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t_s,worker1_us,worker2_us");
+        assert_eq!(lines[1], "0,1.5,-0.5");
+        assert_eq!(lines[2], "10,2.5,0.5");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rows_csv_shape() {
+        let dir = scratch("rows");
+        save_rows(
+            &dir,
+            "tab",
+            "a,b",
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(dir.join("tab.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

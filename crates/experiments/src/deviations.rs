@@ -1,0 +1,209 @@
+//! Figures 4–6 — measured clock deviations under different timers,
+//! platforms and corrections.
+//!
+//! * **Fig. 4** — Xeon cluster, offset alignment only: (a) `MPI_Wtime()`
+//!   diverges >200 µs within a short run with abrupt NTP turning points,
+//!   (b) `gettimeofday()` behaves alike, (c) the Intel TSC keeps an
+//!   approximately constant drift over a full hour.
+//! * **Fig. 5** — residual deviations after linear offset interpolation
+//!   over 3600 s: Xeon TSC, PowerPC time base, Opteron `gettimeofday()`
+//!   (the worst).
+//! * **Fig. 6** — even a short 300 s Xeon TSC run slightly exceeds the
+//!   4.29 µs inter-node latency after interpolation.
+
+use crate::common::{
+    cluster_one_rank_per_node, measure_deviations, print_series, Correction, DeviationSeries,
+    RunLength,
+};
+use simclock::{Platform, TimerKind};
+
+/// A deviation experiment's output plus shape metrics.
+pub struct DeviationOutcome {
+    /// Per-worker deviation series.
+    pub series: Vec<DeviationSeries>,
+    /// Max |deviation| across workers, µs.
+    pub max_abs_us: f64,
+    /// Minimum linearity R² across workers.
+    pub min_r2: f64,
+    /// Total detected kinks across workers.
+    pub kinks: usize,
+}
+
+fn run(
+    platform: Platform,
+    timer: TimerKind,
+    nodes: usize,
+    length: RunLength,
+    correction: Correction,
+    seed: u64,
+) -> DeviationOutcome {
+    let mut cluster =
+        cluster_one_rank_per_node(platform, timer, nodes, length.duration_s * 1.1 + 30.0, seed);
+    let series = measure_deviations(&mut cluster, length, correction, 8);
+    let max_abs_us = series.iter().map(|s| s.max_abs_us()).fold(0.0, f64::max);
+    let min_r2 = series.iter().map(|s| s.linearity_r2()).fold(1.0, f64::min);
+    let kinks = series.iter().map(|s| s.count_kinks(0.05)).sum();
+    DeviationOutcome {
+        series,
+        max_abs_us,
+        min_r2,
+        kinks,
+    }
+}
+
+/// Fig. 4(a): `MPI_Wtime()` on the Xeon cluster, short run, align only.
+pub fn fig4a(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::XeonCluster, TimerKind::MpiWtime, 4, length, Correction::AlignOnly, seed)
+}
+
+/// Fig. 4(b): `gettimeofday()` on the Xeon cluster, medium run, align only.
+pub fn fig4b(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::XeonCluster, TimerKind::Gettimeofday, 4, length, Correction::AlignOnly, seed)
+}
+
+/// Fig. 4(c): Intel TSC on the Xeon cluster, long run, align only.
+pub fn fig4c(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::XeonCluster, TimerKind::IntelTsc, 4, length, Correction::AlignOnly, seed)
+}
+
+/// Fig. 5(a): Xeon TSC after linear interpolation, long run.
+pub fn fig5a(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::XeonCluster, TimerKind::IntelTsc, 4, length, Correction::Linear, seed)
+}
+
+/// Fig. 5(b): PowerPC time base after linear interpolation, long run.
+pub fn fig5b(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::PowerPcCluster, TimerKind::IbmTimeBase, 4, length, Correction::Linear, seed)
+}
+
+/// Fig. 5(c): Opteron `gettimeofday()` after linear interpolation, long run.
+pub fn fig5c(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::OpteronCluster, TimerKind::Gettimeofday, 4, length, Correction::Linear, seed)
+}
+
+/// Fig. 6: Xeon TSC after linear interpolation, short run.
+pub fn fig6(length: RunLength, seed: u64) -> DeviationOutcome {
+    run(Platform::XeonCluster, TimerKind::IntelTsc, 4, length, Correction::Linear, seed)
+}
+
+/// Print the whole Fig. 4 family; returns the outcomes keyed by sub-figure
+/// for CSV export.
+pub fn print_fig4(fast: f64, seed: u64) -> Vec<(&'static str, DeviationOutcome)> {
+    let a = fig4a(RunLength::short().scaled(fast), seed);
+    print_series(
+        "Fig. 4(a) — MPI_Wtime(), short run, after initial offset alignment",
+        &a.series,
+        12,
+    );
+    println!(
+        "shape: max |dev| {:.1} us (paper: >200 us), kinks {} (paper: abrupt slope changes), R^2 {:.3}",
+        a.max_abs_us, a.kinks, a.min_r2
+    );
+    let b = fig4b(RunLength::medium().scaled(fast), seed + 1);
+    print_series(
+        "Fig. 4(b) — gettimeofday(), medium run, after initial offset alignment",
+        &b.series,
+        12,
+    );
+    println!("shape: max |dev| {:.1} us, kinks {} (paper: similar drift pattern)", b.max_abs_us, b.kinks);
+    let c = fig4c(RunLength::long().scaled(fast), seed + 2);
+    print_series(
+        "Fig. 4(c) — Intel TSC, long run, after initial offset alignment",
+        &c.series,
+        12,
+    );
+    println!(
+        "shape: max |dev| {:.1} us, linearity R^2 {:.4} (paper: approximately constant drift)",
+        c.max_abs_us, c.min_r2
+    );
+    vec![("fig4a", a), ("fig4b", b), ("fig4c", c)]
+}
+
+/// Print the Fig. 5 family; returns the outcomes for CSV export.
+pub fn print_fig5(fast: f64, seed: u64) -> Vec<(&'static str, DeviationOutcome)> {
+    let lat_xeon = 4.29;
+    let a = fig5a(RunLength::long().scaled(fast), seed);
+    print_series("Fig. 5(a) — Xeon TSC after linear interpolation (3600 s)", &a.series, 12);
+    println!("max |dev| {:.1} us vs inter-node latency {lat_xeon} us -> exceeded: {}", a.max_abs_us, a.max_abs_us > lat_xeon);
+    let b = fig5b(RunLength::long().scaled(fast), seed + 1);
+    print_series("Fig. 5(b) — PowerPC time base after linear interpolation (3600 s)", &b.series, 12);
+    println!("max |dev| {:.1} us", b.max_abs_us);
+    let c = fig5c(RunLength::long().scaled(fast), seed + 2);
+    print_series("Fig. 5(c) — Opteron gettimeofday() after linear interpolation (3600 s)", &c.series, 12);
+    println!("max |dev| {:.1} us (paper: the worst of the three)", c.max_abs_us);
+    vec![("fig5a", a), ("fig5b", b), ("fig5c", c)]
+}
+
+/// Print Fig. 6; returns the outcome for CSV export.
+pub fn print_fig6(fast: f64, seed: u64) -> DeviationOutcome {
+    let f = fig6(RunLength::short().scaled(fast), seed);
+    print_series("Fig. 6 — Xeon TSC after linear interpolation, short run (300 s)", &f.series, 12);
+    println!(
+        "max |dev| {:.2} us vs latency 4.29 us -> slightly exceeds: {}",
+        f.max_abs_us,
+        f.max_abs_us > 4.29
+    );
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These use shortened runs to keep the suite fast; the full-length
+    // shapes are exercised by the `experiments` binary and benches.
+
+    #[test]
+    fn fig4a_shows_kinks_and_large_deviations() {
+        let o = fig4a(RunLength { duration_s: 300.0, sample_every_s: 2.0 }, 5);
+        assert!(
+            o.max_abs_us > 100.0,
+            "NTP-steered clocks should diverge fast, got {} us",
+            o.max_abs_us
+        );
+        assert!(o.kinks >= 1, "expected NTP turning points, got none");
+    }
+
+    #[test]
+    fn fig4c_tsc_is_nearly_linear() {
+        let o = fig4c(RunLength { duration_s: 400.0, sample_every_s: 4.0 }, 6);
+        assert!(
+            o.min_r2 > 0.96,
+            "TSC deviation should be almost a straight line, R^2 {}",
+            o.min_r2
+        );
+        // ppm-scale drift: hundreds of µs over 400 s.
+        assert!(o.max_abs_us > 50.0);
+    }
+
+    #[test]
+    fn fig5_residuals_exceed_latency_and_opteron_is_worst() {
+        let xeon = fig5a(RunLength { duration_s: 900.0, sample_every_s: 10.0 }, 7);
+        let opteron = fig5c(RunLength { duration_s: 900.0, sample_every_s: 10.0 }, 7);
+        assert!(
+            xeon.max_abs_us > 4.29,
+            "Xeon TSC residual should exceed the message latency, got {}",
+            xeon.max_abs_us
+        );
+        assert!(
+            opteron.max_abs_us > xeon.max_abs_us,
+            "Opteron gettimeofday ({}) should be worse than Xeon TSC ({})",
+            opteron.max_abs_us,
+            xeon.max_abs_us
+        );
+    }
+
+    #[test]
+    fn fig6_short_run_is_marginal() {
+        let o = fig6(RunLength::short(), 8);
+        // "The deviations slightly exceed the latency." The residual is a
+        // Brownian-bridge excursion whose magnitude varies run to run by a
+        // factor of ~3 (as it would on hardware); assert the right order of
+        // magnitude around the 4.29 µs latency rather than a fixed side.
+        assert!(
+            o.max_abs_us > 2.0 && o.max_abs_us < 60.0,
+            "short-run residual {} us should be of the latency's order",
+            o.max_abs_us
+        );
+    }
+}

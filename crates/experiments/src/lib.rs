@@ -1,0 +1,31 @@
+//! # experiments — regenerate every table and figure of the paper
+//!
+//! Each module regenerates one piece of the paper's evaluation from the
+//! simulated substrate and prints the same rows/series the paper reports:
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig1_2_3`] | Figs. 1–3 (clock sketch, order semantics, Itanium violation) |
+//! | [`tables`] | Tables I and II (pinnings, latencies) |
+//! | [`deviations`] | Figs. 4–6 (deviations per timer/platform/correction) |
+//! | [`fig7`] | Fig. 7 (reversed messages in POP/SMG traces) |
+//! | [`fig8`] | Fig. 8 (OpenMP POMP violations vs. team size) |
+//! | [`intranode`] | §IV intra-node noise finding |
+//! | [`clc_exp`] | §V constructive survey (CLC + baselines + extensions) |
+//! | [`ablations`] | probe-count / anchor / μ / network-load ablations |
+//! | [`predict_exp`] | analytical residual model vs. simulation |
+//! | [`csvout`] | CSV export (`--csv <dir>`) |
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod clc_exp;
+pub mod common;
+pub mod csvout;
+pub mod deviations;
+pub mod fig1_2_3;
+pub mod fig7;
+pub mod fig8;
+pub mod intranode;
+pub mod predict_exp;
+pub mod tables;

@@ -1,0 +1,136 @@
+//! Command-line driver: `experiments <name>... [--fast] [--seed N] [--csv DIR]`.
+//!
+//! Names: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 intranode
+//! clc ablations predict timers all`. `--fast` shortens the long deviation runs and shrinks the
+//! application workloads so the whole campaign completes in well under a
+//! minute; without it the runs use the paper's full durations.
+
+use experiments::*;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2008u64);
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let mut names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && args.iter().position(|x| x == *a).map(|i| i == 0 || args[i-1] != "--seed").unwrap_or(true))
+        .map(|s| s.as_str())
+        .collect();
+    if names.is_empty() {
+        names.push("all");
+    }
+    let all = names.contains(&"all");
+    // Scale divisors under --fast.
+    let dev_scale = if fast { 10.0 } else { 1.0 };
+    let app_scale = if fast { 30 } else { 4 };
+    let fig8_regions = if fast { 120 } else { 400 };
+    let has = |n: &str| all || names.contains(&n);
+
+    println!("# drift-lab experiment campaign (seed {seed}, fast={fast})");
+    if has("fig1") {
+        fig1_2_3::print_fig1();
+    }
+    if has("fig2") {
+        fig1_2_3::print_fig2();
+    }
+    if has("fig3") {
+        fig1_2_3::print_fig3(seed);
+    }
+    if has("table1") {
+        tables::print_table1();
+    }
+    if all {
+        tables::print_timer_taxonomy(seed);
+    }
+    if has("table2") {
+        tables::print_table2(if fast { 500 } else { 5000 }, seed);
+        tables::print_table2_platforms(if fast { 300 } else { 2000 }, seed);
+    }
+    if has("timers") {
+        tables::print_timer_taxonomy(seed);
+    }
+    if has("fig4") {
+        let outcomes = deviations::print_fig4(dev_scale, seed);
+        if let Some(dir) = &csv_dir {
+            for (name, o) in &outcomes {
+                csvout::save_series(dir, name, &o.series).expect("csv written");
+            }
+        }
+    }
+    if has("fig5") {
+        let outcomes = deviations::print_fig5(dev_scale, seed + 10);
+        if let Some(dir) = &csv_dir {
+            for (name, o) in &outcomes {
+                csvout::save_series(dir, name, &o.series).expect("csv written");
+            }
+        }
+    }
+    if has("fig6") {
+        let o = deviations::print_fig6(if fast { 2.0 } else { 1.0 }, seed + 22);
+        if let Some(dir) = &csv_dir {
+            csvout::save_series(dir, "fig6", &o.series).expect("csv written");
+        }
+    }
+    if has("fig7") {
+        let rows = fig7::fig7(app_scale, 3, seed + 30);
+        fig7::print_rows(&rows);
+        if let Some(dir) = &csv_dir {
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.app.to_string(),
+                        format!("{:.3}", r.reversed_pct),
+                        format!("{:.3}", r.violated_pct),
+                        format!("{:.3}", r.message_event_pct),
+                    ]
+                })
+                .collect();
+            csvout::save_rows(dir, "fig7", "app,reversed_pct,violated_pct,message_event_pct", &table)
+                .expect("csv written");
+        }
+    }
+    if has("fig8") {
+        let rows = fig8::fig8(fig8_regions, 3, seed + 40);
+        fig8::print_rows(&rows, 3, fig8_regions);
+        if let Some(dir) = &csv_dir {
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.threads.to_string(),
+                        format!("{:.2}", r.any_pct),
+                        format!("{:.2}", r.entry_pct),
+                        format!("{:.2}", r.exit_pct),
+                        format!("{:.2}", r.barrier_pct),
+                    ]
+                })
+                .collect();
+            csvout::save_rows(dir, "fig8", "threads,any_pct,entry_pct,exit_pct,barrier_pct", &table)
+                .expect("csv written");
+        }
+    }
+    if has("intranode") {
+        intranode::print_intranode(if fast { 60.0 } else { 300.0 }, seed + 50);
+    }
+    if has("clc") {
+        clc_exp::print_clc(app_scale, seed + 60);
+    }
+    if has("ablations") {
+        ablations::print_ablations(seed + 70);
+    }
+    if has("predict") {
+        predict_exp::print_predict(if fast { 120.0 } else { 600.0 }, if fast { 4 } else { 10 }, seed + 80);
+    }
+}

@@ -1,0 +1,233 @@
+//! Tables I and II — pinning configurations and measured latencies on the
+//! Xeon cluster.
+
+use mpisim::Cluster;
+use netsim::{HierarchicalLatency, Placement, Topology};
+use simclock::{
+    allan_deviation, sample_phase, ClockDomain, ClockEnsemble, ClockProfile, Dur, Platform,
+    TimerKind,
+};
+use workloads::{measure_allreduce_latency, measure_p2p_latency, LatencyMeasurement};
+
+/// Table I rows: the three pinning setups.
+pub fn table1() -> Vec<(&'static str, String)> {
+    vec![
+        ("Inter node", "4 nodes, 1 process per node".into()),
+        ("Inter chip", "1 node, 2 chips per node, 1 process per chip".into()),
+        ("Inter core", "1 node, 1 chip per node, 4 processes per chip".into()),
+    ]
+}
+
+/// Print Table I.
+pub fn print_table1() {
+    println!("\n## Table I — Xeon cluster: process pinning for the measurements");
+    for (name, desc) in table1() {
+        println!("{name:<12} {desc}");
+    }
+}
+
+/// One Table II row: setup name, paper value, measured mean/std.
+pub struct Table2Row {
+    /// Setup label.
+    pub setup: &'static str,
+    /// The paper's measured mean in µs.
+    pub paper_mean_us: f64,
+    /// Our measured latency.
+    pub measured: LatencyMeasurement,
+}
+
+fn xeon_cluster_with(placement: Placement, seed: u64) -> Cluster {
+    let shape = placement.shape();
+    let clocks = ClockEnsemble::build(
+        shape,
+        ClockDomain::Global,
+        &ClockProfile::bare(TimerKind::IntelTsc),
+        seed,
+    );
+    Cluster::new(
+        placement,
+        Topology::FatTree { leaf_radix: 16 },
+        HierarchicalLatency::xeon_infiniband(),
+        clocks,
+        seed,
+    )
+}
+
+/// Run the Table II measurements (`reps` repetitions per row).
+pub fn table2(reps: usize, seed: u64) -> Vec<Table2Row> {
+    let shape = Platform::XeonCluster.shape(4);
+    let mut rows = Vec::new();
+
+    let mut c = xeon_cluster_with(Placement::one_per_node(shape, 4), seed);
+    rows.push(Table2Row {
+        setup: "Inter node message latency",
+        paper_mean_us: 4.29,
+        measured: measure_p2p_latency(&mut c, reps, 0).expect("ping-pong runs"),
+    });
+
+    let mut c = xeon_cluster_with(Placement::one_per_chip(shape, 2), seed + 1);
+    rows.push(Table2Row {
+        setup: "Inter chip message latency",
+        paper_mean_us: 0.86,
+        measured: measure_p2p_latency(&mut c, reps, 0).expect("ping-pong runs"),
+    });
+
+    let mut c = xeon_cluster_with(Placement::one_per_core(shape, 4), seed + 2);
+    rows.push(Table2Row {
+        setup: "Inter core message latency",
+        paper_mean_us: 0.47,
+        measured: measure_p2p_latency(&mut c, reps, 0).expect("ping-pong runs"),
+    });
+
+    let mut c = xeon_cluster_with(Placement::one_per_node(shape, 4), seed + 3);
+    rows.push(Table2Row {
+        setup: "Inter node collective latency",
+        paper_mean_us: 12.86,
+        measured: measure_allreduce_latency(&mut c, 4, reps, 8).expect("allreduce runs"),
+    });
+
+    rows
+}
+
+/// Print Table II next to the paper's values.
+pub fn print_table2(reps: usize, seed: u64) {
+    println!("\n## Table II — Xeon cluster: measured message and collective latencies");
+    println!(
+        "{:<32} {:>12} {:>12} {:>12}",
+        "setup", "paper[us]", "mean[us]", "stddev[us]"
+    );
+    for r in table2(reps, seed) {
+        println!(
+            "{:<32} {:>12.2} {:>12.2} {:>12.2e}",
+            r.setup,
+            r.paper_mean_us,
+            r.measured.mean_us(),
+            r.measured.std_us()
+        );
+    }
+}
+
+/// The §II timer taxonomy as a measured table: for each timer technology on
+/// the Xeon platform, its resolution, read overhead, NTP steering, and the
+/// Allan deviation at τ = 64 s of a representative clock (the stability
+/// number that decides interpolation-friendliness).
+pub fn print_timer_taxonomy(seed: u64) {
+    use rand::SeedableRng as _;
+    println!("\n## §II — timer taxonomy (Xeon platform, ADEV at tau = 64 s)");
+    println!(
+        "{:<18} {:>9} {:>12} {:>14} {:>6} {:>12}",
+        "timer", "hardware", "resolution", "overhead[ns]", "NTP", "ADEV@64s"
+    );
+    for timer in [
+        TimerKind::IntelTsc,
+        TimerKind::Gettimeofday,
+        TimerKind::MpiWtime,
+    ] {
+        let profile = Platform::XeonCluster.clock_profile(timer, 1200.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let clock = profile.build_clock(&mut rng, 0.0, 1.5e-6);
+        let phase = sample_phase(&clock, Dur::from_secs(1), 1024);
+        let adev = allan_deviation(&phase, 1.0, 64).unwrap_or(f64::NAN);
+        println!(
+            "{:<18} {:>9} {:>12} {:>14} {:>6} {:>12.2e}",
+            timer.label(),
+            timer.is_hardware(),
+            format!("{}", profile.noise.resolution),
+            profile.noise.read_overhead.as_ns_f64(),
+            profile.ntp.is_some(),
+            adev
+        );
+    }
+    println!("hardware clocks: stable (interpolation-friendly); NTP-steered software clocks: orders of magnitude noisier at long tau.");
+}
+
+/// Cross-platform extension of Table II: inter-node message latency on all
+/// three of the paper's clusters (the paper prints only the Xeon numbers).
+pub fn print_table2_platforms(reps: usize, seed: u64) {
+    println!("\n## Table II extension — inter-node message latency per platform");
+    println!("{:<22} {:>12} {:>12}", "platform", "mean[us]", "stddev[us]");
+    for (platform, latency) in [
+        (Platform::XeonCluster, HierarchicalLatency::xeon_infiniband()),
+        (Platform::PowerPcCluster, HierarchicalLatency::powerpc_myrinet()),
+        (Platform::OpteronCluster, HierarchicalLatency::opteron_seastar()),
+    ] {
+        let shape = platform.shape(4);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            seed,
+        );
+        let mut cluster = Cluster::new(
+            Placement::one_per_node(shape, 4),
+            crate::common::topology_of(platform, 4),
+            latency,
+            clocks,
+            seed,
+        );
+        let m = measure_p2p_latency(&mut cluster, reps, 0).expect("ping-pong runs");
+        println!(
+            "{:<22} {:>12.2} {:>12.2e}",
+            platform.label(),
+            m.mean_us(),
+            m.std_us()
+        );
+    }
+    println!("(Myrinet slowest, SeaStar torus pays per-hop costs; the paper only tabulates the Xeon values.)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_the_hierarchy() {
+        let rows = table2(400, 3);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            let rel = (r.measured.mean_us() - r.paper_mean_us).abs() / r.paper_mean_us;
+            assert!(
+                rel < 0.25,
+                "{}: measured {:.2} vs paper {:.2} (rel {rel:.2})",
+                r.setup,
+                r.measured.mean_us(),
+                r.paper_mean_us
+            );
+        }
+        // Ordering: core < chip < node < collective.
+        assert!(rows[2].measured.mean_us() < rows[1].measured.mean_us());
+        assert!(rows[1].measured.mean_us() < rows[0].measured.mean_us());
+        assert!(rows[0].measured.mean_us() < rows[3].measured.mean_us());
+    }
+
+    #[test]
+    fn table1_has_three_setups() {
+        assert_eq!(table1().len(), 3);
+    }
+
+    #[test]
+    fn cross_platform_latency_ordering() {
+        // Myrinet inter-node > SeaStar > InfiniBand per our models.
+        let get = |platform: Platform, latency: HierarchicalLatency| {
+            let shape = platform.shape(4);
+            let clocks = ClockEnsemble::build(
+                shape,
+                ClockDomain::Global,
+                &ClockProfile::bare(TimerKind::IntelTsc),
+                1,
+            );
+            let mut c = Cluster::new(
+                Placement::one_per_node(shape, 4),
+                crate::common::topology_of(platform, 4),
+                latency,
+                clocks,
+                1,
+            );
+            measure_p2p_latency(&mut c, 300, 0).unwrap().mean_us()
+        };
+        let xeon = get(Platform::XeonCluster, HierarchicalLatency::xeon_infiniband());
+        let ppc = get(Platform::PowerPcCluster, HierarchicalLatency::powerpc_myrinet());
+        let opt = get(Platform::OpteronCluster, HierarchicalLatency::opteron_seastar());
+        assert!(xeon < opt && opt < ppc, "unexpected ordering: {xeon} {opt} {ppc}");
+    }
+}

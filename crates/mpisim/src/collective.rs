@@ -1,0 +1,467 @@
+//! Collective-operation timing.
+//!
+//! Collectives are lowered onto the point-to-point algorithms MPI libraries
+//! actually use — binomial trees for rooted operations, dissemination
+//! exchange for N-to-N — so their completion times inherit the latency
+//! hierarchy of the simulated machine. Only `CollBegin`/`CollEnd` events are
+//! traced (as real tracers do); the internal tree messages exist purely for
+//! timing. With 4 nodes the dissemination allreduce costs two rounds of
+//! inter-node latency plus software overhead — landing at the paper's
+//! Table II value of ≈12.9 µs.
+
+use simclock::{Dur, Time};
+use tracefmt::{CollFlavor, CollOp, Rank};
+
+/// Sampling interface the collective scheduler needs from the cluster.
+pub trait PairwiseLatency {
+    /// Sample a transfer delay for one internal message departing at true
+    /// time `at`.
+    fn sample_latency(&mut self, from: Rank, to: Rank, bytes: u64, at: Time) -> Dur;
+}
+
+/// Software-cost knobs of the collective algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct CollTuning {
+    /// Per-message software overhead inside the collective (stack, copy,
+    /// reduction op).
+    pub per_msg_overhead: Dur,
+    /// Cost from last internal message to the operation returning.
+    pub exit_overhead: Dur,
+}
+
+impl Default for CollTuning {
+    fn default() -> Self {
+        CollTuning {
+            per_msg_overhead: Dur::from_ns(2200),
+            exit_overhead: Dur::from_ns(300),
+        }
+    }
+}
+
+/// Compute the true-time completion instant of every member of a collective.
+///
+/// `members[i] = (rank, begin)` where `begin` is the true time the rank
+/// entered the operation, **in communicator rank order**. Returns the end
+/// times parallel to `members`.
+pub fn schedule_collective(
+    op: CollOp,
+    members: &[(Rank, Time)],
+    root: Option<Rank>,
+    lat: &mut dyn PairwiseLatency,
+    tuning: &CollTuning,
+    bytes: u64,
+) -> Vec<Time> {
+    assert!(!members.is_empty(), "collective with no members");
+    if members.len() == 1 {
+        return vec![members[0].1 + tuning.exit_overhead];
+    }
+    match op.flavor() {
+        CollFlavor::OneToN => {
+            let root = root.expect("rooted collective without root");
+            one_to_n(members, root, lat, tuning, bytes)
+        }
+        CollFlavor::NToOne => {
+            let root = root.expect("rooted collective without root");
+            n_to_one(members, root, lat, tuning, bytes)
+        }
+        CollFlavor::NToN => n_to_n(members, lat, tuning, bytes),
+        CollFlavor::Prefix => prefix(members, lat, tuning, bytes),
+    }
+}
+
+/// Position of `root` within `members`.
+fn root_pos(members: &[(Rank, Time)], root: Rank) -> usize {
+    members
+        .iter()
+        .position(|&(r, _)| r == root)
+        .expect("root not a member of the collective")
+}
+
+/// Binomial-tree broadcast/scatter: the root sends to sub-roots round by
+/// round; each internal node forwards as soon as it holds the data (and has
+/// entered the operation itself).
+#[allow(clippy::needless_range_loop)]
+fn one_to_n(
+    members: &[(Rank, Time)],
+    root: Rank,
+    lat: &mut dyn PairwiseLatency,
+    tuning: &CollTuning,
+    bytes: u64,
+) -> Vec<Time> {
+    let n = members.len();
+    let rpos = root_pos(members, root);
+    // Tree index t -> member index: (rpos + t) % n.
+    let member = |t: usize| (rpos + t) % n;
+    // t_have[t]: instant tree-node t holds the payload; next_free[t]: when
+    // it can issue its next send.
+    let mut t_have: Vec<Option<Time>> = vec![None; n];
+    let mut next_free: Vec<Time> = vec![Time::ZERO; n];
+    t_have[0] = Some(members[member(0)].1);
+    next_free[0] = members[member(0)].1;
+    let mut stride = 1usize;
+    while stride < n {
+        for j in 0..stride {
+            let child = j + stride;
+            if child >= n {
+                continue;
+            }
+            let have = t_have[j].expect("binomial order violated");
+            let send_at = next_free[j].max(have);
+            next_free[j] = send_at + tuning.per_msg_overhead;
+            let from = members[member(j)].0;
+            let to = members[member(child)].0;
+            let arrival = send_at + tuning.per_msg_overhead + lat.sample_latency(from, to, bytes, send_at);
+            // A receiver cannot complete before it posted the operation.
+            let begin_child = members[member(child)].1;
+            t_have[child] = Some(arrival.max(begin_child));
+            next_free[child] = t_have[child].unwrap();
+        }
+        stride *= 2;
+    }
+    let mut ends = vec![Time::ZERO; n];
+    for t in 0..n {
+        let m = member(t);
+        let done = if t == 0 {
+            // Root is done when its last send is issued.
+            next_free[0]
+        } else {
+            t_have[t].expect("unreached tree node")
+        };
+        ends[m] = done + tuning.exit_overhead;
+    }
+    ends
+}
+
+/// Binomial-tree reduce/gather: leaves send up as soon as they enter;
+/// internal nodes forward after combining all children.
+fn n_to_one(
+    members: &[(Rank, Time)],
+    root: Rank,
+    lat: &mut dyn PairwiseLatency,
+    tuning: &CollTuning,
+    bytes: u64,
+) -> Vec<Time> {
+    let n = members.len();
+    let rpos = root_pos(members, root);
+    let member = |t: usize| (rpos + t) % n;
+    // t_ready[t]: instant tree node t has combined its subtree.
+    let mut t_ready: Vec<Time> = (0..n).map(|t| members[member(t)].1).collect();
+    let mut ends = vec![Time::ZERO; n];
+    // Largest power of two < n: process rounds top stride down so children
+    // are complete before they send.
+    let mut stride = 1usize;
+    while stride * 2 <= n.next_power_of_two() && stride < n {
+        stride *= 2;
+    }
+    // `stride` is now >= the highest child offset; iterate down.
+    while stride >= 1 {
+        for j in 0..stride.min(n) {
+            let child = j + stride;
+            if child >= n {
+                continue;
+            }
+            let from = members[member(child)].0;
+            let to = members[member(j)].0;
+            let send_at = t_ready[child] + tuning.per_msg_overhead;
+            ends[member(child)] = send_at; // child is done once it sent
+            let arrival = send_at + lat.sample_latency(from, to, bytes, send_at);
+            t_ready[j] = t_ready[j].max(arrival) + tuning.per_msg_overhead;
+        }
+        stride /= 2;
+    }
+    ends[member(0)] = t_ready[0];
+    for e in ends.iter_mut() {
+        *e += tuning.exit_overhead;
+    }
+    ends
+}
+
+/// Prefix reduction (scan): implemented as the linear chain MPI libraries
+/// use for small communicators — rank i combines its value with the partial
+/// result received from rank i−1 and forwards to rank i+1. Rank 0 finishes
+/// immediately after sending; rank i cannot finish before every lower rank
+/// contributed.
+fn prefix(
+    members: &[(Rank, Time)],
+    lat: &mut dyn PairwiseLatency,
+    tuning: &CollTuning,
+    bytes: u64,
+) -> Vec<Time> {
+    let n = members.len();
+    let mut ends = vec![Time::ZERO; n];
+    // Partial result available at member i.
+    let mut have = members[0].1 + tuning.per_msg_overhead;
+    ends[0] = have;
+    for i in 1..n {
+        let from = members[i - 1].0;
+        let to = members[i].0;
+        let arrival = have + lat.sample_latency(from, to, bytes, have);
+        have = arrival.max(members[i].1) + tuning.per_msg_overhead;
+        ends[i] = have;
+    }
+    ends.into_iter().map(|e| e + tuning.exit_overhead).collect()
+}
+
+/// Dissemination exchange (barrier/allreduce/allgather/alltoall): in round
+/// `r` member `i` sends to `(i + 2^r) mod n` and waits for the message from
+/// `(i − 2^r) mod n`; after `⌈log2 n⌉` rounds everyone transitively heard
+/// from everyone.
+fn n_to_n(
+    members: &[(Rank, Time)],
+    lat: &mut dyn PairwiseLatency,
+    tuning: &CollTuning,
+    bytes: u64,
+) -> Vec<Time> {
+    let n = members.len();
+    let mut t: Vec<Time> = members.iter().map(|&(_, b)| b).collect();
+    let mut stride = 1usize;
+    while stride < n {
+        let mut next = vec![Time::ZERO; n];
+        for i in 0..n {
+            let src = (i + n - stride % n) % n;
+            let from = members[src].0;
+            let to = members[i].0;
+            let msg_arrival =
+                t[src] + tuning.per_msg_overhead + lat.sample_latency(from, to, bytes, t[src]);
+            next[i] = (t[i] + tuning.per_msg_overhead).max(msg_arrival);
+        }
+        t = next;
+        stride *= 2;
+    }
+    t.into_iter().map(|x| x + tuning.exit_overhead).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fixed latency for deterministic assertions.
+    struct FixedLat(Dur);
+    impl PairwiseLatency for FixedLat {
+        fn sample_latency(&mut self, _f: Rank, _t: Rank, _b: u64, _at: Time) -> Dur {
+            self.0
+        }
+    }
+
+    fn members(begins_us: &[i64]) -> Vec<(Rank, Time)> {
+        begins_us
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (Rank(i as u32), Time::from_us(b)))
+            .collect()
+    }
+
+    fn tuning() -> CollTuning {
+        CollTuning {
+            per_msg_overhead: Dur::from_us(1),
+            exit_overhead: Dur::ZERO,
+        }
+    }
+
+    #[test]
+    fn nton_ends_after_every_begin() {
+        let ms = members(&[0, 50, 10, 30]);
+        let ends = schedule_collective(
+            CollOp::Barrier,
+            &ms,
+            None,
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            0,
+        );
+        let max_begin = Time::from_us(50);
+        for (i, e) in ends.iter().enumerate() {
+            // The clock condition for N-to-N: member i cannot leave before
+            // every *other* member entered plus one message latency.
+            let other_max = ms
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &(_, b))| b)
+                .max()
+                .unwrap();
+            assert!(
+                *e >= other_max + Dur::from_us(4),
+                "member {i} exits at {e:?} before barrier could complete"
+            );
+            // No member waits absurdly long: bound by rounds * (lat + ovh).
+            assert!(*e <= max_begin + Dur::from_us(2 * 5 + 5));
+        }
+    }
+
+    #[test]
+    fn nton_scales_with_log_rounds() {
+        let t = tuning();
+        let mut l = FixedLat(Dur::from_us(4));
+        let e4 = schedule_collective(CollOp::Allreduce, &members(&[0, 0, 0, 0]), None, &mut l, &t, 8);
+        let e8 = schedule_collective(
+            CollOp::Allreduce,
+            &members(&[0; 8]),
+            None,
+            &mut l,
+            &t,
+            8,
+        );
+        // 2 rounds vs 3 rounds of (1 µs overhead + 4 µs latency).
+        assert_eq!(e4[0], Time::from_us(10));
+        assert_eq!(e8[0], Time::from_us(15));
+    }
+
+    #[test]
+    fn table2_allreduce_magnitude() {
+        // 4 nodes, inter-node 4.27 µs, default tuning: mean ≈ 12.9 µs round
+        // time like the paper's Table II.
+        let ends = schedule_collective(
+            CollOp::Allreduce,
+            &members(&[0, 0, 0, 0]),
+            None,
+            &mut FixedLat(Dur::from_us_f64(4.09)),
+            &CollTuning::default(),
+            8,
+        );
+        let us = (ends[0] - Time::ZERO).as_us_f64();
+        assert!((us - 12.86).abs() < 1.0, "allreduce time {us} µs");
+    }
+
+    #[test]
+    fn bcast_root_finishes_first_and_depth_orders_arrivals() {
+        let ms = members(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Bcast,
+            &ms,
+            Some(Rank(0)),
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            64,
+        );
+        // Root issues 3 sends at 1 µs each.
+        assert_eq!(ends[0], Time::from_us(3));
+        // Direct children of the root (tree indices 1, 2, 4) get the data
+        // earlier than the deepest node (tree index 7).
+        assert!(ends[1] < ends[7]);
+        assert!(ends[2] < ends[7]);
+        assert!(ends[4] < ends[7]);
+        // Everyone got it within depth*(overhead*2+lat) of the root begin.
+        for e in &ends {
+            assert!(*e <= Time::from_us(3 * 6 + 3));
+        }
+    }
+
+    #[test]
+    fn bcast_respects_late_receivers() {
+        // A receiver that begins late cannot complete before it begins.
+        let ms = members(&[0, 500, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Bcast,
+            &ms,
+            Some(Rank(0)),
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            8,
+        );
+        assert!(ends[1] >= Time::from_us(500));
+        // But other members are unaffected by the straggler in a 1-to-N.
+        assert!(ends[2] < Time::from_us(100));
+    }
+
+    #[test]
+    fn reduce_root_waits_for_stragglers() {
+        let ms = members(&[0, 300, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Reduce,
+            &ms,
+            Some(Rank(0)),
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            8,
+        );
+        // Root cannot combine before the straggler's contribution arrives.
+        assert!(ends[0] >= Time::from_us(305));
+        // The straggler itself leaves soon after sending.
+        assert!(ends[1] <= Time::from_us(310));
+        // Early leaves exit quickly.
+        assert!(ends[2] <= Time::from_us(20));
+    }
+
+    #[test]
+    fn non_zero_root_is_supported() {
+        let ms = members(&[0, 0, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Bcast,
+            &ms,
+            Some(Rank(2)),
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            8,
+        );
+        // Rank 2 is the tree root: it finishes after its sends only.
+        let min = ends.iter().min().unwrap();
+        assert_eq!(ends[2], *min);
+    }
+
+    #[test]
+    fn scan_is_a_forward_chain() {
+        let ms = members(&[0, 0, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Scan,
+            &ms,
+            None,
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            8,
+        );
+        // Rank 0: overhead only; each later rank adds one hop.
+        assert_eq!(ends[0], Time::from_us(1));
+        assert_eq!(ends[1], Time::from_us(6));
+        assert_eq!(ends[2], Time::from_us(11));
+        assert_eq!(ends[3], Time::from_us(16));
+        // Rank i never finishes before a lower rank plus the latency.
+        for i in 1..4 {
+            assert!(ends[i] >= ends[i - 1] + Dur::from_us(4));
+        }
+    }
+
+    #[test]
+    fn scan_respects_late_lower_ranks() {
+        // Rank 1 begins late: all higher ranks are held up; rank 0 is not.
+        let ms = members(&[0, 500, 0, 0]);
+        let ends = schedule_collective(
+            CollOp::Scan,
+            &ms,
+            None,
+            &mut FixedLat(Dur::from_us(4)),
+            &tuning(),
+            8,
+        );
+        assert!(ends[0] < Time::from_us(10));
+        assert!(ends[2] >= Time::from_us(500));
+        assert!(ends[3] >= Time::from_us(505));
+    }
+
+    #[test]
+    fn singleton_collective_is_trivial() {
+        let ends = schedule_collective(
+            CollOp::Barrier,
+            &members(&[7]),
+            None,
+            &mut FixedLat(Dur::from_us(4)),
+            &CollTuning::default(),
+            0,
+        );
+        assert_eq!(ends.len(), 1);
+        assert!(ends[0] >= Time::from_us(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "root not a member")]
+    fn foreign_root_panics() {
+        let _ = schedule_collective(
+            CollOp::Bcast,
+            &members(&[0, 0]),
+            Some(Rank(9)),
+            &mut FixedLat(Dur::from_us(1)),
+            &tuning(),
+            0,
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Remote clock-reading round trips.
+//!
+//! This is the measurement half of Cristian's probabilistic clock reading
+//! (paper Eq. 2): the master sends a request at its local time `t1`, the
+//! worker replies with its local time `t0`, the master receives the reply at
+//! `t2`. The *computation* of offsets from these rounds — including the
+//! min-round-trip filtering that suppresses asymmetric-delay error — lives
+//! in the `clocksync` crate; this module only simulates the wire exchange
+//! with real network jitter, which is precisely what makes the measured
+//! offsets imperfect.
+
+use crate::runtime::Cluster;
+use simclock::{Dur, Time};
+use tracefmt::Rank;
+
+/// One request/reply exchange: the three local timestamps of Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRound {
+    /// Master's local time when the request left.
+    pub t1: Time,
+    /// Worker's local time when it replied.
+    pub t0: Time,
+    /// Master's local time when the reply arrived.
+    pub t2: Time,
+}
+
+/// Result of probing one worker.
+#[derive(Debug, Clone)]
+pub struct ProbeSession {
+    /// The worker probed.
+    pub worker: Rank,
+    /// All exchanged rounds in order.
+    pub rounds: Vec<ProbeRound>,
+    /// True time when the session finished.
+    pub end_true: Time,
+}
+
+/// Probe `worker` from `master` with `rounds` request/reply exchanges
+/// starting at true time `start`, `gap` apart.
+///
+/// Probe messages are small (16 bytes) and travel through the same jittered
+/// latency model as application traffic.
+pub fn probe_worker(
+    cluster: &mut Cluster,
+    master: Rank,
+    worker: Rank,
+    rounds: usize,
+    start: Time,
+    gap: Dur,
+) -> ProbeSession {
+    const PROBE_BYTES: u64 = 16;
+    let m_core = cluster.placement.core_of(master.idx());
+    let w_core = cluster.placement.core_of(worker.idx());
+    let mut out = Vec::with_capacity(rounds);
+    let mut now = start;
+    for _ in 0..rounds {
+        // Master reads t1 and fires the request.
+        now += cluster.clocks.read_overhead(m_core);
+        let t1 = cluster.clocks.sample(m_core, now);
+        let depart = now + cluster.latency.send_overhead;
+        let arrive_w = depart + cluster.sample_transfer(master, worker, PROBE_BYTES, depart);
+        // Worker reads t0 and replies immediately.
+        let mut w_now = arrive_w + cluster.clocks.read_overhead(w_core);
+        let t0 = cluster.clocks.sample(w_core, w_now);
+        w_now += cluster.latency.send_overhead;
+        let arrive_m = w_now + cluster.sample_transfer(worker, master, PROBE_BYTES, w_now);
+        // Master reads t2 on reply arrival.
+        now = arrive_m + cluster.clocks.read_overhead(m_core);
+        let t2 = cluster.clocks.sample(m_core, now);
+        out.push(ProbeRound { t1, t0, t2 });
+        now += gap;
+    }
+    ProbeSession {
+        worker,
+        rounds: out,
+        end_true: now,
+    }
+}
+
+/// Probe every non-master rank sequentially (Scalasca measures offsets rank
+/// by rank during `MPI_Init`/`MPI_Finalize`). Returns one session per
+/// worker, in rank order, plus the true time when the whole sweep ended.
+pub fn probe_all_workers(
+    cluster: &mut Cluster,
+    master: Rank,
+    rounds: usize,
+    start: Time,
+    gap: Dur,
+) -> (Vec<ProbeSession>, Time) {
+    let n = cluster.n_ranks();
+    let mut sessions = Vec::with_capacity(n.saturating_sub(1));
+    let mut now = start;
+    for r in 0..n {
+        let worker = Rank(r as u32);
+        if worker == master {
+            continue;
+        }
+        let s = probe_worker(cluster, master, worker, rounds, now, gap);
+        now = s.end_true;
+        sessions.push(s);
+    }
+    (sessions, now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{HierarchicalLatency, Placement, Topology};
+    use simclock::{
+        ClockDomain, ClockEnsemble, ClockProfile, ConstantDrift, MachineShape, NoiseSpec,
+        SimClock, TimerKind,
+    };
+    use std::sync::Arc;
+
+    fn cluster_with_offsets() -> Cluster {
+        let shape = MachineShape::new(4, 1, 1);
+        let profile = ClockProfile::bare(TimerKind::IntelTsc)
+            .with_node_spread(1e-3, 0.0)
+            .with_horizon(10.0);
+        let clocks = ClockEnsemble::build(shape, ClockDomain::PerNode, &profile, 5);
+        Cluster::new(
+            Placement::one_per_node(shape, 4),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            11,
+        )
+    }
+
+    #[test]
+    fn round_trips_are_positive_and_ordered() {
+        let mut c = cluster_with_offsets();
+        let s = probe_worker(&mut c, Rank(0), Rank(1), 20, Time::ZERO, Dur::from_us(50));
+        assert_eq!(s.rounds.len(), 20);
+        for r in &s.rounds {
+            assert!(r.t2 > r.t1, "reply before request on the master clock");
+            // Round trip takes at least two minimum latencies.
+            assert!(r.t2 - r.t1 >= Dur::from_us(8));
+        }
+        assert!(s.end_true > Time::ZERO);
+    }
+
+    #[test]
+    fn eq2_recovers_known_offset() {
+        // Offset estimate o = t1 + (t2-t1)/2 - t0 should be close to the
+        // true offset (master - worker) with symmetric links.
+        let mut c = cluster_with_offsets();
+        let true_off = {
+            let m = c.clocks.ideal_at(c.placement.core_of(0), Time::ZERO);
+            let w = c.clocks.ideal_at(c.placement.core_of(1), Time::ZERO);
+            m - w
+        };
+        let s = probe_worker(&mut c, Rank(0), Rank(1), 50, Time::ZERO, Dur::from_us(20));
+        // Use the best (min round-trip) round, like Cristian suggests.
+        let best = s
+            .rounds
+            .iter()
+            .min_by_key(|r| (r.t2 - r.t1).as_ps())
+            .unwrap();
+        let est = best.t1 + (best.t2 - best.t1) / 2 - best.t0;
+        let err = (est - true_off).abs();
+        assert!(
+            err < Dur::from_us(2),
+            "offset estimate error {err:?} (true {true_off:?})"
+        );
+    }
+
+    #[test]
+    fn probe_all_skips_master_and_is_sequential() {
+        let mut c = cluster_with_offsets();
+        let (sessions, end) = probe_all_workers(&mut c, Rank(0), 5, Time::ZERO, Dur::from_us(10));
+        assert_eq!(sessions.len(), 3);
+        assert!(sessions.iter().all(|s| s.worker != Rank(0)));
+        // Sessions are ordered in time.
+        assert!(sessions[0].end_true <= sessions[1].end_true);
+        assert!(sessions[2].end_true <= end);
+    }
+
+    #[test]
+    fn asymmetric_offset_sign_is_correct() {
+        // Hand-build a 2-node cluster where the worker clock is exactly
+        // +500 µs ahead; Eq. 2 must return a negative master-minus-worker
+        // offset.
+        let shape = MachineShape::new(2, 1, 1);
+        let profile = ClockProfile::bare(TimerKind::IntelTsc).with_horizon(10.0);
+        let mut clocks = ClockEnsemble::build(shape, ClockDomain::PerNode, &profile, 0);
+        *clocks.clock_of_core_mut(shape.core(1, 0, 0)) = SimClock::new(
+            TimerKind::IntelTsc,
+            Dur::from_us(500),
+            Arc::new(ConstantDrift::zero()),
+            NoiseSpec::noiseless(),
+            0,
+        );
+        let mut c = Cluster::new(
+            Placement::one_per_node(shape, 2),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            3,
+        );
+        let s = probe_worker(&mut c, Rank(0), Rank(1), 10, Time::ZERO, Dur::from_us(10));
+        let best = s
+            .rounds
+            .iter()
+            .min_by_key(|r| (r.t2 - r.t1).as_ps())
+            .unwrap();
+        let est = best.t1 + (best.t2 - best.t1) / 2 - best.t0;
+        assert!(
+            (est + Dur::from_us(500)).abs() < Dur::from_us(2),
+            "estimated {est:?}, expected about -500us"
+        );
+    }
+}

@@ -1,0 +1,1408 @@
+//! The simulated MPI runtime.
+//!
+//! [`Cluster`] bundles the machine model (placement, topology, latency,
+//! clocks); [`run`] executes a [`Program`] on it with a conservative
+//! rank-stepping scheduler:
+//!
+//! * each rank advances greedily along its script until it blocks on a
+//!   receive whose message has not been posted or on an incomplete
+//!   collective;
+//! * sends are eager — the sender deposits the message with a sampled
+//!   arrival time and moves on; per-channel arrival times are clamped
+//!   monotone so MPI's non-overtaking rule holds;
+//! * collectives complete via [`crate::collective::schedule_collective`]
+//!   once every member has entered.
+//!
+//! The tracer mirrors a PMPI interposition layer (paper §III): every MPI
+//! call is bracketed by `Enter`/`Exit` events, and each event costs one
+//! local clock read whose overhead advances the rank's true time. Recorded
+//! timestamps come from the rank's core-local [`simclock::SimClock`] — they
+//! are exactly as wrong as the paper says.
+
+use crate::collective::{schedule_collective, CollTuning, PairwiseLatency};
+use crate::program::{regions, MpiOp, Program, ReqId};
+use netsim::rng::streams;
+use netsim::{HierarchicalLatency, Placement, SeedTree, Topology};
+use rand::rngs::StdRng;
+use simclock::{gaussian, ClockEnsemble, Dur, Locality, Time};
+use std::collections::{HashMap, VecDeque};
+use tracefmt::{CollOp, CommId, EventKind, Rank, Trace};
+
+/// The simulated machine: placement, network, and clocks.
+pub struct Cluster {
+    /// Rank → core pinning.
+    pub placement: Placement,
+    /// Node interconnect.
+    pub topology: Topology,
+    /// Hierarchical latency model.
+    pub latency: HierarchicalLatency,
+    /// Per-core clocks.
+    pub clocks: ClockEnsemble,
+    /// Collective software costs.
+    pub coll_tuning: CollTuning,
+    net_rng: StdRng,
+    seeds: SeedTree,
+}
+
+impl Cluster {
+    /// Assemble a cluster.
+    pub fn new(
+        placement: Placement,
+        topology: Topology,
+        latency: HierarchicalLatency,
+        clocks: ClockEnsemble,
+        seed: u64,
+    ) -> Self {
+        let seeds = SeedTree::new(seed);
+        Cluster {
+            placement,
+            topology,
+            latency,
+            clocks,
+            coll_tuning: CollTuning::default(),
+            net_rng: seeds.rng(streams::NETWORK),
+            seeds,
+        }
+    }
+
+    /// Number of placed ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.placement.n_ranks()
+    }
+
+    /// Hierarchy relation of two ranks.
+    pub fn locality(&self, a: Rank, b: Rank) -> Locality {
+        self.placement.locality(a.idx(), b.idx())
+    }
+
+    /// Network hops between the nodes of two ranks.
+    pub fn hops(&self, a: Rank, b: Rank) -> u32 {
+        self.topology
+            .hops(self.placement.node_of(a.idx()), self.placement.node_of(b.idx()))
+    }
+
+    /// Sample one transfer delay between two ranks, departing at true time
+    /// `at` (selects the instantaneous background network load, if any).
+    /// Congestion is directional: the lower-rank → higher-rank direction of
+    /// each pair carries the full queueing delay, the reverse only its
+    /// `asymmetry` fraction.
+    pub fn sample_transfer(&mut self, from: Rank, to: Rank, bytes: u64, at: Time) -> Dur {
+        let loc = self.locality(from, to);
+        let hops = self.hops(from, to);
+        let mut d = self.latency.sample(&mut self.net_rng, loc, hops, bytes, at);
+        if loc == Locality::InterNode {
+            if let Some(w) = self.latency.load {
+                d += w.congestion_at(at, from < to);
+            }
+        }
+        d
+    }
+
+    /// The user-visible minimum latency between two ranks — send overhead
+    /// plus minimum transfer. This is the `l_min` of the clock condition.
+    pub fn l_min(&self, from: Rank, to: Rank, bytes: u64) -> Dur {
+        self.latency.send_overhead + self.latency.l_min(self.locality(from, to), bytes)
+    }
+
+    /// A closure implementing [`tracefmt::MinLatency`] for zero-byte
+    /// messages, usable by the violation checkers after the run.
+    pub fn l_min_model(&self) -> impl Fn(Rank, Rank) -> Dur + '_ {
+        move |a, b| self.l_min(a, b, 0)
+    }
+
+    /// The seed tree of this cluster (for derived RNG streams).
+    pub fn seeds(&self) -> SeedTree {
+        self.seeds
+    }
+}
+
+impl PairwiseLatency for Cluster {
+    fn sample_latency(&mut self, from: Rank, to: Rank, bytes: u64, at: Time) -> Dur {
+        self.sample_transfer(from, to, bytes, at)
+    }
+}
+
+/// Options controlling a run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Bracket each MPI call with `Enter`/`Exit` wrapper events, as PMPI
+    /// tracers do.
+    pub wrap_mpi_calls: bool,
+    /// Whether ranks start with tracing enabled.
+    pub tracing_initially: bool,
+    /// True time at which all ranks start.
+    pub start_time: Time,
+    /// Extra communicators (id, member ranks); `CommId::WORLD` covering all
+    /// ranks always exists.
+    pub extra_comms: Vec<(CommId, Vec<Rank>)>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            wrap_mpi_calls: true,
+            tracing_initially: true,
+            start_time: Time::ZERO,
+            extra_comms: Vec::new(),
+        }
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// True time when the last rank finished.
+    pub end_time: Time,
+    /// Point-to-point messages transferred.
+    pub messages: usize,
+    /// Collective instances completed.
+    pub collectives: usize,
+    /// Events recorded in the trace.
+    pub events: usize,
+}
+
+/// A finished run: the recorded trace plus statistics.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The event trace with local-clock timestamps.
+    pub trace: Trace,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// Errors the scheduler can detect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No rank can make progress but not all are finished.
+    Deadlock {
+        /// Ranks stuck waiting, with their program counters.
+        stuck: Vec<(u32, usize)>,
+    },
+    /// Program references a rank outside the placement.
+    BadRank(Rank),
+    /// Mismatched collective ops on one communicator instance.
+    CollectiveMismatch(String),
+    /// A wait referenced an unknown or already-completed request.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { stuck } => write!(f, "deadlock; stuck ranks: {stuck:?}"),
+            SimError::BadRank(r) => write!(f, "rank {r} not placed"),
+            SimError::CollectiveMismatch(s) => write!(f, "collective mismatch: {s}"),
+            SimError::BadRequest(s) => write!(f, "bad request: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    No,
+    Recv,
+    Coll(usize), // index into `collectives`
+    /// Waiting for one request to complete.
+    WaitReq(ReqId),
+    /// Waiting inside Waitall.
+    Waitall,
+    Done,
+}
+
+/// A posted non-blocking request.
+#[derive(Debug, Clone, Copy)]
+enum PendingReq {
+    /// Eager send: already complete.
+    SendDone,
+    /// Posted receive: channel plus its slot in the channel's posting order.
+    Recv {
+        key: ChannelKey,
+        slot: usize,
+        from: Rank,
+    },
+}
+
+struct RankState {
+    pc: usize,
+    now: Time,
+    blocked: Blocked,
+    /// Wrapper Enter already recorded for the current (possibly blocking)
+    /// call.
+    entered_call: bool,
+    tracing: bool,
+    /// Monotone clamp for this rank's timestamp stream.
+    last_ts: Time,
+    /// Slot claimed by an in-progress blocking receive.
+    active_slot: Option<usize>,
+    /// Outstanding non-blocking requests.
+    reqs: std::collections::HashMap<ReqId, PendingReq>,
+    /// Posting order of outstanding requests (for Waitall).
+    req_order: Vec<ReqId>,
+    /// Progress cursor into `req_order` during a Waitall.
+    waitall_idx: usize,
+}
+
+struct CollState {
+    op: CollOp,
+    comm: CommId,
+    root: Option<Rank>,
+    bytes: u64,
+    /// (rank, begin true-time) per member position; None until entered.
+    begun: Vec<Option<Time>>,
+    /// Completion times, computed when the last member enters.
+    ends: Option<Vec<Time>>,
+}
+
+type ChannelKey = (u32, u32, u32); // from, to, tag
+
+/// Assign delivered messages to receive-posting slots in order; returns the
+/// arrival time for `slot` once enough messages have been delivered.
+fn claim(
+    mailboxes: &mut HashMap<ChannelKey, VecDeque<Time>>,
+    claimed: &mut HashMap<ChannelKey, Vec<Time>>,
+    key: ChannelKey,
+    slot: usize,
+) -> Option<Time> {
+    let c = claimed.entry(key).or_default();
+    while c.len() <= slot {
+        match mailboxes.get_mut(&key).and_then(|q| q.pop_front()) {
+            Some(t) => c.push(t),
+            None => return None,
+        }
+    }
+    Some(c[slot])
+}
+
+/// Execute `program` on `cluster`.
+pub fn run(cluster: &mut Cluster, program: &Program, opts: &RunOptions) -> Result<RunOutput, SimError> {
+    let n = program.n_ranks();
+    if n > cluster.n_ranks() {
+        return Err(SimError::BadRank(Rank(cluster.n_ranks() as u32)));
+    }
+
+    // Communicator membership: WORLD plus extras.
+    let mut comm_members: HashMap<CommId, Vec<Rank>> = HashMap::new();
+    comm_members.insert(CommId::WORLD, (0..n as u32).map(Rank).collect());
+    for (id, members) in &opts.extra_comms {
+        comm_members.insert(*id, members.clone());
+    }
+
+    let mut states: Vec<RankState> = (0..n)
+        .map(|_| RankState {
+            pc: 0,
+            now: opts.start_time,
+            blocked: Blocked::No,
+            entered_call: false,
+            tracing: opts.tracing_initially,
+            last_ts: Time::MIN,
+            active_slot: None,
+            reqs: std::collections::HashMap::new(),
+            req_order: Vec::new(),
+            waitall_idx: 0,
+        })
+        .collect();
+    let mut trace = Trace::for_ranks(n);
+    let mut mailboxes: HashMap<ChannelKey, VecDeque<Time>> = HashMap::new();
+    let mut channel_clamp: HashMap<ChannelKey, Time> = HashMap::new();
+    // Receive matching: MPI pairs messages with receives in *posting*
+    // order per channel. `posted` counts posted receives; `claimed` maps
+    // posting slots to delivered arrival times.
+    let mut posted: HashMap<ChannelKey, usize> = HashMap::new();
+    let mut claimed: HashMap<ChannelKey, Vec<Time>> = HashMap::new();
+    let mut collectives: Vec<CollState> = Vec::new();
+    // (comm, rank) -> number of collective calls already issued.
+    let mut call_count: HashMap<(CommId, u32), usize> = HashMap::new();
+    // (comm, instance) -> index into `collectives`.
+    let mut coll_index: HashMap<(CommId, usize), usize> = HashMap::new();
+    let mut workload_rngs: Vec<StdRng> = (0..n as u64)
+        .map(|r| cluster.seeds().child(streams::WORKLOAD).rng(r))
+        .collect();
+    let mut messages = 0usize;
+
+    // Record one event on a rank's timeline: advances true time by the
+    // clock-read overhead and clamps the local timestamp stream monotone.
+    fn record(
+        cluster: &mut Cluster,
+        trace: &mut Trace,
+        st: &mut RankState,
+        rank: usize,
+        kind: EventKind,
+    ) {
+        if !st.tracing {
+            return;
+        }
+        let core = cluster.placement.core_of(rank);
+        st.now += cluster.clocks.read_overhead(core);
+        let ts = cluster.clocks.sample(core, st.now).max(st.last_ts);
+        st.last_ts = ts;
+        trace.procs[rank].push(ts, kind);
+    }
+
+    loop {
+        let mut progressed = false;
+        for rank in 0..n {
+            loop {
+                // Split-borrow dance: take the state out of the slice
+                // index to satisfy the borrow checker cheaply.
+                let st = &mut states[rank];
+                if st.blocked == Blocked::Done {
+                    break;
+                }
+                // A rank blocked in a collective resumes only once the
+                // instance completed.
+                if let Blocked::Coll(ci) = st.blocked {
+                    let Some(ends) = collectives[ci].ends.as_ref() else {
+                        break;
+                    };
+                    let members = &comm_members[&collectives[ci].comm];
+                    let pos = members
+                        .iter()
+                        .position(|&r| r.idx() == rank)
+                        .expect("member vanished");
+                    st.now = ends[pos];
+                    let (op, comm, root, bytes) = (
+                        collectives[ci].op,
+                        collectives[ci].comm,
+                        collectives[ci].root,
+                        collectives[ci].bytes,
+                    );
+                    record(
+                        cluster,
+                        &mut trace,
+                        &mut states[rank],
+                        rank,
+                        EventKind::CollEnd { op, comm, root, bytes },
+                    );
+                    if opts.wrap_mpi_calls {
+                        record(
+                            cluster,
+                            &mut trace,
+                            &mut states[rank],
+                            rank,
+                            EventKind::Exit { region: regions::coll_region(op) },
+                        );
+                    }
+                    let st = &mut states[rank];
+                    st.blocked = Blocked::No;
+                    st.entered_call = false;
+                    st.pc += 1;
+                    progressed = true;
+                    continue;
+                }
+                let st = &mut states[rank];
+                if matches!(
+                    st.blocked,
+                    Blocked::Recv | Blocked::WaitReq(_) | Blocked::Waitall
+                ) {
+                    // Re-check by falling through to the blocking op's
+                    // handler with entered_call already set.
+                    st.blocked = Blocked::No;
+                }
+                let Some(op) = program.ranks[rank].ops.get(states[rank].pc).cloned() else {
+                    states[rank].blocked = Blocked::Done;
+                    progressed = true;
+                    break;
+                };
+                match op {
+                    MpiOp::Compute { dur } => {
+                        states[rank].now += dur;
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::ComputeJitter { mean, cv } => {
+                        let factor = (1.0 + cv * gaussian(&mut workload_rngs[rank])).max(0.05);
+                        states[rank].now += mean.scale(factor);
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::Sleep { dur } => {
+                        states[rank].now += dur;
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::TraceOn => {
+                        states[rank].tracing = true;
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::TraceOff => {
+                        states[rank].tracing = false;
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::Enter { region } => {
+                        record(cluster, &mut trace, &mut states[rank], rank, EventKind::Enter { region });
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::Exit { region } => {
+                        record(cluster, &mut trace, &mut states[rank], rank, EventKind::Exit { region });
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::Send { to, tag, bytes } => {
+                        if to.idx() >= n {
+                            return Err(SimError::BadRank(to));
+                        }
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_SEND },
+                            );
+                        }
+                        record(
+                            cluster,
+                            &mut trace,
+                            &mut states[rank],
+                            rank,
+                            EventKind::Send { to, tag, bytes },
+                        );
+                        let from = Rank(rank as u32);
+                        let st_now = states[rank].now;
+                        let transfer = cluster.sample_transfer(from, to, bytes, st_now);
+                        let depart = st_now + cluster.latency.send_overhead;
+                        let mut arrival = depart + transfer;
+                        let key: ChannelKey = (rank as u32, to.0, tag.0);
+                        // MPI non-overtaking: a later message on the same
+                        // channel never arrives before an earlier one.
+                        if let Some(&prev) = channel_clamp.get(&key) {
+                            arrival = arrival.max(prev);
+                        }
+                        channel_clamp.insert(key, arrival);
+                        mailboxes.entry(key).or_default().push_back(arrival);
+                        messages += 1;
+                        states[rank].now = depart;
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Exit { region: regions::MPI_SEND },
+                            );
+                        }
+                        states[rank].pc += 1;
+                    }
+                    MpiOp::Recv { from, tag } => {
+                        if from.idx() >= n {
+                            return Err(SimError::BadRank(from));
+                        }
+                        if opts.wrap_mpi_calls && !states[rank].entered_call {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_RECV },
+                            );
+                        }
+                        states[rank].entered_call = true;
+                        let key: ChannelKey = (from.0, rank as u32, tag.0);
+                        // A blocking receive is post + wait: claim the next
+                        // posting slot once, then wait for its delivery.
+                        let slot = match states[rank].active_slot {
+                            Some(s) => s,
+                            None => {
+                                let c = posted.entry(key).or_insert(0);
+                                let slot = *c;
+                                *c += 1;
+                                states[rank].active_slot = Some(slot);
+                                slot
+                            }
+                        };
+                        match claim(&mut mailboxes, &mut claimed, key, slot) {
+                            None => {
+                                states[rank].blocked = Blocked::Recv;
+                                break;
+                            }
+                            Some(arrival) => {
+                                let st = &mut states[rank];
+                                st.now = st.now.max(arrival) + cluster.latency.send_overhead;
+                                // The Recv DSL op carries no byte count;
+                                // matching recovers sizes from the send side.
+                                record(
+                                    cluster,
+                                    &mut trace,
+                                    &mut states[rank],
+                                    rank,
+                                    EventKind::Recv { from, tag, bytes: 0 },
+                                );
+                                if opts.wrap_mpi_calls {
+                                    record(
+                                        cluster,
+                                        &mut trace,
+                                        &mut states[rank],
+                                        rank,
+                                        EventKind::Exit { region: regions::MPI_RECV },
+                                    );
+                                }
+                                let st = &mut states[rank];
+                                st.entered_call = false;
+                                st.active_slot = None;
+                                st.pc += 1;
+                            }
+                        }
+                    }
+                    MpiOp::Isend { to, tag, bytes, req } => {
+                        if to.idx() >= n {
+                            return Err(SimError::BadRank(to));
+                        }
+                        if states[rank].reqs.contains_key(&req) {
+                            return Err(SimError::BadRequest(format!(
+                                "rank {rank}: request {req:?} already in use"
+                            )));
+                        }
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_ISEND },
+                            );
+                        }
+                        record(
+                            cluster,
+                            &mut trace,
+                            &mut states[rank],
+                            rank,
+                            EventKind::Send { to, tag, bytes },
+                        );
+                        let from = Rank(rank as u32);
+                        let st_now = states[rank].now;
+                        let transfer = cluster.sample_transfer(from, to, bytes, st_now);
+                        let depart = st_now + cluster.latency.send_overhead;
+                        let mut arrival = depart + transfer;
+                        let key: ChannelKey = (rank as u32, to.0, tag.0);
+                        if let Some(&prev) = channel_clamp.get(&key) {
+                            arrival = arrival.max(prev);
+                        }
+                        channel_clamp.insert(key, arrival);
+                        mailboxes.entry(key).or_default().push_back(arrival);
+                        messages += 1;
+                        states[rank].now = depart;
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Exit { region: regions::MPI_ISEND },
+                            );
+                        }
+                        let st = &mut states[rank];
+                        st.reqs.insert(req, PendingReq::SendDone);
+                        st.req_order.push(req);
+                        st.pc += 1;
+                    }
+                    MpiOp::Irecv { from, tag, req } => {
+                        if from.idx() >= n {
+                            return Err(SimError::BadRank(from));
+                        }
+                        if states[rank].reqs.contains_key(&req) {
+                            return Err(SimError::BadRequest(format!(
+                                "rank {rank}: request {req:?} already in use"
+                            )));
+                        }
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_IRECV },
+                            );
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Exit { region: regions::MPI_IRECV },
+                            );
+                        }
+                        let key: ChannelKey = (from.0, rank as u32, tag.0);
+                        let c = posted.entry(key).or_insert(0);
+                        let slot = *c;
+                        *c += 1;
+                        let st = &mut states[rank];
+                        st.reqs.insert(req, PendingReq::Recv { key, slot, from });
+                        st.req_order.push(req);
+                        st.pc += 1;
+                    }
+                    MpiOp::Wait { req } => {
+                        if opts.wrap_mpi_calls && !states[rank].entered_call {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_WAIT },
+                            );
+                        }
+                        states[rank].entered_call = true;
+                        let Some(&pending) = states[rank].reqs.get(&req) else {
+                            return Err(SimError::BadRequest(format!(
+                                "rank {rank}: wait on unknown request {req:?}"
+                            )));
+                        };
+                        match pending {
+                            PendingReq::SendDone => {}
+                            PendingReq::Recv { key, slot, from } => {
+                                match claim(&mut mailboxes, &mut claimed, key, slot) {
+                                    None => {
+                                        states[rank].blocked = Blocked::WaitReq(req);
+                                        break;
+                                    }
+                                    Some(arrival) => {
+                                        let st = &mut states[rank];
+                                        st.now = st.now.max(arrival)
+                                            + cluster.latency.send_overhead;
+                                        record(
+                                            cluster,
+                                            &mut trace,
+                                            &mut states[rank],
+                                            rank,
+                                            EventKind::Recv {
+                                                from,
+                                                tag: tracefmt::Tag(key.2),
+                                                bytes: 0,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Exit { region: regions::MPI_WAIT },
+                            );
+                        }
+                        let st = &mut states[rank];
+                        st.reqs.remove(&req);
+                        st.entered_call = false;
+                        st.pc += 1;
+                    }
+                    MpiOp::Waitall => {
+                        if opts.wrap_mpi_calls && !states[rank].entered_call {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::MPI_WAIT },
+                            );
+                        }
+                        states[rank].entered_call = true;
+                        let order = states[rank].req_order.clone();
+                        let mut stuck = false;
+                        while states[rank].waitall_idx < order.len() {
+                            let req = order[states[rank].waitall_idx];
+                            let Some(&pending) = states[rank].reqs.get(&req) else {
+                                // Completed earlier by an explicit Wait.
+                                states[rank].waitall_idx += 1;
+                                continue;
+                            };
+                            match pending {
+                                PendingReq::SendDone => {}
+                                PendingReq::Recv { key, slot, from } => {
+                                    match claim(&mut mailboxes, &mut claimed, key, slot) {
+                                        None => {
+                                            states[rank].blocked = Blocked::Waitall;
+                                            stuck = true;
+                                            break;
+                                        }
+                                        Some(arrival) => {
+                                            let st = &mut states[rank];
+                                            st.now = st.now.max(arrival)
+                                                + cluster.latency.send_overhead;
+                                            record(
+                                                cluster,
+                                                &mut trace,
+                                                &mut states[rank],
+                                                rank,
+                                                EventKind::Recv {
+                                                    from,
+                                                    tag: tracefmt::Tag(key.2),
+                                                    bytes: 0,
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            let st = &mut states[rank];
+                            st.reqs.remove(&req);
+                            st.waitall_idx += 1;
+                        }
+                        if stuck {
+                            break;
+                        }
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Exit { region: regions::MPI_WAIT },
+                            );
+                        }
+                        let st = &mut states[rank];
+                        st.req_order.clear();
+                        st.waitall_idx = 0;
+                        st.entered_call = false;
+                        st.pc += 1;
+                    }
+                    MpiOp::Coll { op, comm, root, bytes } => {
+                        let members = comm_members
+                            .get(&comm)
+                            .ok_or_else(|| SimError::CollectiveMismatch(format!("unknown {comm}")))?
+                            .clone();
+                        let pos = members
+                            .iter()
+                            .position(|&r| r.idx() == rank)
+                            .ok_or_else(|| {
+                                SimError::CollectiveMismatch(format!(
+                                    "rank {rank} not in {comm}"
+                                ))
+                            })?;
+                        if opts.wrap_mpi_calls {
+                            record(
+                                cluster,
+                                &mut trace,
+                                &mut states[rank],
+                                rank,
+                                EventKind::Enter { region: regions::coll_region(op) },
+                            );
+                        }
+                        record(
+                            cluster,
+                            &mut trace,
+                            &mut states[rank],
+                            rank,
+                            EventKind::CollBegin { op, comm, root, bytes },
+                        );
+                        let inst = {
+                            let c = call_count.entry((comm, rank as u32)).or_insert(0);
+                            let i = *c;
+                            *c += 1;
+                            i
+                        };
+                        let ci = *coll_index.entry((comm, inst)).or_insert_with(|| {
+                            collectives.push(CollState {
+                                op,
+                                comm,
+                                root,
+                                bytes,
+                                begun: vec![None; members.len()],
+                                ends: None,
+                            });
+                            collectives.len() - 1
+                        });
+                        let cs = &mut collectives[ci];
+                        if cs.op != op || cs.root != root {
+                            return Err(SimError::CollectiveMismatch(format!(
+                                "instance {inst} on {comm}: {:?} vs {:?}",
+                                cs.op, op
+                            )));
+                        }
+                        cs.begun[pos] = Some(states[rank].now);
+                        if cs.begun.iter().all(|b| b.is_some()) {
+                            let begins: Vec<(Rank, Time)> = members
+                                .iter()
+                                .zip(cs.begun.iter())
+                                .map(|(&r, b)| (r, b.unwrap()))
+                                .collect();
+                            let (op2, root2, bytes2) = (cs.op, cs.root, cs.bytes);
+                            let tuning = cluster.coll_tuning;
+                            let ends =
+                                schedule_collective(op2, &begins, root2, cluster, &tuning, bytes2);
+                            collectives[ci].ends = Some(ends);
+                        }
+                        states[rank].blocked = Blocked::Coll(ci);
+                        // Stay at this pc; CollEnd is emitted on resume.
+                        progressed = true;
+                        break;
+                    }
+                }
+                progressed = true;
+            }
+        }
+        let all_done = states.iter().all(|s| s.blocked == Blocked::Done);
+        if all_done {
+            break;
+        }
+        if !progressed {
+            let stuck = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.blocked != Blocked::Done)
+                .map(|(r, s)| (r as u32, s.pc))
+                .collect();
+            return Err(SimError::Deadlock { stuck });
+        }
+    }
+
+    let end_time = states.iter().map(|s| s.now).max().unwrap_or(opts.start_time);
+    let events = trace.n_events();
+    Ok(RunOutput {
+        trace,
+        stats: RunStats {
+            end_time,
+            messages,
+            collectives: collectives.len(),
+            events,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Program, RankProgram};
+    use simclock::{ClockDomain, ClockProfile, MachineShape, TimerKind};
+    use tracefmt::{match_collectives, match_messages, Tag, UniformLatency};
+
+    fn ideal_cluster(nodes: usize, ranks: usize) -> Cluster {
+        let shape = MachineShape::new(nodes, 2, 4);
+        let profile = ClockProfile::bare(TimerKind::IntelTsc);
+        let clocks = ClockEnsemble::build(shape, ClockDomain::Global, &profile, 1);
+        Cluster::new(
+            netsim::Placement::round_robin(shape, ranks),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            7,
+        )
+    }
+
+    #[test]
+    fn ping_pong_produces_consistent_trace() {
+        let mut cluster = ideal_cluster(2, 2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .send(Rank(1), Tag(0), 8)
+                    .recv(Rank(1), Tag(1))
+            } else {
+                RankProgram::new()
+                    .recv(Rank(0), Tag(0))
+                    .send(Rank(0), Tag(1), 8)
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        assert_eq!(out.stats.messages, 2);
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 2);
+        // With a global ideal clock there can be no violations.
+        let report = tracefmt::check_p2p(&out.trace, &m, &UniformLatency(Dur::from_us(4)));
+        assert!(report.violations.is_empty());
+        // Wrapper events present: Enter(MPI_Send) Send Exit + Enter(MPI_Recv) Recv Exit.
+        assert_eq!(out.trace.procs[0].len(), 6);
+    }
+
+    #[test]
+    fn recv_before_send_blocks_and_completes() {
+        // Rank 1 posts its recv long before rank 0 sends.
+        let mut cluster = ideal_cluster(2, 2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .compute(Dur::from_ms(5))
+                    .send(Rank(1), Tag(0), 8)
+            } else {
+                RankProgram::new().recv(Rank(0), Tag(0))
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        // Receive completes after the send plus transfer.
+        let send_t = out.trace.time(m.messages[0].send);
+        let recv_t = out.trace.time(m.messages[0].recv);
+        assert!(recv_t - send_t >= Dur::from_us(4));
+        assert!(recv_t >= Time::from_ms(5));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut cluster = ideal_cluster(2, 2);
+        // Both ranks receive first: classic deadlock.
+        let prog = Program::build(2, |r| {
+            RankProgram::new()
+                .recv(Rank(1 - r.0), Tag(0))
+                .send(Rank(1 - r.0), Tag(0), 8)
+        });
+        let err = run(&mut cluster, &prog, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn collective_trace_is_well_formed() {
+        let mut cluster = ideal_cluster(4, 4);
+        let prog = Program::build(4, |_| {
+            RankProgram::new()
+                .compute(Dur::from_us(50))
+                .barrier(CommId::WORLD)
+                .allreduce(CommId::WORLD, 8)
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        assert_eq!(out.stats.collectives, 2);
+        let insts = match_collectives(&out.trace).unwrap();
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].op, CollOp::Barrier);
+        assert_eq!(insts[1].op, CollOp::Allreduce);
+        // With ideal clocks, no collective violations either.
+        let r = tracefmt::check_collectives(
+            &out.trace,
+            &insts,
+            &UniformLatency(Dur::from_ns(100)),
+        );
+        assert_eq!(r.logical_violated, 0);
+    }
+
+    #[test]
+    fn barrier_synchronises_stragglers() {
+        let mut cluster = ideal_cluster(4, 4);
+        let prog = Program::build(4, |r| {
+            RankProgram::new()
+                .compute(Dur::from_ms(r.0 as i64 * 10))
+                .barrier(CommId::WORLD)
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let insts = match_collectives(&out.trace).unwrap();
+        // All ends after the last begin (rank 3 at 30 ms).
+        for m in &insts[0].members {
+            assert!(out.trace.time(m.end) >= Time::from_ms(30));
+        }
+    }
+
+    #[test]
+    fn non_overtaking_holds_under_jitter() {
+        let mut cluster = ideal_cluster(2, 2);
+        let n_msgs = 200;
+        let prog = Program::build(2, |r| {
+            let mut p = RankProgram::new();
+            if r.0 == 0 {
+                for _ in 0..n_msgs {
+                    p = p.send(Rank(1), Tag(0), 8);
+                }
+            } else {
+                for _ in 0..n_msgs {
+                    p = p.recv(Rank(0), Tag(0));
+                }
+            }
+            p
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        // Receive timestamps must be non-decreasing in send order.
+        let mut prev = Time::MIN;
+        for msg in &m.messages {
+            let t = out.trace.time(msg.recv);
+            assert!(t >= prev, "message overtaking detected");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn trace_off_suppresses_events() {
+        let mut cluster = ideal_cluster(2, 2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .trace_off()
+                    .send(Rank(1), Tag(0), 8)
+                    .trace_on()
+                    .send(Rank(1), Tag(1), 8)
+            } else {
+                RankProgram::new()
+                    .recv(Rank(0), Tag(0))
+                    .recv(Rank(0), Tag(1))
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        // Rank 0 recorded only the second send (3 events with wrappers).
+        assert_eq!(out.trace.procs[0].len(), 3);
+        // Rank 1 recorded both receives.
+        assert_eq!(out.trace.procs[1].len(), 6);
+    }
+
+    #[test]
+    fn subcommunicator_collectives() {
+        let mut cluster = ideal_cluster(4, 4);
+        let sub = CommId(1);
+        let prog = Program::build(4, |r| {
+            if r.0 < 2 {
+                RankProgram::new().allreduce(sub, 8)
+            } else {
+                RankProgram::new().compute(Dur::from_us(1))
+            }
+        });
+        let opts = RunOptions {
+            extra_comms: vec![(sub, vec![Rank(0), Rank(1)])],
+            ..RunOptions::default()
+        };
+        let out = run(&mut cluster, &prog, &opts).unwrap();
+        let insts = match_collectives(&out.trace).unwrap();
+        assert_eq!(insts.len(), 1);
+        assert_eq!(insts[0].members.len(), 2);
+    }
+
+    #[test]
+    fn local_timestamps_are_monotone_even_with_drifting_clocks() {
+        let shape = MachineShape::new(2, 2, 4);
+        let profile = ClockProfile::bare(TimerKind::Gettimeofday)
+            .with_node_spread(1e-3, 5e-6)
+            .with_noise(simclock::NoiseSpec {
+                resolution: Dur::from_us(1),
+                base_sigma: Dur::from_ns(200),
+                spike_prob: 1e-2,
+                spike_mean: Dur::from_us(3),
+                read_overhead: Dur::from_ns(60),
+            })
+            .with_horizon(10.0);
+        let clocks = ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, 3);
+        let mut cluster = Cluster::new(
+            netsim::Placement::packed(shape, 8),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            9,
+        );
+        let prog = Program::build(8, |r| {
+            let next = Rank((r.0 + 1) % 8);
+            let prev = Rank((r.0 + 7) % 8);
+            let mut p = RankProgram::new();
+            for i in 0..50 {
+                p = p
+                    .compute(Dur::from_us(20))
+                    .send(next, Tag(i), 64)
+                    .recv(prev, Tag(i));
+            }
+            p
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        assert!(out.trace.is_locally_monotone());
+        assert_eq!(out.stats.messages, 400);
+    }
+}
+
+#[cfg(test)]
+mod nonblocking_tests {
+    use super::*;
+    use crate::program::{Program, RankProgram, ReqId};
+    use simclock::{ClockDomain, ClockProfile, MachineShape, TimerKind};
+    use tracefmt::{match_messages, Tag};
+
+    fn ideal_cluster(ranks: usize) -> Cluster {
+        let shape = MachineShape::new(ranks, 1, 2);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            0,
+        );
+        Cluster::new(
+            netsim::Placement::one_per_node(shape, ranks),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            5,
+        )
+    }
+
+    #[test]
+    fn isend_wait_matches_blocking_recv() {
+        let mut cluster = ideal_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .isend(Rank(1), Tag(0), 64, ReqId(1))
+                    .compute(simclock::Dur::from_us(100))
+                    .wait(ReqId(1))
+            } else {
+                RankProgram::new().recv(Rank(0), Tag(0))
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 1);
+    }
+
+    #[test]
+    fn irecv_overlaps_compute() {
+        // Receiver posts early, computes, waits: completion time must not
+        // include the transfer (overlap), unlike post-compute-blocking-recv.
+        let mut cluster = ideal_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new().send(Rank(1), Tag(0), 0)
+            } else {
+                RankProgram::new()
+                    .irecv(Rank(0), Tag(0), ReqId(7))
+                    .compute(simclock::Dur::from_ms(1))
+                    .wait(ReqId(7))
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        // Recv event exists and run ends just after the 1 ms compute.
+        let m = match_messages(&out.trace);
+        assert_eq!(m.messages.len(), 1);
+        assert!(out.stats.end_time < Time::from_us(1100));
+    }
+
+    #[test]
+    fn posting_order_matching_with_mixed_waits() {
+        // Two messages on one channel; requests waited out of order must
+        // still match in posting order (MPI non-overtaking).
+        let mut cluster = ideal_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .send(Rank(1), Tag(3), 1)
+                    .send(Rank(1), Tag(3), 2)
+            } else {
+                RankProgram::new()
+                    .irecv(Rank(0), Tag(3), ReqId(1))
+                    .irecv(Rank(0), Tag(3), ReqId(2))
+                    .wait(ReqId(2))
+                    .wait(ReqId(1))
+            }
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 2);
+        // Matching follows program order of recvs: the first *recorded*
+        // recv belongs to the wait(ReqId(2)) — slot 1 — so its payload is
+        // the second message. The checker sees sizes from the send side.
+        assert_eq!(m.messages[0].bytes, 1);
+        assert_eq!(m.messages[1].bytes, 2);
+    }
+
+    #[test]
+    fn waitall_completes_everything() {
+        let mut cluster = ideal_cluster(3);
+        let prog = Program::build(3, |r| {
+            let next = Rank((r.0 + 1) % 3);
+            let prev = Rank((r.0 + 2) % 3);
+            let mut p = RankProgram::new();
+            for i in 0..5u32 {
+                p = p
+                    .irecv(prev, Tag(i), ReqId(100 + i))
+                    .isend(next, Tag(i), 32, ReqId(i));
+            }
+            p.waitall()
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 15);
+    }
+
+    #[test]
+    fn duplicate_request_id_is_an_error() {
+        let mut cluster = ideal_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new()
+                    .isend(Rank(1), Tag(0), 0, ReqId(1))
+                    .isend(Rank(1), Tag(1), 0, ReqId(1))
+                    .waitall()
+            } else {
+                RankProgram::new().recv(Rank(0), Tag(0)).recv(Rank(0), Tag(1))
+            }
+        });
+        let err = run(&mut cluster, &prog, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadRequest(_)));
+    }
+
+    #[test]
+    fn wait_on_unknown_request_is_an_error() {
+        let mut cluster = ideal_cluster(1);
+        let prog = Program::build(1, |_| RankProgram::new().wait(ReqId(9)));
+        let err = run(&mut cluster, &prog, &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadRequest(_)));
+    }
+
+    #[test]
+    fn deadlock_free_exchange_with_nonblocking() {
+        // Symmetric simultaneous exchange that would deadlock with
+        // blocking receives first: irecv + isend + waitall sails through.
+        let mut cluster = ideal_cluster(2);
+        let prog = Program::build(2, |r| {
+            let peer = Rank(1 - r.0);
+            RankProgram::new()
+                .irecv(peer, Tag(0), ReqId(0))
+                .isend(peer, Tag(0), 128, ReqId(1))
+                .waitall()
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod sendrecv_tests {
+    use super::*;
+    use crate::program::{Program, RankProgram};
+    use simclock::{ClockDomain, ClockProfile, MachineShape, TimerKind};
+    use tracefmt::{match_messages, Tag};
+
+    #[test]
+    fn symmetric_sendrecv_ring_does_not_deadlock() {
+        let shape = MachineShape::new(4, 1, 1);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            0,
+        );
+        let mut cluster = Cluster::new(
+            netsim::Placement::one_per_node(shape, 4),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            1,
+        );
+        let prog = Program::build(4, |r| {
+            let next = Rank((r.0 + 1) % 4);
+            let prev = Rank((r.0 + 3) % 4);
+            let mut p = RankProgram::new();
+            for i in 0..10u32 {
+                p = p.sendrecv(next, Tag(i), 128, prev, Tag(i));
+            }
+            p
+        });
+        let out = run(&mut cluster, &prog, &RunOptions::default()).unwrap();
+        let m = match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 40);
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+    use crate::program::{Program, RankProgram};
+    use simclock::{ClockDomain, ClockProfile, MachineShape, TimerKind};
+    use tracefmt::Tag;
+
+    fn tiny_cluster(ranks: usize) -> Cluster {
+        let shape = MachineShape::new(ranks, 1, 1);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            0,
+        );
+        Cluster::new(
+            netsim::Placement::one_per_node(shape, ranks),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            2,
+        )
+    }
+
+    #[test]
+    fn send_to_unknown_rank_is_an_error() {
+        let mut c = tiny_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new().send(Rank(7), Tag(0), 8)
+            } else {
+                RankProgram::new()
+            }
+        });
+        assert!(matches!(
+            run(&mut c, &prog, &RunOptions::default()),
+            Err(SimError::BadRank(Rank(7)))
+        ));
+    }
+
+    #[test]
+    fn program_larger_than_cluster_is_an_error() {
+        let mut c = tiny_cluster(2);
+        let prog = Program::new(5);
+        assert!(matches!(
+            run(&mut c, &prog, &RunOptions::default()),
+            Err(SimError::BadRank(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_collective_ops_are_an_error() {
+        let mut c = tiny_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new().barrier(CommId::WORLD)
+            } else {
+                RankProgram::new().allreduce(CommId::WORLD, 8)
+            }
+        });
+        assert!(matches!(
+            run(&mut c, &prog, &RunOptions::default()),
+            Err(SimError::CollectiveMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_communicator_is_an_error() {
+        let mut c = tiny_cluster(2);
+        let prog = Program::build(2, |_| RankProgram::new().barrier(CommId(9)));
+        assert!(matches!(
+            run(&mut c, &prog, &RunOptions::default()),
+            Err(SimError::CollectiveMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unwrapped_calls_shrink_the_trace() {
+        let mut c = tiny_cluster(2);
+        let prog = Program::build(2, |r| {
+            if r.0 == 0 {
+                RankProgram::new().send(Rank(1), Tag(0), 8)
+            } else {
+                RankProgram::new().recv(Rank(0), Tag(0))
+            }
+        });
+        let opts = RunOptions {
+            wrap_mpi_calls: false,
+            ..RunOptions::default()
+        };
+        let out = run(&mut c, &prog, &opts).unwrap();
+        // Just Send + Recv, no Enter/Exit wrappers.
+        assert_eq!(out.trace.n_events(), 2);
+    }
+
+    #[test]
+    fn empty_programs_finish_immediately() {
+        let mut c = tiny_cluster(3);
+        let out = run(&mut c, &Program::new(3), &RunOptions::default()).unwrap();
+        assert_eq!(out.stats.events, 0);
+        assert_eq!(out.stats.messages, 0);
+        assert_eq!(out.stats.end_time, Time::ZERO);
+    }
+
+    #[test]
+    fn start_time_offsets_the_whole_run() {
+        let mut c = tiny_cluster(1);
+        let prog = Program::build(1, |_| {
+            RankProgram::new().compute(simclock::Dur::from_us(50))
+        });
+        let opts = RunOptions {
+            start_time: Time::from_secs(5),
+            ..RunOptions::default()
+        };
+        let out = run(&mut c, &prog, &opts).unwrap();
+        assert_eq!(out.stats.end_time, Time::from_secs(5) + simclock::Dur::from_us(50));
+    }
+}

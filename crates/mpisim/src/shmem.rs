@@ -1,0 +1,365 @@
+//! OpenMP / POMP shared-memory simulation.
+//!
+//! Models the paper's Itanium experiment (Figs. 3 and 8): an OpenMP
+//! parallel-for loop executed by a team of threads spread — unpinned —
+//! across the chips of one SMP node, each chip with its own unsynchronised
+//! cycle counter. Events follow the POMP model: the master records
+//! `Fork`/`Join`, every thread records its region work bracketed by the
+//! implicit barrier's `BarrierEnter`/`BarrierExit`.
+//!
+//! Whether a timestamp inversion appears is a race between two quantities:
+//! the **inter-chip clock offsets** (≈1 µs on this system) and the **gaps
+//! that OpenMP synchronisation latencies put between dependent events**.
+//! All three gap sources — team setup at the fork, barrier gather, team
+//! teardown before the join — scale with the number of threads, which is
+//! the paper's explanation for why 4-thread runs show violations in 83 % of
+//! regions while 16-thread runs show none.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simclock::{gaussian, ClockEnsemble, CoreId, Dur, MachineShape, Time};
+use tracefmt::{EventKind, RegionId, Trace};
+
+/// How the (unpinned) threads land on cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadPlacement {
+    /// Thread `i` on chip `i mod n_chips` (spread; worst case for clock
+    /// consistency at small team sizes).
+    RoundRobinChips,
+    /// Threads fill chip 0 first (best case: shared clocks).
+    Packed,
+    /// Random assignment, as an unpinned scheduler would produce.
+    Random,
+}
+
+/// Latency knobs of the simulated OpenMP runtime, all scaling with the team
+/// size where the real costs do.
+#[derive(Debug, Clone, Copy)]
+pub struct OmpTimings {
+    /// Fixed fork cost before any worker starts.
+    pub fork_base: Dur,
+    /// Team-setup cost per thread, paid before any worker starts.
+    pub fork_per_thread: Dur,
+    /// Additional stagger between consecutive worker start signals.
+    pub dispatch_stagger: Dur,
+    /// Mean loop-body duration per thread.
+    pub body_mean: Dur,
+    /// Coefficient of variation of the body duration.
+    pub body_cv: f64,
+    /// Barrier arrival-processing cost per thread (gather phase), paid
+    /// between the last arrival and the first release.
+    pub barrier_gather_per_thread: Dur,
+    /// Stagger between consecutive thread releases.
+    pub release_stagger: Dur,
+    /// Fixed join cost after the last thread left the barrier.
+    pub join_base: Dur,
+    /// Team-teardown cost per thread before the join completes.
+    pub join_per_thread: Dur,
+    /// Serial master work between consecutive parallel regions.
+    pub serial_gap: Dur,
+    /// Coefficient of variation applied to every synchronisation cost per
+    /// region (OS jitter on the runtime's internal operations).
+    pub sync_cv: f64,
+}
+
+impl Default for OmpTimings {
+    fn default() -> Self {
+        OmpTimings {
+            fork_base: Dur::from_ns(500),
+            fork_per_thread: Dur::from_ns(350),
+            dispatch_stagger: Dur::from_ns(50),
+            body_mean: Dur::from_us(100),
+            body_cv: 0.05,
+            barrier_gather_per_thread: Dur::from_ns(450),
+            release_stagger: Dur::from_ns(50),
+            join_base: Dur::from_ns(100),
+            join_per_thread: Dur::from_ns(330),
+            serial_gap: Dur::from_us(20),
+            sync_cv: 0.25,
+        }
+    }
+}
+
+/// Configuration of one OpenMP benchmark run.
+#[derive(Debug, Clone)]
+pub struct OmpConfig {
+    /// Team size.
+    pub threads: usize,
+    /// Number of parallel-for region instances to execute.
+    pub regions: usize,
+    /// Runtime latencies.
+    pub timings: OmpTimings,
+    /// Thread-to-core assignment policy.
+    pub placement: ThreadPlacement,
+}
+
+/// Run the parallel-for loop benchmark on one SMP node and return the POMP
+/// event trace (one timeline per thread, timestamps from each thread's
+/// chip-local clock).
+///
+/// `shape` must describe a single node; `clocks` supplies the per-chip (or
+/// per-core) clocks.
+pub fn run_parallel_for(
+    shape: MachineShape,
+    clocks: &mut ClockEnsemble,
+    cfg: &OmpConfig,
+    seed: u64,
+) -> Trace {
+    assert!(cfg.threads >= 1, "need at least the master thread");
+    assert!(
+        cfg.threads <= shape.n_cores(),
+        "more threads than cores on the node"
+    );
+    let cores = assign_cores(shape, cfg.threads, cfg.placement, seed);
+    // Distinct stream from the placement RNG ("OpenMP\0\1" tag).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4f70_656e_4d50_0001);
+    let mut trace = Trace::for_threads(cfg.threads);
+    let mut last_ts = vec![Time::MIN; cfg.threads];
+    let t = &cfg.timings;
+    let region = RegionId(0);
+
+    // Record helper with the per-thread monotone clamp a tracer applies.
+    let record = |trace: &mut Trace,
+                      clocks: &mut ClockEnsemble,
+                      last_ts: &mut Vec<Time>,
+                      thread: usize,
+                      true_time: Time,
+                      kind: EventKind| {
+        let ts = clocks.sample(cores[thread], true_time).max(last_ts[thread]);
+        last_ts[thread] = ts;
+        trace.procs[thread].push(ts, kind);
+    };
+
+    let mut now = Time::from_us(10); // arbitrary start
+    for _ in 0..cfg.regions {
+        // --- fork ------------------------------------------------------
+        record(&mut trace, clocks, &mut last_ts, 0, now, EventKind::Fork { region });
+        let jit = |rng: &mut StdRng| (1.0 + t.sync_cv * gaussian(rng)).max(0.2);
+        let setup = (t.fork_base + t.fork_per_thread * cfg.threads as i64).scale(jit(&mut rng));
+        let setup_done = now + setup;
+        // Thread i starts after team setup plus its dispatch stagger.
+        let mut body_end = vec![Time::ZERO; cfg.threads];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..cfg.threads {
+            let start = setup_done + t.dispatch_stagger * i as i64;
+            record(
+                &mut trace,
+                clocks,
+                &mut last_ts,
+                i,
+                start,
+                EventKind::Enter { region },
+            );
+            let body = t.body_mean.scale((1.0 + t.body_cv * gaussian(&mut rng)).max(0.05));
+            body_end[i] = start + body;
+            record(
+                &mut trace,
+                clocks,
+                &mut last_ts,
+                i,
+                body_end[i],
+                EventKind::Exit { region },
+            );
+        }
+        // --- implicit barrier -------------------------------------------
+        for (i, &be) in body_end.iter().enumerate() {
+            record(
+                &mut trace,
+                clocks,
+                &mut last_ts,
+                i,
+                be,
+                EventKind::BarrierEnter { region },
+            );
+        }
+        let all_in = body_end.iter().copied().max().expect("non-empty team");
+        let gather =
+            (t.barrier_gather_per_thread * cfg.threads as i64).scale(jit(&mut rng));
+        let release_start = all_in + gather;
+        let mut exits = vec![Time::ZERO; cfg.threads];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..cfg.threads {
+            exits[i] = release_start + t.release_stagger * i as i64;
+            record(
+                &mut trace,
+                clocks,
+                &mut last_ts,
+                i,
+                exits[i],
+                EventKind::BarrierExit { region },
+            );
+        }
+        // --- join --------------------------------------------------------
+        let last_exit = exits.iter().copied().max().expect("non-empty team");
+        let join_at = last_exit
+            + (t.join_base + t.join_per_thread * cfg.threads as i64).scale(jit(&mut rng));
+        record(
+            &mut trace,
+            clocks,
+            &mut last_ts,
+            0,
+            join_at,
+            EventKind::Join { region },
+        );
+        now = join_at + t.serial_gap;
+    }
+    trace
+}
+
+/// Assign team threads to cores of the node.
+fn assign_cores(
+    shape: MachineShape,
+    threads: usize,
+    placement: ThreadPlacement,
+    seed: u64,
+) -> Vec<CoreId> {
+    match placement {
+        ThreadPlacement::Packed => (0..threads).map(CoreId).collect(),
+        ThreadPlacement::RoundRobinChips => {
+            let chips = shape.chips_per_node;
+            (0..threads)
+                .map(|i| shape.core(0, i % chips, i / chips))
+                .collect()
+        }
+        ThreadPlacement::Random => {
+            let mut all: Vec<CoreId> = shape.cores().collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            all.shuffle(&mut rng);
+            all.truncate(threads);
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::{ClockDomain, ClockProfile, Platform, TimerKind};
+    use tracefmt::{check_pomp, match_parallel_regions};
+
+    fn itanium_clocks(seed: u64) -> (MachineShape, ClockEnsemble) {
+        let shape = Platform::ItaniumSmp.shape(1);
+        let profile = Platform::ItaniumSmp.clock_profile(TimerKind::CycleCounter, 60.0);
+        let clocks = ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, seed);
+        (shape, clocks)
+    }
+
+    fn ideal_clocks(shape: MachineShape) -> ClockEnsemble {
+        ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::CycleCounter),
+            0,
+        )
+    }
+
+    #[test]
+    fn trace_structure_is_well_formed() {
+        let (shape, _) = itanium_clocks(1);
+        let mut clocks = ideal_clocks(shape);
+        let cfg = OmpConfig {
+            threads: 4,
+            regions: 10,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::RoundRobinChips,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 7);
+        assert_eq!(trace.n_procs(), 4);
+        let regions = match_parallel_regions(&trace).unwrap();
+        assert_eq!(regions.len(), 10);
+        for r in &regions {
+            assert_eq!(r.threads.len(), 4);
+        }
+    }
+
+    #[test]
+    fn ideal_clocks_show_no_violations() {
+        let (shape, _) = itanium_clocks(2);
+        let mut clocks = ideal_clocks(shape);
+        let cfg = OmpConfig {
+            threads: 8,
+            regions: 50,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::RoundRobinChips,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 3);
+        let regions = match_parallel_regions(&trace).unwrap();
+        let rep = check_pomp(&trace, &regions);
+        assert_eq!(rep.any_violations, 0, "{rep:?}");
+    }
+
+    #[test]
+    fn skewed_chip_clocks_produce_violations_at_small_team() {
+        let (shape, mut clocks) = itanium_clocks(11);
+        let cfg = OmpConfig {
+            threads: 4,
+            regions: 100,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::RoundRobinChips,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 5);
+        let regions = match_parallel_regions(&trace).unwrap();
+        let rep = check_pomp(&trace, &regions);
+        assert!(
+            rep.any_pct() > 30.0,
+            "expected frequent violations at 4 threads, got {rep:?}"
+        );
+    }
+
+    #[test]
+    fn large_teams_are_protected_by_sync_latency() {
+        let (shape, mut clocks) = itanium_clocks(11);
+        let cfg = OmpConfig {
+            threads: 16,
+            regions: 100,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::RoundRobinChips,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 5);
+        let regions = match_parallel_regions(&trace).unwrap();
+        let rep = check_pomp(&trace, &regions);
+        assert!(
+            rep.any_pct() < 10.0,
+            "expected near-zero violations at 16 threads, got {rep:?}"
+        );
+    }
+
+    #[test]
+    fn packed_placement_shares_clocks_and_avoids_violations() {
+        let (shape, mut clocks) = itanium_clocks(4);
+        let cfg = OmpConfig {
+            threads: 4,
+            regions: 100,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::Packed,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 9);
+        let regions = match_parallel_regions(&trace).unwrap();
+        let rep = check_pomp(&trace, &regions);
+        assert_eq!(rep.any_violations, 0, "{rep:?}");
+    }
+
+    #[test]
+    fn random_placement_is_deterministic_per_seed() {
+        let shape = Platform::ItaniumSmp.shape(1);
+        let a = assign_cores(shape, 6, ThreadPlacement::Random, 42);
+        let b = assign_cores(shape, 6, ThreadPlacement::Random, 42);
+        assert_eq!(a, b);
+        let c = assign_cores(shape, 6, ThreadPlacement::Random, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_thread_timelines_are_monotone() {
+        let (shape, mut clocks) = itanium_clocks(8);
+        let cfg = OmpConfig {
+            threads: 12,
+            regions: 30,
+            timings: OmpTimings::default(),
+            placement: ThreadPlacement::Random,
+        };
+        let trace = run_parallel_for(shape, &mut clocks, &cfg, 21);
+        assert!(trace.is_locally_monotone());
+    }
+}

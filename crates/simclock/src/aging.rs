@@ -1,0 +1,174 @@
+//! Additional drift phenomena: crystal aging and clock steps.
+//!
+//! [`AgingDrift`] models the slow, roughly linear frequency change of a
+//! quartz oscillator over its lifetime (fractions of a ppm per day — tiny
+//! within one run, but exactly the kind of systematic curvature that a
+//! single interpolation line mistakes for measurement error on long runs).
+//!
+//! [`SteppedClock`] models a clock that **jumps**: badly configured time
+//! daemons (`ntpdate` in cron, manual `settimeofday`) step the system clock
+//! instead of slewing it. The paper notes NTP "avoids jumps by changing the
+//! drift"; a stepping clock is the pathological opposite and the harshest
+//! failure-injection case for postmortem synchronisation — backward steps
+//! even violate local monotonicity until the tracer's clamp hides them.
+
+use crate::drift::DriftModel;
+use crate::time::{Dur, Time};
+
+/// Linearly aging oscillator: `rate(t) = rate0 + aging_per_s · t`.
+#[derive(Debug, Clone, Copy)]
+pub struct AgingDrift {
+    /// Rate error at the origin (fractional).
+    pub rate0: f64,
+    /// Rate change per second (fractional/s); quartz ages on the order of
+    /// `1e-12`–`1e-11` per second (≈0.03–0.3 ppm/year).
+    pub aging_per_s: f64,
+}
+
+impl AgingDrift {
+    /// A new aging model.
+    pub fn new(rate0: f64, aging_per_s: f64) -> Self {
+        AgingDrift { rate0, aging_per_s }
+    }
+}
+
+impl DriftModel for AgingDrift {
+    fn rate_at(&self, t: Time) -> f64 {
+        self.rate0 + self.aging_per_s * t.as_secs_f64()
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        let s = t.as_secs_f64();
+        self.rate0 * s + 0.5 * self.aging_per_s * s * s
+    }
+}
+
+/// Discrete clock steps layered over a base drift: at each `(time, step)`
+/// the reported local time jumps by `step` (positive or negative).
+///
+/// Expressed as a [`DriftModel`] whose integral is a step function; the
+/// instantaneous rate between steps comes from the base model (the step
+/// instants themselves have no defined rate — `rate_at` reports the base).
+#[derive(Debug, Clone)]
+pub struct SteppedClock<D: DriftModel> {
+    base: D,
+    /// Strictly increasing step instants with their jump sizes.
+    steps: Vec<(Time, Dur)>,
+}
+
+impl<D: DriftModel> SteppedClock<D> {
+    /// Wrap `base` with discrete steps.
+    ///
+    /// # Panics
+    /// Panics if step instants are not strictly increasing.
+    pub fn new(base: D, steps: Vec<(Time, Dur)>) -> Self {
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "step instants must be strictly increasing");
+        }
+        SteppedClock { base, steps }
+    }
+
+    /// Sum of all steps at or before `t`.
+    pub fn steps_before(&self, t: Time) -> Dur {
+        self.steps
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .map(|&(_, d)| d)
+            .fold(Dur::ZERO, |a, b| a + b)
+    }
+}
+
+impl<D: DriftModel> DriftModel for SteppedClock<D> {
+    fn rate_at(&self, t: Time) -> f64 {
+        self.base.rate_at(t)
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        self.base.integrated(t) + self.steps_before(t).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimClock, TimerKind};
+    use crate::drift::ConstantDrift;
+    use crate::noise::NoiseSpec;
+    use std::sync::Arc;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs_f64(s)
+    }
+
+    #[test]
+    fn aging_integral_is_quadratic() {
+        let d = AgingDrift::new(1e-6, 2e-11);
+        assert!((d.rate_at(t(0.0)) - 1e-6).abs() < 1e-18);
+        assert!((d.rate_at(t(1000.0)) - (1e-6 + 2e-8)).abs() < 1e-15);
+        // ∫ = 1e-6·1000 + 0.5·2e-11·1000² = 1e-3 + 1e-5.
+        assert!((d.integrated(t(1000.0)) - 1.01e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aging_defeats_a_straight_line() {
+        // Sample the offset at three points: the midpoint deviates from the
+        // chord — a single interpolation line must mis-fit.
+        let d = AgingDrift::new(0.0, 1e-9);
+        let (a, b, c) = (
+            d.integrated(t(0.0)),
+            d.integrated(t(1800.0)),
+            d.integrated(t(3600.0)),
+        );
+        let chord_mid = 0.5 * (a + c);
+        let curvature = (chord_mid - b).abs();
+        // 0.5·1e-9·(1800²·... ) => ~1.6 ms of mid-run error.
+        assert!(curvature > 1e-3, "curvature {curvature}");
+    }
+
+    #[test]
+    fn steps_accumulate() {
+        let s = SteppedClock::new(
+            ConstantDrift::zero(),
+            vec![
+                (t(10.0), Dur::from_ms(5)),
+                (t(20.0), Dur::from_ms(-8)),
+            ],
+        );
+        assert_eq!(s.steps_before(t(5.0)), Dur::ZERO);
+        assert_eq!(s.steps_before(t(10.0)), Dur::from_ms(5));
+        assert_eq!(s.steps_before(t(25.0)), Dur::from_ms(-3));
+        assert!((s.integrated(t(25.0)) + 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_step_is_hidden_by_the_tracer_clamp() {
+        // A clock stepped back 1 ms: raw samples go backward, but a
+        // single-reader `read()` stream stays monotone — exactly what a
+        // tracing library's clamp does.
+        let stepped = SteppedClock::new(
+            ConstantDrift::zero(),
+            vec![(t(10.0), Dur::from_ms(-1))],
+        );
+        let mut c = SimClock::new(
+            TimerKind::Gettimeofday,
+            Dur::ZERO,
+            Arc::new(stepped),
+            NoiseSpec::noiseless(),
+            0,
+        );
+        let before = c.read(t(9.9999));
+        let after = c.read(t(10.0001));
+        assert!(after >= before, "clamped stream must not go backward");
+        // The unclamped sample shows the truth: time went backward.
+        assert!(c.sample(t(10.0001)) < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_steps_panic() {
+        let _ = SteppedClock::new(
+            ConstantDrift::zero(),
+            vec![(t(20.0), Dur::from_ms(1)), (t(10.0), Dur::from_ms(1))],
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! Clock drift models.
+//!
+//! A clock's *drift* is the fractional error of its oscillation rate: a drift
+//! of `1e-6` (one ppm) means the clock gains one microsecond per second of
+//! true time. The paper's central observation is that drift is **not
+//! constant**: NTP slewing introduces abrupt rate changes, temperature makes
+//! oscillators wander, and power management perturbs cycle counters. Each of
+//! these effects is a [`DriftModel`] here, and effects compose additively via
+//! [`CompositeDrift`].
+//!
+//! Every model must report both the instantaneous rate error
+//! ([`DriftModel::rate_at`]) and its exact integral from the origin
+//! ([`DriftModel::integrated`]); the integral is what actually displaces
+//! timestamps. Models are immutable after construction so that clock reads
+//! are pure functions of true time, which keeps simulations deterministic
+//! and replayable.
+
+use crate::time::Time;
+use rand::Rng;
+use std::fmt;
+
+/// A deterministic model of a clock's fractional rate error over true time.
+pub trait DriftModel: Send + Sync + fmt::Debug {
+    /// Instantaneous fractional rate error at true time `t`
+    /// (dimensionless; `1e-6` = 1 ppm fast).
+    fn rate_at(&self, t: Time) -> f64;
+
+    /// Accumulated offset contributed by the drift between the origin and
+    /// `t`, in **seconds**: `∫₀ᵗ rate(τ) dτ`.
+    fn integrated(&self, t: Time) -> f64;
+}
+
+/// A clock running fast or slow by a constant factor — the assumption behind
+/// linear offset interpolation (paper Eq. 3 and Fig. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantDrift {
+    /// Fractional rate error.
+    pub rate: f64,
+}
+
+impl ConstantDrift {
+    /// A constant drift of `rate` (e.g. `2e-6` for 2 ppm fast).
+    pub fn new(rate: f64) -> Self {
+        ConstantDrift { rate }
+    }
+
+    /// The ideal clock: no drift at all.
+    pub fn zero() -> Self {
+        ConstantDrift { rate: 0.0 }
+    }
+}
+
+impl DriftModel for ConstantDrift {
+    fn rate_at(&self, _t: Time) -> f64 {
+        self.rate
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        self.rate * t.as_secs_f64()
+    }
+}
+
+/// Drift that is linear between knots and constant outside them.
+///
+/// This is the workhorse shape: NTP slew adjustments produce
+/// piecewise-*constant* rates (a special case, see
+/// [`PiecewiseLinearDrift::piecewise_constant`]) whose integral is the
+/// piecewise-linear offset divergence with abrupt "turning points" visible in
+/// the paper's Fig. 4(a) and 4(b).
+///
+/// ```
+/// use simclock::{DriftModel, PiecewiseLinearDrift, Time};
+///
+/// // 1 ppm for the first 100 s, then an NTP adjustment to 4 ppm.
+/// let d = PiecewiseLinearDrift::piecewise_constant(vec![
+///     (Time::ZERO, 1e-6),
+///     (Time::from_secs(100), 4e-6),
+/// ]);
+/// // Accumulated offset: 100 µs after 100 s, then 400 µs more per 100 s.
+/// assert!((d.integrated(Time::from_secs(100)) - 100e-6).abs() < 1e-12);
+/// assert!((d.integrated(Time::from_secs(200)) - 500e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinearDrift {
+    /// Knot positions, strictly increasing.
+    knots: Vec<Time>,
+    /// Rate at each knot. Between knots the rate interpolates linearly;
+    /// before the first and after the last knot it is held constant.
+    rates: Vec<f64>,
+    /// `cumulative[i]` = integral of the rate from `knots[0]` to `knots[i]`,
+    /// in seconds.
+    cumulative: Vec<f64>,
+    /// When true the rate is held at `rates[i]` on `[knots[i], knots[i+1])`
+    /// instead of interpolating (step function).
+    step: bool,
+}
+
+impl PiecewiseLinearDrift {
+    /// Linearly interpolated drift through `(time, rate)` knots.
+    ///
+    /// # Panics
+    /// Panics if fewer than one knot is given or knots are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(Time, f64)>) -> Self {
+        Self::build(points, false)
+    }
+
+    /// Step-function drift: rate `rates[i]` holds from `knots[i]` until the
+    /// next knot. This is the exact shape produced by periodic NTP slew
+    /// adjustments.
+    pub fn piecewise_constant(points: Vec<(Time, f64)>) -> Self {
+        Self::build(points, true)
+    }
+
+    fn build(points: Vec<(Time, f64)>, step: bool) -> Self {
+        assert!(!points.is_empty(), "need at least one knot");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "knots must be strictly increasing");
+        }
+        let knots: Vec<Time> = points.iter().map(|p| p.0).collect();
+        let rates: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let mut cumulative = Vec::with_capacity(knots.len());
+        cumulative.push(0.0);
+        for i in 1..knots.len() {
+            let dt = (knots[i] - knots[i - 1]).as_secs_f64();
+            let seg = if step {
+                rates[i - 1] * dt
+            } else {
+                0.5 * (rates[i - 1] + rates[i]) * dt
+            };
+            cumulative.push(cumulative[i - 1] + seg);
+        }
+        PiecewiseLinearDrift {
+            knots,
+            rates,
+            cumulative,
+            step,
+        }
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// True if the model has a single knot (i.e. is constant).
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees >= 1 knot
+    }
+
+    /// Index of the segment containing `t`: largest `i` with
+    /// `knots[i] <= t`, or `None` if `t` precedes the first knot.
+    fn segment(&self, t: Time) -> Option<usize> {
+        if t < self.knots[0] {
+            return None;
+        }
+        Some(match self.knots.binary_search(&t) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        })
+    }
+}
+
+impl DriftModel for PiecewiseLinearDrift {
+    fn rate_at(&self, t: Time) -> f64 {
+        match self.segment(t) {
+            None => self.rates[0],
+            Some(i) if i + 1 >= self.knots.len() => self.rates[i],
+            Some(i) if self.step => self.rates[i],
+            Some(i) => {
+                let t0 = self.knots[i].as_secs_f64();
+                let t1 = self.knots[i + 1].as_secs_f64();
+                let frac = (t.as_secs_f64() - t0) / (t1 - t0);
+                self.rates[i] + frac * (self.rates[i + 1] - self.rates[i])
+            }
+        }
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        match self.segment(t) {
+            // Constant extrapolation before the first knot.
+            None => self.rates[0] * (t - self.knots[0]).as_secs_f64(),
+            Some(i) if i + 1 >= self.knots.len() => {
+                self.cumulative[i] + self.rates[i] * (t - self.knots[i]).as_secs_f64()
+            }
+            Some(i) => {
+                let dt = (t - self.knots[i]).as_secs_f64();
+                let seg = if self.step {
+                    self.rates[i] * dt
+                } else {
+                    // Trapezoid from knots[i] to t with interpolated end rate.
+                    let r_end = self.rate_at(t);
+                    0.5 * (self.rates[i] + r_end) * dt
+                };
+                self.cumulative[i] + seg
+            }
+        }
+    }
+}
+
+/// Thermally induced oscillator wander modelled as a rate sinusoid.
+///
+/// Machine-room temperature and on-die heating vary slowly and periodically
+/// (air-conditioning cycles, load phases); a crystal's frequency follows.
+/// `rate(t) = A · sin(2π t / P + φ)` integrates to a bounded offset
+/// oscillation of amplitude `A·P/2π` seconds — the gentle curvature that
+/// defeats a single straight interpolation line over long runs (Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct SinusoidalDrift {
+    /// Peak fractional rate error.
+    pub amplitude: f64,
+    /// Oscillation period in seconds.
+    pub period_s: f64,
+    /// Phase at the origin, radians.
+    pub phase: f64,
+}
+
+impl SinusoidalDrift {
+    /// A thermal wander component.
+    pub fn new(amplitude: f64, period_s: f64, phase: f64) -> Self {
+        assert!(period_s > 0.0, "period must be positive");
+        SinusoidalDrift {
+            amplitude,
+            period_s,
+            phase,
+        }
+    }
+}
+
+impl DriftModel for SinusoidalDrift {
+    fn rate_at(&self, t: Time) -> f64 {
+        let w = core::f64::consts::TAU / self.period_s;
+        self.amplitude * (w * t.as_secs_f64() + self.phase).sin()
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        let w = core::f64::consts::TAU / self.period_s;
+        // ∫ A sin(wτ+φ) dτ = -A/w (cos(wt+φ) - cos(φ))
+        -self.amplitude / w * ((w * t.as_secs_f64() + self.phase).cos() - self.phase.cos())
+    }
+}
+
+/// Unpredictable low-frequency oscillator wander as a sampled random walk.
+///
+/// The rate takes a Gaussian step every `step_s` seconds; between samples it
+/// interpolates linearly. The whole path for a fixed horizon is drawn at
+/// construction from the supplied RNG, so reads remain pure and the
+/// simulation deterministic. Queries beyond the horizon clamp to the last
+/// sample (and `debug_assert` so misconfigured horizons are caught in
+/// tests).
+#[derive(Debug, Clone)]
+pub struct RandomWalkDrift {
+    inner: PiecewiseLinearDrift,
+    horizon: Time,
+}
+
+impl RandomWalkDrift {
+    /// Draw a random-walk rate path.
+    ///
+    /// * `step_sigma` — standard deviation of the rate step per sample.
+    /// * `step_s` — seconds between samples.
+    /// * `horizon_s` — path length in seconds; queries beyond clamp.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        step_sigma: f64,
+        step_s: f64,
+        horizon_s: f64,
+    ) -> Self {
+        assert!(step_s > 0.0 && horizon_s > 0.0);
+        let n = (horizon_s / step_s).ceil() as usize + 1;
+        let mut rate = 0.0;
+        let mut points = Vec::with_capacity(n);
+        for i in 0..n {
+            points.push((Time::from_secs_f64(i as f64 * step_s), rate));
+            rate += gaussian(rng) * step_sigma;
+        }
+        RandomWalkDrift {
+            horizon: Time::from_secs_f64((n - 1) as f64 * step_s),
+            inner: PiecewiseLinearDrift::new(points),
+        }
+    }
+
+    /// End of the sampled path.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+}
+
+impl DriftModel for RandomWalkDrift {
+    fn rate_at(&self, t: Time) -> f64 {
+        debug_assert!(t <= self.horizon, "random-walk drift queried past horizon");
+        self.inner.rate_at(t.min(self.horizon))
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        debug_assert!(t <= self.horizon, "random-walk drift queried past horizon");
+        self.inner.integrated(t.min(self.horizon))
+    }
+}
+
+/// Sum of independent drift components (e.g. constant rate error + thermal
+/// sinusoid + random-walk wander).
+pub struct CompositeDrift {
+    parts: Vec<Box<dyn DriftModel>>,
+}
+
+impl CompositeDrift {
+    /// Compose drift components additively.
+    pub fn new(parts: Vec<Box<dyn DriftModel>>) -> Self {
+        CompositeDrift { parts }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if there are no components (the ideal clock).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl fmt::Debug for CompositeDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompositeDrift")
+            .field("parts", &self.parts.len())
+            .finish()
+    }
+}
+
+impl DriftModel for CompositeDrift {
+    fn rate_at(&self, t: Time) -> f64 {
+        self.parts.iter().map(|p| p.rate_at(t)).sum()
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        self.parts.iter().map(|p| p.integrated(t)).sum()
+    }
+}
+
+/// A drift path shared between several clocks (e.g. the chips of one node,
+/// whose timestamp counters derive from the same motherboard oscillator and
+/// share its thermal environment). Sharing the path is what makes
+/// *relative* intra-node deviations tiny while the node as a whole still
+/// wanders against the rest of the cluster — the paper's §IV intra-node
+/// finding.
+impl DriftModel for std::sync::Arc<dyn DriftModel> {
+    fn rate_at(&self, t: Time) -> f64 {
+        (**self).rate_at(t)
+    }
+
+    fn integrated(&self, t: Time) -> f64 {
+        (**self).integrated(t)
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`, which is not in the approved crate set). Shared by the
+/// whole workspace for jitter and spread sampling.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(s: f64) -> Time {
+        Time::from_secs_f64(s)
+    }
+
+    #[test]
+    fn constant_drift_integrates_linearly() {
+        let d = ConstantDrift::new(2e-6);
+        assert_eq!(d.rate_at(t(5.0)), 2e-6);
+        assert!((d.integrated(t(100.0)) - 2e-4).abs() < 1e-15);
+        assert!((d.integrated(t(-10.0)) + 2e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn piecewise_linear_interpolates() {
+        let d = PiecewiseLinearDrift::new(vec![(t(0.0), 0.0), (t(10.0), 1e-6)]);
+        assert!((d.rate_at(t(5.0)) - 5e-7).abs() < 1e-18);
+        // Integral of a ramp 0 → 1e-6 over 10 s is 5e-6 s.
+        assert!((d.integrated(t(10.0)) - 5e-6).abs() < 1e-15);
+        // Constant extrapolation after the last knot.
+        assert!((d.rate_at(t(20.0)) - 1e-6).abs() < 1e-18);
+        assert!((d.integrated(t(20.0)) - 1.5e-5).abs() < 1e-15);
+        // Constant extrapolation before the first knot.
+        assert!((d.rate_at(t(-5.0)) - 0.0).abs() < 1e-18);
+        assert!((d.integrated(t(-5.0)) - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn piecewise_constant_is_a_step_function() {
+        let d = PiecewiseLinearDrift::piecewise_constant(vec![
+            (t(0.0), 1e-6),
+            (t(100.0), 3e-6),
+            (t(200.0), 2e-6),
+        ]);
+        assert_eq!(d.rate_at(t(50.0)), 1e-6);
+        assert_eq!(d.rate_at(t(150.0)), 3e-6);
+        assert_eq!(d.rate_at(t(250.0)), 2e-6);
+        // 100 s at 1 ppm + 50 s at 3 ppm = 100e-6 + 150e-6.
+        assert!((d.integrated(t(150.0)) - 2.5e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_is_consistent_with_rate() {
+        // Numerical check: d/dt integrated == rate for the interpolating model.
+        let d = PiecewiseLinearDrift::new(vec![
+            (t(0.0), -1e-6),
+            (t(60.0), 4e-6),
+            (t(120.0), 1e-6),
+            (t(300.0), 2e-6),
+        ]);
+        let h = 1e-3;
+        for &s in &[10.0, 59.9, 60.1, 119.0, 200.0, 299.0, 400.0] {
+            let num = (d.integrated(t(s + h)) - d.integrated(t(s - h))) / (2.0 * h);
+            assert!(
+                (num - d.rate_at(t(s))).abs() < 1e-9,
+                "derivative mismatch at {s}: {num} vs {}",
+                d.rate_at(t(s))
+            );
+        }
+    }
+
+    #[test]
+    fn sinusoid_has_bounded_integral() {
+        let d = SinusoidalDrift::new(1e-7, 600.0, 0.3);
+        let bound = 1e-7 * 600.0 / core::f64::consts::TAU * 2.0 + 1e-12;
+        for i in 0..200 {
+            let x = d.integrated(t(i as f64 * 37.0));
+            assert!(x.abs() <= bound, "unbounded sinusoid integral {x}");
+        }
+        assert_eq!(d.integrated(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = RandomWalkDrift::generate(&mut r1, 1e-9, 10.0, 600.0);
+        let b = RandomWalkDrift::generate(&mut r2, 1e-9, 10.0, 600.0);
+        for i in 0..60 {
+            let q = t(i as f64 * 10.0);
+            assert_eq!(a.rate_at(q), b.rate_at(q));
+            assert_eq!(a.integrated(q), b.integrated(q));
+        }
+    }
+
+    #[test]
+    fn random_walk_scales_with_sigma() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = RandomWalkDrift::generate(&mut rng, 0.0, 10.0, 600.0);
+        for i in 0..60 {
+            assert_eq!(d.rate_at(t(i as f64 * 10.0)), 0.0);
+        }
+    }
+
+    #[test]
+    fn composite_sums_components() {
+        let d = CompositeDrift::new(vec![
+            Box::new(ConstantDrift::new(1e-6)),
+            Box::new(ConstantDrift::new(2e-6)),
+        ]);
+        assert!((d.rate_at(t(1.0)) - 3e-6).abs() < 1e-18);
+        assert!((d.integrated(t(10.0)) - 3e-5).abs() < 1e-15);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_knots_panic() {
+        let _ = PiecewiseLinearDrift::new(vec![(t(10.0), 0.0), (t(0.0), 1e-6)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement-error models for clock reads.
+//!
+//! Besides drift, the paper names two further inaccuracy sources (§III.c):
+//! **insufficient timer resolution** and **OS jitter** (daemon scheduling,
+//! interrupt handling delaying the read). [`ReadNoise`] models both, plus a
+//! small Gaussian electrical/readout noise floor, and [`ReadNoise::sample`]
+//! draws the per-read perturbation from a clock-private RNG so that
+//! different clocks observe independent noise while the whole simulation
+//! stays deterministic under a fixed seed.
+
+use crate::drift::gaussian;
+use crate::time::{Dur, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-read measurement error specification.
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    /// Timer granularity; readings are floored to this grid.
+    /// `gettimeofday()` reports microseconds; a 3 GHz TSC ticks every ⅓ ns.
+    pub resolution: Dur,
+    /// Standard deviation of the zero-mean Gaussian noise floor.
+    pub base_sigma: Dur,
+    /// Probability that a read is hit by an OS-jitter spike
+    /// (daemon wakeup, interrupt) which delays the observed value.
+    pub spike_prob: f64,
+    /// Mean of the exponentially distributed spike magnitude.
+    pub spike_mean: Dur,
+    /// Cost of one clock read in true time; the runtime advances the caller
+    /// by this much per query (intrusion overhead, §III).
+    pub read_overhead: Dur,
+}
+
+impl NoiseSpec {
+    /// A perfectly clean, instantaneous timer (useful in unit tests).
+    pub fn noiseless() -> Self {
+        NoiseSpec {
+            resolution: Dur::ZERO,
+            base_sigma: Dur::ZERO,
+            spike_prob: 0.0,
+            spike_mean: Dur::ZERO,
+            read_overhead: Dur::ZERO,
+        }
+    }
+}
+
+/// Stateful sampler applying a [`NoiseSpec`] with its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct ReadNoise {
+    spec: NoiseSpec,
+    rng: StdRng,
+}
+
+impl ReadNoise {
+    /// Create a sampler with an independent RNG stream.
+    pub fn new(spec: NoiseSpec, seed: u64) -> Self {
+        ReadNoise {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &NoiseSpec {
+        &self.spec
+    }
+
+    /// Perturb an ideal reading: add noise floor and possible jitter spike,
+    /// then quantize to the timer resolution.
+    pub fn sample(&mut self, ideal: Time) -> Time {
+        let mut t = ideal;
+        if self.spec.base_sigma > Dur::ZERO {
+            t += self.spec.base_sigma.scale(gaussian(&mut self.rng));
+        }
+        if self.spec.spike_prob > 0.0 && self.rng.gen::<f64>() < self.spec.spike_prob {
+            // Exponential(mean) via inverse CDF; a spike only ever *delays*
+            // the observed value, it never makes a clock read early.
+            let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            t += self.spec.spike_mean.scale(-u.ln());
+        }
+        t.quantize(self.spec.resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_is_identity_modulo_resolution() {
+        let mut n = ReadNoise::new(NoiseSpec::noiseless(), 0);
+        let t = Time::from_ns(123_456);
+        assert_eq!(n.sample(t), t);
+    }
+
+    #[test]
+    fn resolution_quantizes() {
+        let spec = NoiseSpec {
+            resolution: Dur::from_us(1),
+            ..NoiseSpec::noiseless()
+        };
+        let mut n = ReadNoise::new(spec, 0);
+        assert_eq!(n.sample(Time::from_ns(2_700)), Time::from_us(2));
+    }
+
+    #[test]
+    fn spikes_only_delay() {
+        let spec = NoiseSpec {
+            spike_prob: 1.0,
+            spike_mean: Dur::from_us(5),
+            ..NoiseSpec::noiseless()
+        };
+        let mut n = ReadNoise::new(spec, 3);
+        let t = Time::from_ms(1);
+        let mut total = Dur::ZERO;
+        for _ in 0..1000 {
+            let s = n.sample(t);
+            assert!(s >= t, "spike made a read early");
+            total += s - t;
+        }
+        let mean_us = total.as_us_f64() / 1000.0;
+        assert!((mean_us - 5.0).abs() < 0.8, "spike mean off: {mean_us}");
+    }
+
+    #[test]
+    fn noise_floor_is_roughly_symmetric() {
+        let spec = NoiseSpec {
+            base_sigma: Dur::from_ns(100),
+            ..NoiseSpec::noiseless()
+        };
+        let mut n = ReadNoise::new(spec, 9);
+        let t = Time::from_ms(10);
+        let (mut lo, mut hi) = (0u32, 0u32);
+        for _ in 0..2000 {
+            if n.sample(t) < t {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 700 && hi > 700, "asymmetric noise: {lo}/{hi}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let spec = NoiseSpec {
+            base_sigma: Dur::from_ns(50),
+            spike_prob: 0.1,
+            spike_mean: Dur::from_us(2),
+            ..NoiseSpec::noiseless()
+        };
+        let mut a = ReadNoise::new(spec.clone(), 11);
+        let mut b = ReadNoise::new(spec, 11);
+        for i in 0..100 {
+            let t = Time::from_us(i);
+            assert_eq!(a.sample(t), b.sample(t));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! A model of NTP clock discipline.
+//!
+//! `gettimeofday()` (and `MPI_Wtime()` where it is implemented on top of it)
+//! is usually steered by an NTP daemon. NTP avoids jumps: it periodically
+//! measures the offset to a reference server over the network — with
+//! millisecond-scale uncertainty due to varying path latencies — and then
+//! **slews** the local clock by changing its effective rate. The paper's
+//! Fig. 4(a)/(b) show exactly the resulting signature: phases of roughly
+//! constant drift interrupted by abrupt slope changes ("turning points"),
+//! which is what breaks the constant-drift assumption behind linear offset
+//! interpolation.
+//!
+//! [`NtpDiscipline::generate`] simulates the feedback loop ahead of time and
+//! emits the effective rate path as a piecewise-constant
+//! [`PiecewiseLinearDrift`], keeping clock reads pure and deterministic.
+
+use crate::drift::{gaussian, PiecewiseLinearDrift};
+use crate::time::Time;
+use rand::Rng;
+
+/// Parameters of the simulated NTP feedback loop.
+#[derive(Debug, Clone)]
+pub struct NtpDiscipline {
+    /// Intrinsic oscillator rate error the daemon has to fight (fractional,
+    /// e.g. `1.5e-6` for 1.5 ppm fast).
+    pub base_rate: f64,
+    /// Seconds between discipline adjustments (NTP poll interval; real
+    /// daemons use 64–1024 s).
+    pub poll_interval_s: f64,
+    /// Standard deviation of the offset *measurement* error in seconds
+    /// (network path asymmetry; ≈1 ms per the paper's §II).
+    pub measurement_sigma_s: f64,
+    /// Fraction of the measured offset corrected per poll interval
+    /// (loop gain; 0 < gain ≤ 1).
+    pub gain: f64,
+    /// Maximum slew rate magnitude the daemon will apply (ntpd clamps at
+    /// 500 ppm).
+    pub max_slew: f64,
+    /// Random per-interval wobble of the intrinsic rate (thermal noise seen
+    /// by the discipline), as a standard deviation per poll.
+    pub rate_noise: f64,
+}
+
+impl NtpDiscipline {
+    /// Typical commodity-cluster discipline against a LAN time server.
+    pub fn typical(base_rate: f64) -> Self {
+        NtpDiscipline {
+            base_rate,
+            poll_interval_s: 128.0,
+            measurement_sigma_s: 0.8e-3,
+            gain: 0.5,
+            max_slew: 500e-6,
+            rate_noise: 5e-8,
+        }
+    }
+
+    /// Simulate the loop over `[0, horizon_s]` and return the effective
+    /// clock rate error as a step function of true time.
+    ///
+    /// The returned path includes the oscillator's intrinsic `base_rate`
+    /// — it is the *total* drift of the disciplined clock.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        initial_offset_s: f64,
+        horizon_s: f64,
+    ) -> PiecewiseLinearDrift {
+        assert!(self.poll_interval_s > 0.0 && horizon_s > 0.0);
+        assert!(self.gain > 0.0 && self.gain <= 1.0, "gain must be in (0,1]");
+        let steps = (horizon_s / self.poll_interval_s).ceil() as usize + 1;
+        let mut points = Vec::with_capacity(steps);
+        let mut offset = initial_offset_s; // true offset to the reference
+        let mut intrinsic = self.base_rate;
+        let mut slew = 0.0f64;
+        for i in 0..steps {
+            let t = i as f64 * self.poll_interval_s;
+            let effective = (intrinsic + slew).clamp(-self.max_slew, self.max_slew);
+            points.push((Time::from_secs_f64(t), effective));
+            // The clock accumulates offset at the effective rate until the
+            // next poll, where the daemon measures (noisily) and re-slews.
+            offset += effective * self.poll_interval_s;
+            let measured = offset + gaussian(rng) * self.measurement_sigma_s;
+            slew = -self.gain * measured / self.poll_interval_s;
+            intrinsic += gaussian(rng) * self.rate_noise;
+        }
+        PiecewiseLinearDrift::piecewise_constant(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DriftModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn discipline_bounds_long_term_offset() {
+        // Left alone, a 2 ppm clock diverges 7.2 ms over 3600 s; disciplined,
+        // the offset must stay within a few milliseconds of the reference.
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = NtpDiscipline::typical(2e-6).generate(&mut rng, 0.0, 3600.0);
+        let end = d.integrated(Time::from_secs(3600)) + 2e-6 * 0.0;
+        assert!(end.abs() < 5e-3, "undisciplined divergence: {end}");
+    }
+
+    #[test]
+    fn rate_path_has_turning_points() {
+        // The effective rate must actually change between poll intervals —
+        // that is the non-constant drift the paper blames.
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = NtpDiscipline::typical(1e-6).generate(&mut rng, 0.0, 1800.0);
+        let mut distinct = 0;
+        let mut prev = d.rate_at(Time::from_secs(1));
+        for i in 1..14 {
+            let r = d.rate_at(Time::from_secs(i * 128));
+            if (r - prev).abs() > 1e-9 {
+                distinct += 1;
+            }
+            prev = r;
+        }
+        assert!(distinct >= 5, "rate path suspiciously smooth: {distinct}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ntp = NtpDiscipline::typical(1e-6);
+        let a = ntp.generate(&mut StdRng::seed_from_u64(9), 1e-4, 600.0);
+        let b = ntp.generate(&mut StdRng::seed_from_u64(9), 1e-4, 600.0);
+        for i in 0..60 {
+            let t = Time::from_secs(i * 10);
+            assert_eq!(a.rate_at(t), b.rate_at(t));
+        }
+    }
+
+    #[test]
+    fn slew_respects_clamp() {
+        let ntp = NtpDiscipline {
+            base_rate: 400e-6,
+            max_slew: 500e-6,
+            ..NtpDiscipline::typical(0.0)
+        };
+        let d = ntp.generate(&mut StdRng::seed_from_u64(2), 0.5, 600.0);
+        for i in 0..60 {
+            let r = d.rate_at(Time::from_secs(i * 10));
+            assert!(r.abs() <= 500e-6 + 1e-12, "slew clamp violated: {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn zero_gain_rejected() {
+        let ntp = NtpDiscipline {
+            gain: 0.0,
+            ..NtpDiscipline::typical(0.0)
+        };
+        let _ = ntp.generate(&mut StdRng::seed_from_u64(0), 0.0, 10.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Platform profiles: the clusters of the paper's §IV as parameter sets.
+//!
+//! Each [`ClockProfile`] bundles timer properties (resolution, read
+//! overhead, OS jitter) with the statistical spread of offsets and rates at
+//! the node and chip level and the non-constant drift ingredients (NTP
+//! discipline for software clocks, thermal sinusoid + random-walk wander for
+//! hardware clocks). The concrete numbers are chosen so that the simulated
+//! deviation curves match the *shapes and magnitudes* reported in the paper
+//! (Figs. 4–6): ppm-scale rate differences between nodes, >200 µs divergence
+//! of NTP-steered clocks within minutes, a few µs of interpolation residual
+//! for the Intel TSC over a 300 s run, and sub-0.1 µs noise between clocks
+//! of one Xeon SMP node.
+
+use crate::clock::{SimClock, TimerKind};
+use crate::drift::{
+    CompositeDrift, ConstantDrift, DriftModel, RandomWalkDrift, SinusoidalDrift,
+};
+use crate::ensemble::MachineShape;
+use crate::noise::NoiseSpec;
+use crate::ntp::NtpDiscipline;
+use crate::time::Dur;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// The cluster systems of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// RWTH Aachen: 62 nodes × 2 quad-core Intel Xeon 3.0 GHz, InfiniBand.
+    XeonCluster,
+    /// MareNostrum: 2560 JS21 blades × 2 dual-core PowerPC 970MP 2.3 GHz,
+    /// Myrinet.
+    PowerPcCluster,
+    /// Jaguar XT3: 3744 nodes × 1 dual-core Opteron 2.6 GHz, SeaStar 3-D
+    /// torus.
+    OpteronCluster,
+    /// The Itanium SMP node of Figs. 3/8: 4 chips × 4 cores, shared memory.
+    ItaniumSmp,
+}
+
+impl Platform {
+    /// The node/chip/core geometry used by the paper's experiments on this
+    /// platform (node counts trimmed to the scale the experiments need).
+    pub fn shape(self, nodes: usize) -> MachineShape {
+        match self {
+            Platform::XeonCluster => MachineShape::new(nodes, 2, 4),
+            Platform::PowerPcCluster => MachineShape::new(nodes, 2, 2),
+            Platform::OpteronCluster => MachineShape::new(nodes, 1, 2),
+            Platform::ItaniumSmp => MachineShape::new(1, 4, 4),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::XeonCluster => "Xeon cluster",
+            Platform::PowerPcCluster => "PowerPC cluster",
+            Platform::OpteronCluster => "Opteron cluster",
+            Platform::ItaniumSmp => "Itanium SMP node",
+        }
+    }
+
+    /// The clock profile of `timer` on this platform.
+    ///
+    /// `horizon_s` must cover the full simulated run (drift paths are drawn
+    /// ahead of time).
+    pub fn clock_profile(self, timer: TimerKind, horizon_s: f64) -> ClockProfile {
+        match (self, timer) {
+            (Platform::XeonCluster, TimerKind::IntelTsc) => {
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        resolution: Dur::from_ps(334), // 1 tick @ 3.0 GHz
+                        base_sigma: Dur::from_ns(4),
+                        spike_prob: 5e-5,
+                        spike_mean: Dur::from_us(2),
+                        read_overhead: Dur::from_ns(25),
+                    })
+                    // ppm-scale rate spread between nodes; TSCs of chips in
+                    // one node are synchronised at reset (±0.03 µs, tiny
+                    // relative drift) — the paper's intra-node finding.
+                    .with_node_spread(50e-3, 2.0e-6)
+                    .with_chip_spread(0.03e-6, 2e-10)
+                    .with_wander(1.0e-8, 10.0, 4.0e-8, (400.0, 1100.0))
+                    .with_horizon(horizon_s)
+            }
+            (Platform::XeonCluster, TimerKind::Gettimeofday | TimerKind::MpiWtime) => {
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        resolution: Dur::from_us(1),
+                        base_sigma: Dur::from_ns(40),
+                        spike_prob: 1e-4,
+                        spike_mean: Dur::from_us(4),
+                        read_overhead: Dur::from_ns(if timer == TimerKind::MpiWtime {
+                            90
+                        } else {
+                            60
+                        }),
+                    })
+                    .with_node_spread(1e-3, 1.5e-6)
+                    .with_chip_spread(0.0, 0.0) // system clock is per node
+                    .with_ntp(NtpDiscipline::typical(0.0))
+                    .with_wander(1e-9, 20.0, 1e-8, (600.0, 1200.0))
+                    .with_horizon(horizon_s)
+            }
+            (Platform::PowerPcCluster, TimerKind::IbmTimeBase | TimerKind::IbmRtc) => {
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        // JS21 time base ticks at ~14.3 MHz.
+                        resolution: Dur::from_ns(70),
+                        base_sigma: Dur::from_ns(8),
+                        spike_prob: 5e-5,
+                        spike_mean: Dur::from_us(3),
+                        read_overhead: Dur::from_ns(30),
+                    })
+                    .with_node_spread(40e-3, 3.0e-6)
+                    .with_chip_spread(0.05e-6, 3e-10)
+                    .with_wander(4.0e-9, 10.0, 3.0e-8, (400.0, 1600.0))
+                    .with_horizon(horizon_s)
+            }
+            (Platform::OpteronCluster, TimerKind::Gettimeofday | TimerKind::MpiWtime) => {
+                // The worst case of Fig. 5(c): coarsely disciplined system
+                // clock with large measurement noise and lazy polling.
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        resolution: Dur::from_us(1),
+                        base_sigma: Dur::from_ns(60),
+                        spike_prob: 2e-4,
+                        spike_mean: Dur::from_us(6),
+                        read_overhead: Dur::from_ns(70),
+                    })
+                    .with_node_spread(2e-3, 8e-6)
+                    .with_chip_spread(0.0, 0.0)
+                    .with_ntp(NtpDiscipline {
+                        base_rate: 0.0,
+                        poll_interval_s: 512.0,
+                        measurement_sigma_s: 1.2e-3,
+                        gain: 0.3,
+                        max_slew: 500e-6,
+                        rate_noise: 1e-7,
+                    })
+                    .with_wander(2e-9, 20.0, 2e-8, (700.0, 1300.0))
+                    .with_horizon(horizon_s)
+            }
+            (Platform::OpteronCluster, TimerKind::IntelTsc) => {
+                // AMD's TSC, for completeness in cross-platform sweeps.
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        resolution: Dur::from_ps(385), // 1 tick @ 2.6 GHz
+                        base_sigma: Dur::from_ns(5),
+                        spike_prob: 5e-5,
+                        spike_mean: Dur::from_us(2),
+                        read_overhead: Dur::from_ns(25),
+                    })
+                    .with_node_spread(50e-3, 4e-6)
+                    .with_chip_spread(0.05e-6, 3e-10)
+                    .with_wander(4e-9, 10.0, 3e-8, (500.0, 1500.0))
+                    .with_horizon(horizon_s)
+            }
+            (Platform::ItaniumSmp, TimerKind::CycleCounter | TimerKind::IntelTsc) => {
+                // Itanium ITC: per-chip counters, not synchronised between
+                // chips; offsets of a few µs decide Fig. 8.
+                ClockProfile::bare(timer)
+                    .with_noise(NoiseSpec {
+                        resolution: Dur::from_ns(1),
+                        base_sigma: Dur::from_ns(6),
+                        spike_prob: 5e-5,
+                        spike_mean: Dur::from_us(1),
+                        read_overhead: Dur::from_ns(20),
+                    })
+                    .with_node_spread(0.0, 0.0)
+                    .with_chip_spread(1.3e-6, 6e-9)
+                    .with_wander(1e-9, 5.0, 5e-9, (200.0, 800.0))
+                    .with_horizon(horizon_s)
+            }
+            // Any remaining combination: a generic software clock with NTP.
+            (_, t) => ClockProfile::bare(t)
+                .with_noise(NoiseSpec {
+                    resolution: Dur::from_us(1),
+                    base_sigma: Dur::from_ns(50),
+                    spike_prob: 1e-4,
+                    spike_mean: Dur::from_us(4),
+                    read_overhead: Dur::from_ns(60),
+                })
+                .with_node_spread(5e-3, 2e-6)
+                .with_chip_spread(0.0, 0.0)
+                .with_ntp(NtpDiscipline::typical(0.0))
+                .with_wander(1e-9, 20.0, 1e-8, (600.0, 1200.0))
+                .with_horizon(horizon_s),
+        }
+    }
+}
+
+/// Statistical description of one timer technology on one platform; a
+/// factory for [`SimClock`]s.
+#[derive(Debug, Clone)]
+pub struct ClockProfile {
+    /// Timer technology being modelled.
+    pub timer: TimerKind,
+    /// Per-read measurement error specification.
+    pub noise: NoiseSpec,
+    /// Std-dev of initial offsets between nodes, seconds.
+    pub node_offset_sigma_s: f64,
+    /// Extra std-dev of offsets between chips of one node, seconds.
+    pub chip_offset_sigma_s: f64,
+    /// Std-dev of constant rate error between nodes (fractional).
+    pub node_rate_sigma: f64,
+    /// Extra std-dev of rate between chips of one node (fractional).
+    pub chip_rate_sigma: f64,
+    /// Random-walk wander: rate step sigma per sample.
+    pub walk_step_sigma: f64,
+    /// Random-walk wander: seconds between samples.
+    pub walk_step_s: f64,
+    /// Thermal sinusoid amplitude (fractional rate).
+    pub thermal_amp: f64,
+    /// Thermal period drawn uniformly from this range, seconds.
+    pub thermal_period_s: (f64, f64),
+    /// NTP discipline, if the timer is steered (software clocks).
+    pub ntp: Option<NtpDiscipline>,
+    /// Drift paths are drawn over `[0, horizon_s]`.
+    pub horizon_s: f64,
+}
+
+impl ClockProfile {
+    /// A profile with no spread, no wander and no noise — a family of ideal
+    /// clocks. Builder methods add the physics.
+    pub fn bare(timer: TimerKind) -> Self {
+        ClockProfile {
+            timer,
+            noise: NoiseSpec::noiseless(),
+            node_offset_sigma_s: 0.0,
+            chip_offset_sigma_s: 0.0,
+            node_rate_sigma: 0.0,
+            chip_rate_sigma: 0.0,
+            walk_step_sigma: 0.0,
+            walk_step_s: 10.0,
+            thermal_amp: 0.0,
+            thermal_period_s: (600.0, 1200.0),
+            ntp: None,
+            horizon_s: 3600.0,
+        }
+    }
+
+    /// Set the per-read noise model.
+    pub fn with_noise(mut self, noise: NoiseSpec) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Set node-level offset (seconds) and rate (fractional) spreads.
+    pub fn with_node_spread(mut self, offset_sigma_s: f64, rate_sigma: f64) -> Self {
+        self.node_offset_sigma_s = offset_sigma_s;
+        self.node_rate_sigma = rate_sigma;
+        self
+    }
+
+    /// Set chip-level offset and rate spreads (within one node).
+    pub fn with_chip_spread(mut self, offset_sigma_s: f64, rate_sigma: f64) -> Self {
+        self.chip_offset_sigma_s = offset_sigma_s;
+        self.chip_rate_sigma = rate_sigma;
+        self
+    }
+
+    /// Set the non-deterministic wander: random-walk step sigma / interval
+    /// and thermal sinusoid amplitude / period range.
+    pub fn with_wander(
+        mut self,
+        walk_step_sigma: f64,
+        walk_step_s: f64,
+        thermal_amp: f64,
+        thermal_period_s: (f64, f64),
+    ) -> Self {
+        self.walk_step_sigma = walk_step_sigma;
+        self.walk_step_s = walk_step_s;
+        self.thermal_amp = thermal_amp;
+        self.thermal_period_s = thermal_period_s;
+        self
+    }
+
+    /// Steer the clock with an NTP discipline (its `base_rate` is replaced
+    /// per clock by the sampled node/chip rate).
+    pub fn with_ntp(mut self, ntp: NtpDiscipline) -> Self {
+        self.ntp = Some(ntp);
+        self
+    }
+
+    /// Set the drift-path horizon (must cover the simulated run).
+    pub fn with_horizon(mut self, horizon_s: f64) -> Self {
+        self.horizon_s = horizon_s;
+        self
+    }
+
+    /// Build the drift path of one node's shared oscillator: NTP steering
+    /// (if configured) or a constant `base_rate`, plus the thermal sinusoid
+    /// and random-walk wander. Chips of one node derive their timestamp
+    /// counters from this same oscillator, so the path is shared between
+    /// them via [`ClockProfile::build_clock_on`].
+    pub fn build_node_drift(
+        &self,
+        rng: &mut StdRng,
+        offset_s: f64,
+        base_rate: f64,
+    ) -> Arc<dyn DriftModel> {
+        let mut parts: Vec<Box<dyn DriftModel>> = Vec::with_capacity(3);
+        match &self.ntp {
+            Some(ntp) => {
+                let mut d = ntp.clone();
+                d.base_rate = base_rate;
+                parts.push(Box::new(d.generate(rng, offset_s, self.horizon_s)));
+            }
+            None => parts.push(Box::new(ConstantDrift::new(base_rate))),
+        }
+        if self.thermal_amp > 0.0 {
+            let (lo, hi) = self.thermal_period_s;
+            let period = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            let phase = rng.gen_range(0.0..core::f64::consts::TAU);
+            parts.push(Box::new(SinusoidalDrift::new(self.thermal_amp, period, phase)));
+        }
+        if self.walk_step_sigma > 0.0 {
+            parts.push(Box::new(RandomWalkDrift::generate(
+                rng,
+                self.walk_step_sigma,
+                self.walk_step_s,
+                // Margin so queries a bit past the nominal end stay valid.
+                self.horizon_s * 1.25 + 60.0,
+            )));
+        }
+        Arc::new(CompositeDrift::new(parts))
+    }
+
+    /// Build a clock on a (possibly shared) node drift path, with its own
+    /// initial offset and an additional constant per-chip rate delta.
+    pub fn build_clock_on(
+        &self,
+        rng: &mut StdRng,
+        node_drift: Arc<dyn DriftModel>,
+        offset_s: f64,
+        rate_delta: f64,
+    ) -> SimClock {
+        let drift: Arc<dyn DriftModel> = if rate_delta == 0.0 {
+            node_drift
+        } else {
+            Arc::new(CompositeDrift::new(vec![
+                Box::new(node_drift),
+                Box::new(ConstantDrift::new(rate_delta)),
+            ]))
+        };
+        SimClock::new(
+            self.timer,
+            Dur::from_secs_f64(offset_s),
+            drift,
+            self.noise.clone(),
+            rng.next_u64(),
+        )
+    }
+
+    /// Build one standalone clock with the given sampled initial offset
+    /// (seconds) and base rate (fractional); drift wander and noise streams
+    /// are drawn from `rng`.
+    pub fn build_clock(&self, rng: &mut StdRng, offset_s: f64, base_rate: f64) -> SimClock {
+        let base = self.build_node_drift(rng, offset_s, base_rate);
+        self.build_clock_on(rng, base, offset_s, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        assert_eq!(Platform::XeonCluster.shape(4).n_cores(), 32);
+        assert_eq!(Platform::ItaniumSmp.shape(1).n_cores(), 16);
+        assert_eq!(Platform::OpteronCluster.shape(2).n_cores(), 4);
+        assert_eq!(Platform::PowerPcCluster.shape(3).n_cores(), 12);
+    }
+
+    #[test]
+    fn tsc_profile_is_hardware_and_fine_grained() {
+        let p = Platform::XeonCluster.clock_profile(TimerKind::IntelTsc, 600.0);
+        assert!(p.timer.is_hardware());
+        assert!(p.ntp.is_none());
+        assert!(p.noise.resolution < Dur::from_ns(1));
+    }
+
+    #[test]
+    fn gettimeofday_profile_is_ntp_steered() {
+        let p = Platform::XeonCluster.clock_profile(TimerKind::Gettimeofday, 600.0);
+        assert!(p.ntp.is_some());
+        assert_eq!(p.noise.resolution, Dur::from_us(1));
+    }
+
+    #[test]
+    fn built_clock_respects_offset_and_rate() {
+        let p = ClockProfile::bare(TimerKind::IntelTsc).with_horizon(100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = p.build_clock(&mut rng, 1e-3, 2e-6);
+        let t = Time::from_secs(50);
+        let expected = t + Dur::from_ms(1) + Dur::from_us(100);
+        let got = c.ideal_at(t);
+        assert!(
+            (got - expected).abs() < Dur::from_ns(1),
+            "got {got:?}, expected {expected:?}"
+        );
+    }
+
+    #[test]
+    fn ntp_clock_total_rate_includes_base() {
+        let p = ClockProfile::bare(TimerKind::Gettimeofday)
+            .with_ntp(NtpDiscipline::typical(0.0))
+            .with_horizon(300.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = p.build_clock(&mut rng, 0.0, 5e-6);
+        // Early on (before the discipline bites) the clock should be moving
+        // at roughly its intrinsic 5 ppm.
+        let r = c.rate_at(Time::from_secs(1));
+        assert!((r - 5e-6).abs() < 3e-6, "rate {r}");
+    }
+
+    #[test]
+    fn itanium_chips_get_microsecond_offsets() {
+        let p = Platform::ItaniumSmp.clock_profile(TimerKind::CycleCounter, 60.0);
+        assert!(p.chip_offset_sigma_s > 0.2e-6 && p.chip_offset_sigma_s < 5e-6);
+        assert_eq!(p.node_offset_sigma_s, 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Fixed-point time arithmetic used across the whole workspace.
+//!
+//! Simulated *true time* as well as local clock readings are represented in
+//! integer **picoseconds** (`i64`). Picosecond resolution leaves comfortable
+//! headroom below the smallest physical effects we model (sub-nanosecond
+//! drift accumulation per event) while an `i64` still spans ±106 days, far
+//! beyond the paper's longest 3600 s measurement runs. Using a fixed-point
+//! integer instead of `f64` keeps comparisons exact and event ordering
+//! deterministic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: i64 = 1_000_000_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: i64 = 1_000_000_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: i64 = 1_000_000;
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: i64 = 1_000;
+
+/// An instant on some time axis (true time or a local clock), in picoseconds
+/// since that axis' origin. May be negative: a worker clock that starts
+/// behind the master produces negative local readings near the origin.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(i64);
+
+/// A signed span between two [`Time`] values, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(i64);
+
+impl Time {
+    /// The origin of the axis.
+    pub const ZERO: Time = Time(0);
+    /// Largest representable instant.
+    pub const MAX: Time = Time(i64::MAX);
+    /// Smallest representable instant.
+    pub const MIN: Time = Time(i64::MIN);
+
+    /// Instant from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Self {
+        Time(ps)
+    }
+
+    /// Instant from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: i64) -> Self {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Instant from microseconds.
+    #[inline]
+    pub const fn from_us(us: i64) -> Self {
+        Time(us * PS_PER_US)
+    }
+
+    /// Instant from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: i64) -> Self {
+        Time(ms * PS_PER_MS)
+    }
+
+    /// Instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Time(s * PS_PER_SEC)
+    }
+
+    /// Instant from fractional seconds (rounded to the nearest picosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Time((s * PS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Span from the origin to this instant.
+    #[inline]
+    pub const fn since_origin(self) -> Dur {
+        Dur(self.0)
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Saturating addition of a span.
+    #[inline]
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// Round down to an integer multiple of `res` (no-op for `res <= 1 ps`).
+    ///
+    /// Models the finite resolution of a timer: `gettimeofday()` cannot
+    /// report below one microsecond, a 3 GHz timestamp counter below one
+    /// third of a nanosecond.
+    #[inline]
+    pub fn quantize(self, res: Dur) -> Time {
+        if res.0 <= 1 {
+            return self;
+        }
+        Time(self.0.div_euclid(res.0) * res.0)
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+    /// Largest representable span.
+    pub const MAX: Dur = Dur(i64::MAX);
+
+    /// Span from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Self {
+        Dur(ps)
+    }
+
+    /// Span from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: i64) -> Self {
+        Dur(ns * PS_PER_NS)
+    }
+
+    /// Span from microseconds.
+    #[inline]
+    pub const fn from_us(us: i64) -> Self {
+        Dur(us * PS_PER_US)
+    }
+
+    /// Span from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: i64) -> Self {
+        Dur(ms * PS_PER_MS)
+    }
+
+    /// Span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Dur(s * PS_PER_SEC)
+    }
+
+    /// Span from fractional seconds (rounded to the nearest picosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur((s * PS_PER_SEC as f64).round() as i64)
+    }
+
+    /// Span from fractional microseconds.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        Dur((us * PS_PER_US as f64).round() as i64)
+    }
+
+    /// Raw picoseconds.
+    #[inline]
+    pub const fn as_ps(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub const fn abs(self) -> Dur {
+        Dur(self.0.abs())
+    }
+
+    /// True if the span is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// Multiply by a dimensionless factor, rounding to the nearest ps.
+    #[inline]
+    pub fn scale(self, f: f64) -> Dur {
+        Dur((self.0 as f64 * f).round() as i64)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Dur> for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Dur {
+    type Output = Dur;
+    #[inline]
+    fn neg(self) -> Dur {
+        Dur(-self.0)
+    }
+}
+
+impl Mul<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: i64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: i64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{:.9}s]", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D[{:.3}us]", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(2), Time::from_ms(2000));
+        assert_eq!(Time::from_ms(3), Time::from_us(3000));
+        assert_eq!(Time::from_us(5), Time::from_ns(5000));
+        assert_eq!(Time::from_ns(7), Time::from_ps(7000));
+        assert_eq!(Dur::from_secs(1), Dur::from_ps(PS_PER_SEC));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let t = Time::from_secs_f64(1_234.567_890_123);
+        assert!((t.as_secs_f64() - 1_234.567_890_123).abs() < 1e-9);
+        let d = Dur::from_us_f64(4.29);
+        assert!((d.as_us_f64() - 4.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(10);
+        let d = Dur::from_us(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d + d, t);
+        assert_eq!(d * 4, Dur::from_ms(1));
+        assert_eq!(Dur::from_ms(1) / 4, d);
+        assert_eq!(-d + d, Dur::ZERO);
+    }
+
+    #[test]
+    fn quantize_floors_to_grid() {
+        let res = Dur::from_us(1);
+        let t = Time::from_ns(1999);
+        assert_eq!(t.quantize(res), Time::from_us(1));
+        // Negative instants still land on the grid below.
+        let neg = Time::from_ns(-500);
+        assert_eq!(neg.quantize(res), Time::from_us(-1));
+        // Sub-picosecond resolution is a no-op.
+        assert_eq!(t.quantize(Dur::from_ps(1)), t);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_us(1);
+        let b = Time::from_us(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_us(-3).abs(), Dur::from_us(3));
+        assert!(Dur::from_ns(-1).is_negative());
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let d = Dur::from_us(10);
+        assert_eq!(d.scale(0.5), Dur::from_us(5));
+        assert_eq!(d.scale(1e-6), Dur::from_ps(10));
+    }
+}

@@ -1,0 +1,533 @@
+//! Postmortem trace analysis: reconstructing the communication structure.
+//!
+//! Tracers record sends and receives independently on each process; which
+//! send pairs with which receive is recovered afterwards from MPI's
+//! non-overtaking rule — messages between one (source, destination, tag)
+//! triple match in FIFO order. Collective instances are recovered from the
+//! per-communicator call order, and OpenMP parallel regions from the POMP
+//! fork/join bracketing. These reconstructions are purely *logical*: they
+//! use event order within each timeline, never the (unreliable) timestamps,
+//! so corrupted clocks cannot corrupt the structure.
+
+use crate::event::{CollOp, EventKind};
+use crate::ids::{CommId, EventId, Rank, RegionId};
+use crate::trace::Trace;
+use std::collections::HashMap;
+
+/// A matched point-to-point message: its send and receive events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageMatch {
+    /// The `Send` event.
+    pub send: EventId,
+    /// The matching `Recv` event.
+    pub recv: EventId,
+    /// Source rank.
+    pub from: Rank,
+    /// Destination rank.
+    pub to: Rank,
+    /// Payload size.
+    pub bytes: u64,
+}
+
+/// Result of message matching, including any dangling events (normally a
+/// sign of a truncated or partial trace).
+#[derive(Debug, Clone, Default)]
+pub struct Matching {
+    /// Matched send/receive pairs.
+    pub messages: Vec<MessageMatch>,
+    /// Sends with no matching receive in the trace.
+    pub unmatched_sends: Vec<EventId>,
+    /// Receives with no matching send in the trace.
+    pub unmatched_recvs: Vec<EventId>,
+}
+
+impl Matching {
+    /// True if every message event found its partner.
+    pub fn is_complete(&self) -> bool {
+        self.unmatched_sends.is_empty() && self.unmatched_recvs.is_empty()
+    }
+}
+
+/// Match sends to receives by (source, destination, tag) in FIFO order.
+///
+/// The trace's timelines are indexed by rank position in `trace.procs`;
+/// ranks referenced by `Send`/`Recv` events are resolved through each
+/// timeline's location.
+pub fn match_messages(trace: &Trace) -> Matching {
+    // Map rank -> proc index so Send{to} can be resolved.
+    let mut proc_of_rank: HashMap<Rank, usize> = HashMap::with_capacity(trace.n_procs());
+    for (p, pt) in trace.procs.iter().enumerate() {
+        proc_of_rank.insert(pt.location.rank, p);
+    }
+
+    // FIFO queues of pending sends per (from, to, tag).
+    let mut pending: HashMap<(Rank, Rank, u32), std::collections::VecDeque<(EventId, u64)>> =
+        HashMap::new();
+    let mut out = Matching::default();
+
+    // First pass: collect sends in per-timeline order (which is program
+    // order, the order MPI's non-overtaking rule speaks about).
+    for (p, pt) in trace.procs.iter().enumerate() {
+        let from = pt.location.rank;
+        for (i, e) in pt.events.iter().enumerate() {
+            if let EventKind::Send { to, tag, bytes } = e.kind {
+                pending
+                    .entry((from, to, tag.0))
+                    .or_default()
+                    .push_back((EventId::new(p, i), bytes));
+            }
+        }
+    }
+
+    // Second pass: receives consume sends FIFO.
+    for (p, pt) in trace.procs.iter().enumerate() {
+        let to = pt.location.rank;
+        for (i, e) in pt.events.iter().enumerate() {
+            if let EventKind::Recv { from, tag, .. } = e.kind {
+                let recv = EventId::new(p, i);
+                match pending
+                    .get_mut(&(from, to, tag.0))
+                    .and_then(|q| q.pop_front())
+                {
+                    Some((send, bytes)) => out.messages.push(MessageMatch {
+                        send,
+                        recv,
+                        from,
+                        to,
+                        bytes,
+                    }),
+                    None => out.unmatched_recvs.push(recv),
+                }
+            }
+        }
+    }
+
+    for q in pending.values_mut() {
+        out.unmatched_sends.extend(q.iter().map(|&(id, _)| id));
+    }
+    out.unmatched_sends.sort();
+    out
+}
+
+/// One member's participation in a collective instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollMember {
+    /// Rank of the member.
+    pub rank: Rank,
+    /// Its `CollBegin` event.
+    pub begin: EventId,
+    /// Its `CollEnd` event.
+    pub end: EventId,
+}
+
+/// A reconstructed collective operation instance across all participants.
+#[derive(Debug, Clone)]
+pub struct CollectiveInstance {
+    /// Which operation.
+    pub op: CollOp,
+    /// Communicator.
+    pub comm: CommId,
+    /// Root rank for rooted flavours.
+    pub root: Option<Rank>,
+    /// Begin/end pair per participating rank.
+    pub members: Vec<CollMember>,
+}
+
+impl CollectiveInstance {
+    /// The member entry for the root, if the operation is rooted.
+    pub fn root_member(&self) -> Option<&CollMember> {
+        let root = self.root?;
+        self.members.iter().find(|m| m.rank == root)
+    }
+}
+
+/// Reconstruct collective instances: within one communicator, the k-th
+/// collective call of every rank belongs to instance k (MPI requires all
+/// ranks of a communicator to issue collectives in the same order).
+///
+/// Returns instances in per-communicator call order. Instances whose `op`
+/// differs across ranks indicate a malformed trace and are reported via
+/// `Err` with the instance index.
+pub fn match_collectives(trace: &Trace) -> Result<Vec<CollectiveInstance>, String> {
+    // comm -> per-proc list of (begin, end, op, root) in call order.
+    #[derive(Clone)]
+    struct Call {
+        rank: Rank,
+        begin: EventId,
+        end: Option<EventId>,
+        op: CollOp,
+        root: Option<Rank>,
+    }
+    let mut per_comm: HashMap<CommId, Vec<Vec<Call>>> = HashMap::new();
+
+    for (p, pt) in trace.procs.iter().enumerate() {
+        let rank = pt.location.rank;
+        // comm -> open call stack position for this proc.
+        let mut open: HashMap<CommId, usize> = HashMap::new();
+        for (i, e) in pt.events.iter().enumerate() {
+            match e.kind {
+                EventKind::CollBegin { op, comm, root, .. } => {
+                    let lists = per_comm.entry(comm).or_default();
+                    if lists.len() <= p {
+                        lists.resize_with(trace.n_procs(), Vec::new);
+                    }
+                    open.insert(comm, lists[p].len());
+                    lists[p].push(Call {
+                        rank,
+                        begin: EventId::new(p, i),
+                        end: None,
+                        op,
+                        root,
+                    });
+                }
+                EventKind::CollEnd { comm, .. } => {
+                    let idx = *open
+                        .get(&comm)
+                        .ok_or_else(|| format!("CollEnd without CollBegin at proc {p}"))?;
+                    let lists = per_comm.get_mut(&comm).unwrap();
+                    lists[p][idx].end = Some(EventId::new(p, i));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut comms: Vec<_> = per_comm.keys().copied().collect();
+    comms.sort();
+    let mut out = Vec::new();
+    for comm in comms {
+        let lists = &per_comm[&comm];
+        let participating: Vec<usize> = (0..lists.len())
+            .filter(|&p| !lists[p].is_empty())
+            .collect();
+        let n_calls = participating
+            .iter()
+            .map(|&p| lists[p].len())
+            .max()
+            .unwrap_or(0);
+        for k in 0..n_calls {
+            let mut members = Vec::new();
+            let mut op: Option<CollOp> = None;
+            let mut root: Option<Rank> = None;
+            for &p in &participating {
+                let Some(call) = lists[p].get(k) else {
+                    return Err(format!(
+                        "rank at proc {p} missing collective #{k} on {comm}"
+                    ));
+                };
+                match op {
+                    None => {
+                        op = Some(call.op);
+                        root = call.root;
+                    }
+                    Some(o) if o != call.op => {
+                        return Err(format!(
+                            "collective #{k} on {comm}: op mismatch {o:?} vs {:?}",
+                            call.op
+                        ));
+                    }
+                    _ => {}
+                }
+                let end = call.end.ok_or_else(|| {
+                    format!("collective #{k} on {comm}: missing CollEnd at proc {p}")
+                })?;
+                members.push(CollMember {
+                    rank: call.rank,
+                    begin: call.begin,
+                    end,
+                });
+            }
+            out.push(CollectiveInstance {
+                op: op.expect("non-empty instance"),
+                comm,
+                root,
+                members,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// One thread's view of a parallel region instance (POMP model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionThread {
+    /// Timeline index of the thread.
+    pub proc: usize,
+    /// The thread's first event of the region (index into its timeline).
+    pub first: u32,
+    /// The thread's last event of the region (inclusive).
+    pub last: u32,
+    /// Barrier enter event, if present.
+    pub barrier_enter: Option<EventId>,
+    /// Barrier exit event, if present.
+    pub barrier_exit: Option<EventId>,
+}
+
+/// A reconstructed OpenMP parallel region instance.
+#[derive(Debug, Clone)]
+pub struct ParallelRegion {
+    /// Region id from the fork event.
+    pub region: RegionId,
+    /// The master's `Fork` event.
+    pub fork: EventId,
+    /// The master's `Join` event.
+    pub join: EventId,
+    /// Per-thread spans (including the master's own work inside the
+    /// region).
+    pub threads: Vec<RegionThread>,
+}
+
+/// Reconstruct parallel regions from POMP events.
+///
+/// Assumes the trace's timelines are the threads of one team (as produced by
+/// [`Trace::for_threads`]): thread 0 carries `Fork`/`Join`, every thread
+/// carries its in-region events bracketed (logically) between consecutive
+/// fork/join pairs, in the same instance order on all threads.
+pub fn match_parallel_regions(trace: &Trace) -> Result<Vec<ParallelRegion>, String> {
+    if trace.procs.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Collect fork/join pairs on the master timeline.
+    let master = 0usize;
+    let mut forks: Vec<(RegionId, EventId)> = Vec::new();
+    let mut joins: Vec<EventId> = Vec::new();
+    for (i, e) in trace.procs[master].events.iter().enumerate() {
+        match e.kind {
+            EventKind::Fork { region } => forks.push((region, EventId::new(master, i))),
+            EventKind::Join { .. } => joins.push(EventId::new(master, i)),
+            _ => {}
+        }
+    }
+    if forks.len() != joins.len() {
+        return Err(format!(
+            "unbalanced fork/join: {} forks, {} joins",
+            forks.len(),
+            joins.len()
+        ));
+    }
+
+    // Per thread, split its event stream into region instances by counting
+    // barrier enters/exits per instance: thread-local events between the
+    // k-th region markers belong to instance k. We use explicit per-thread
+    // instance cursors driven by BarrierExit (every instance ends with the
+    // implicit barrier in the POMP model).
+    let mut regions: Vec<ParallelRegion> = forks
+        .iter()
+        .zip(&joins)
+        .map(|(&(region, fork), &join)| ParallelRegion {
+            region,
+            fork,
+            join,
+            threads: Vec::new(),
+        })
+        .collect();
+
+    for (p, pt) in trace.procs.iter().enumerate() {
+        let mut inst = 0usize;
+        let mut current: Option<RegionThread> = None;
+        for (i, e) in pt.events.iter().enumerate() {
+            match e.kind {
+                // Fork/Join live outside the per-thread span.
+                EventKind::Fork { .. } | EventKind::Join { .. } => {}
+                EventKind::BarrierEnter { .. } => {
+                    let cur = current.get_or_insert(RegionThread {
+                        proc: p,
+                        first: i as u32,
+                        last: i as u32,
+                        barrier_enter: None,
+                        barrier_exit: None,
+                    });
+                    cur.barrier_enter = Some(EventId::new(p, i));
+                    cur.last = i as u32;
+                }
+                EventKind::BarrierExit { .. } => {
+                    let cur = current.get_or_insert(RegionThread {
+                        proc: p,
+                        first: i as u32,
+                        last: i as u32,
+                        barrier_enter: None,
+                        barrier_exit: None,
+                    });
+                    cur.barrier_exit = Some(EventId::new(p, i));
+                    cur.last = i as u32;
+                    // The implicit barrier exit closes the instance.
+                    let done = current.take().expect("just inserted");
+                    let reg = regions.get_mut(inst).ok_or_else(|| {
+                        format!("thread {p} has more region instances than the master forked")
+                    })?;
+                    reg.threads.push(done);
+                    inst += 1;
+                }
+                _ => {
+                    let cur = current.get_or_insert(RegionThread {
+                        proc: p,
+                        first: i as u32,
+                        last: i as u32,
+                        barrier_enter: None,
+                        barrier_exit: None,
+                    });
+                    cur.last = i as u32;
+                }
+            }
+        }
+        if current.is_some() {
+            return Err(format!("thread {p}: trailing region without barrier exit"));
+        }
+    }
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Tag;
+    use simclock::Time;
+
+    fn us(n: i64) -> Time {
+        Time::from_us(n)
+    }
+
+    #[test]
+    fn fifo_matching_is_order_based_not_time_based() {
+        let mut t = Trace::for_ranks(2);
+        // Two messages 0 -> 1 with the same tag; timestamps deliberately
+        // scrambled — matching must follow program order.
+        t.procs[0].push(us(10), EventKind::Send { to: Rank(1), tag: Tag(7), bytes: 1 });
+        t.procs[0].push(us(11), EventKind::Send { to: Rank(1), tag: Tag(7), bytes: 2 });
+        t.procs[1].push(us(5), EventKind::Recv { from: Rank(0), tag: Tag(7), bytes: 1 });
+        t.procs[1].push(us(6), EventKind::Recv { from: Rank(0), tag: Tag(7), bytes: 2 });
+        let m = match_messages(&t);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 2);
+        assert_eq!(m.messages[0].send, EventId::new(0, 0));
+        assert_eq!(m.messages[0].recv, EventId::new(1, 0));
+        assert_eq!(m.messages[0].bytes, 1);
+        assert_eq!(m.messages[1].bytes, 2);
+    }
+
+    #[test]
+    fn different_tags_do_not_cross_match() {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(us(1), EventKind::Send { to: Rank(1), tag: Tag(1), bytes: 0 });
+        t.procs[1].push(us(2), EventKind::Recv { from: Rank(0), tag: Tag(2), bytes: 0 });
+        let m = match_messages(&t);
+        assert_eq!(m.messages.len(), 0);
+        assert_eq!(m.unmatched_sends.len(), 1);
+        assert_eq!(m.unmatched_recvs.len(), 1);
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn collective_reconstruction_by_call_order() {
+        let mut t = Trace::for_ranks(2);
+        for p in 0..2 {
+            for _ in 0..2 {
+                t.procs[p].push(
+                    us(1),
+                    EventKind::CollBegin {
+                        op: CollOp::Allreduce,
+                        comm: CommId::WORLD,
+                        root: None,
+                        bytes: 8,
+                    },
+                );
+                t.procs[p].push(
+                    us(2),
+                    EventKind::CollEnd {
+                        op: CollOp::Allreduce,
+                        comm: CommId::WORLD,
+                        root: None,
+                        bytes: 8,
+                    },
+                );
+            }
+        }
+        let insts = match_collectives(&t).unwrap();
+        assert_eq!(insts.len(), 2);
+        assert_eq!(insts[0].members.len(), 2);
+        assert_eq!(insts[0].op, CollOp::Allreduce);
+    }
+
+    #[test]
+    fn collective_op_mismatch_is_detected() {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(
+            us(1),
+            EventKind::CollBegin { op: CollOp::Barrier, comm: CommId::WORLD, root: None, bytes: 0 },
+        );
+        t.procs[0].push(
+            us(2),
+            EventKind::CollEnd { op: CollOp::Barrier, comm: CommId::WORLD, root: None, bytes: 0 },
+        );
+        t.procs[1].push(
+            us(1),
+            EventKind::CollBegin { op: CollOp::Bcast, comm: CommId::WORLD, root: Some(Rank(0)), bytes: 0 },
+        );
+        t.procs[1].push(
+            us(2),
+            EventKind::CollEnd { op: CollOp::Bcast, comm: CommId::WORLD, root: Some(Rank(0)), bytes: 0 },
+        );
+        assert!(match_collectives(&t).is_err());
+    }
+
+    #[test]
+    fn rooted_collective_finds_root_member() {
+        let mut t = Trace::for_ranks(3);
+        for p in 0..3 {
+            t.procs[p].push(
+                us(1),
+                EventKind::CollBegin {
+                    op: CollOp::Bcast,
+                    comm: CommId::WORLD,
+                    root: Some(Rank(1)),
+                    bytes: 4,
+                },
+            );
+            t.procs[p].push(
+                us(2),
+                EventKind::CollEnd {
+                    op: CollOp::Bcast,
+                    comm: CommId::WORLD,
+                    root: Some(Rank(1)),
+                    bytes: 4,
+                },
+            );
+        }
+        let insts = match_collectives(&t).unwrap();
+        assert_eq!(insts.len(), 1);
+        let rm = insts[0].root_member().unwrap();
+        assert_eq!(rm.rank, Rank(1));
+    }
+
+    #[test]
+    fn parallel_region_reconstruction() {
+        let mut t = Trace::for_threads(2);
+        let r = RegionId(3);
+        // Master: fork, work, barrier, join.
+        t.procs[0].push(us(0), EventKind::Fork { region: r });
+        t.procs[0].push(us(1), EventKind::Enter { region: r });
+        t.procs[0].push(us(2), EventKind::Exit { region: r });
+        t.procs[0].push(us(3), EventKind::BarrierEnter { region: r });
+        t.procs[0].push(us(4), EventKind::BarrierExit { region: r });
+        t.procs[0].push(us(5), EventKind::Join { region: r });
+        // Worker: work, barrier.
+        t.procs[1].push(us(1), EventKind::Enter { region: r });
+        t.procs[1].push(us(2), EventKind::Exit { region: r });
+        t.procs[1].push(us(3), EventKind::BarrierEnter { region: r });
+        t.procs[1].push(us(4), EventKind::BarrierExit { region: r });
+
+        let regions = match_parallel_regions(&t).unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].threads.len(), 2);
+        assert_eq!(regions[0].region, r);
+        let master = &regions[0].threads[0];
+        assert!(master.barrier_enter.is_some() && master.barrier_exit.is_some());
+    }
+
+    #[test]
+    fn unbalanced_fork_join_rejected() {
+        let mut t = Trace::for_threads(1);
+        t.procs[0].push(us(0), EventKind::Fork { region: RegionId(0) });
+        assert!(match_parallel_regions(&t).is_err());
+    }
+}

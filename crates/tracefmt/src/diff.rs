@@ -1,0 +1,208 @@
+//! Trace differencing: quantify what a timestamp correction did.
+//!
+//! The CLC's whole selling point is *minimal, interval-preserving*
+//! modification: it should move as few events as little as possible while
+//! restoring the clock condition. [`diff_traces`] compares two structurally
+//! identical traces (same events, possibly different timestamps) and
+//! reports the shift distribution — total/mean/max displacement per process
+//! and the distortion of local interval lengths — the quantities the CLC
+//! literature uses to compare correction quality.
+
+use crate::stats::Summary;
+use crate::trace::Trace;
+use simclock::Dur;
+
+/// Why two traces cannot be diffed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// Different number of timelines.
+    ProcCount(usize, usize),
+    /// A timeline has different event counts.
+    EventCount(usize, usize, usize),
+    /// An event's kind changed (the traces are not the same run).
+    KindMismatch(usize, usize),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::ProcCount(a, b) => write!(f, "{a} vs {b} timelines"),
+            DiffError::EventCount(p, a, b) => {
+                write!(f, "timeline {p}: {a} vs {b} events")
+            }
+            DiffError::KindMismatch(p, i) => {
+                write!(f, "event {p}.{i}: kind differs — not the same run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Shift statistics for one timeline.
+#[derive(Debug, Clone)]
+pub struct ProcDiff {
+    /// Events whose timestamp changed.
+    pub moved: usize,
+    /// Events inspected.
+    pub total: usize,
+    /// Shift distribution in µs (after − before; negative = moved earlier).
+    pub shift_us: Summary,
+    /// Relative change of consecutive-event interval lengths, percent
+    /// (only intervals that were positive before are counted).
+    pub interval_distortion_pct: Summary,
+}
+
+/// A whole-trace diff.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// Per-timeline statistics.
+    pub procs: Vec<ProcDiff>,
+}
+
+impl TraceDiff {
+    /// Total number of moved events.
+    pub fn moved(&self) -> usize {
+        self.procs.iter().map(|p| p.moved).sum()
+    }
+
+    /// Largest absolute shift across the whole trace, µs.
+    pub fn max_abs_shift_us(&self) -> f64 {
+        self.procs
+            .iter()
+            .map(|p| p.shift_us.min().abs().max(p.shift_us.max().abs()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean interval distortion across all timelines, percent.
+    pub fn mean_interval_distortion_pct(&self) -> f64 {
+        let mut s = Summary::new();
+        for p in &self.procs {
+            if p.interval_distortion_pct.count() > 0 {
+                s.add(p.interval_distortion_pct.mean());
+            }
+        }
+        s.mean()
+    }
+}
+
+/// Diff two structurally identical traces (`before` → `after`).
+///
+/// ```
+/// use simclock::Time;
+/// use tracefmt::{diff_traces, EventKind, RegionId, Trace};
+///
+/// let mut before = Trace::for_ranks(1);
+/// before.procs[0].push(Time::from_us(10), EventKind::Enter { region: RegionId(0) });
+/// let mut after = before.clone();
+/// after.procs[0].events[0].time = Time::from_us(25);
+///
+/// let d = diff_traces(&before, &after).unwrap();
+/// assert_eq!(d.moved(), 1);
+/// assert!((d.max_abs_shift_us() - 15.0).abs() < 1e-9);
+/// ```
+pub fn diff_traces(before: &Trace, after: &Trace) -> Result<TraceDiff, DiffError> {
+    if before.n_procs() != after.n_procs() {
+        return Err(DiffError::ProcCount(before.n_procs(), after.n_procs()));
+    }
+    let mut procs = Vec::with_capacity(before.n_procs());
+    for (p, (b, a)) in before.procs.iter().zip(&after.procs).enumerate() {
+        if b.events.len() != a.events.len() {
+            return Err(DiffError::EventCount(p, b.events.len(), a.events.len()));
+        }
+        let mut moved = 0usize;
+        let mut shift_us = Summary::new();
+        let mut interval = Summary::new();
+        for (i, (eb, ea)) in b.events.iter().zip(&a.events).enumerate() {
+            if eb.kind != ea.kind {
+                return Err(DiffError::KindMismatch(p, i));
+            }
+            let shift = ea.time - eb.time;
+            if shift != Dur::ZERO {
+                moved += 1;
+            }
+            shift_us.add(shift.as_us_f64());
+        }
+        for w in 0..b.events.len().saturating_sub(1) {
+            let orig = (b.events[w + 1].time - b.events[w].time).as_us_f64();
+            if orig > 0.0 {
+                let corr = (a.events[w + 1].time - a.events[w].time).as_us_f64();
+                interval.add(100.0 * (corr - orig).abs() / orig);
+            }
+        }
+        procs.push(ProcDiff {
+            moved,
+            total: b.events.len(),
+            shift_us,
+            interval_distortion_pct: interval,
+        });
+    }
+    Ok(TraceDiff { procs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{Rank, RegionId, Tag};
+    use simclock::Time;
+
+    fn base() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        for k in 0..5i64 {
+            t.procs[0].push(Time::from_us(k * 10), EventKind::Enter { region: RegionId(0) });
+            t.procs[1].push(Time::from_us(k * 10), EventKind::Enter { region: RegionId(0) });
+        }
+        t
+    }
+
+    #[test]
+    fn identical_traces_diff_to_zero() {
+        let t = base();
+        let d = diff_traces(&t, &t).unwrap();
+        assert_eq!(d.moved(), 0);
+        assert_eq!(d.max_abs_shift_us(), 0.0);
+        assert_eq!(d.mean_interval_distortion_pct(), 0.0);
+    }
+
+    #[test]
+    fn shifts_and_intervals_are_measured() {
+        let before = base();
+        let mut after = before.clone();
+        // Shift proc 1's last two events by +5 and +15 µs.
+        after.procs[1].events[3].time = Time::from_us(35);
+        after.procs[1].events[4].time = Time::from_us(55);
+        let d = diff_traces(&before, &after).unwrap();
+        assert_eq!(d.moved(), 2);
+        assert_eq!(d.procs[0].moved, 0);
+        assert_eq!(d.procs[1].moved, 2);
+        assert!((d.max_abs_shift_us() - 15.0).abs() < 1e-9);
+        // Intervals on proc 1: 10,10,15,20 vs 10,10,10,10 → distortions
+        // 0,0,50%,100%... interval[2]=35-20=15 (+50%), interval[3]=55-35=20
+        // but original interval[3]=10 → |20-10|/10 = 100%.
+        let mean = d.procs[1].interval_distortion_pct.mean();
+        assert!((mean - (0.0 + 0.0 + 50.0 + 100.0) / 4.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn structural_mismatches_are_detected() {
+        let a = base();
+        let mut b = base();
+        b.procs.push(crate::trace::ProcessTrace::new(crate::ids::Location::rank(9)));
+        assert!(matches!(diff_traces(&a, &b), Err(DiffError::ProcCount(2, 3))));
+
+        let mut c = base();
+        c.procs[0].push(Time::from_us(99), EventKind::Enter { region: RegionId(0) });
+        assert!(matches!(
+            diff_traces(&a, &c),
+            Err(DiffError::EventCount(0, 5, 6))
+        ));
+
+        let mut d = base();
+        d.procs[1].events[0].kind = EventKind::Send { to: Rank(0), tag: Tag(0), bytes: 0 };
+        assert!(matches!(
+            diff_traces(&a, &d),
+            Err(DiffError::KindMismatch(1, 0))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! Identifier newtypes for trace entities.
+//!
+//! Strong typing keeps ranks, threads, tags, regions and communicators from
+//! being confused with one another in the analysis code; all of them are
+//! thin wrappers around small integers and are free at runtime.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An MPI process rank.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Rank as a usable index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A thread within a process (OpenMP); thread 0 is the master.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The (process, thread) pair identifying an event's timeline — what VAMPIR
+/// draws as one horizontal line.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Location {
+    /// Process rank.
+    pub rank: Rank,
+    /// Thread within the process.
+    pub thread: ThreadId,
+}
+
+impl Location {
+    /// Timeline of an MPI process (thread 0).
+    pub fn rank(rank: u32) -> Self {
+        Location {
+            rank: Rank(rank),
+            thread: ThreadId(0),
+        }
+    }
+
+    /// Timeline of an OpenMP thread within rank 0.
+    pub fn thread(thread: u32) -> Self {
+        Location {
+            rank: Rank(0),
+            thread: ThreadId(thread),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.rank, self.thread)
+    }
+}
+
+/// A source-code region (function, loop, MPI call wrapper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct RegionId(pub u32);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reg{}", self.0)
+    }
+}
+
+/// An MPI message tag.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Tag(pub u32);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// An MPI communicator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CommId(pub u32);
+
+impl CommId {
+    /// The world communicator.
+    pub const WORLD: CommId = CommId(0);
+}
+
+impl fmt::Display for CommId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comm{}", self.0)
+    }
+}
+
+/// Stable identity of one event inside a [`crate::Trace`]: process-trace
+/// index plus position within that process's event vector.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EventId {
+    /// Index of the process trace within the trace.
+    pub proc: u32,
+    /// Index of the event within the process trace.
+    pub idx: u32,
+}
+
+impl EventId {
+    /// Construct from indices.
+    pub fn new(proc: usize, idx: usize) -> Self {
+        EventId {
+            proc: proc as u32,
+            idx: idx as u32,
+        }
+    }
+
+    /// Process-trace index.
+    #[inline]
+    pub fn p(self) -> usize {
+        self.proc as usize
+    }
+
+    /// Event index within the process trace.
+    #[inline]
+    pub fn i(self) -> usize {
+        self.idx as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}.{}", self.proc, self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Location::rank(3).to_string(), "r3:t0");
+        assert_eq!(Location::thread(2).to_string(), "r0:t2");
+        assert_eq!(EventId::new(1, 9).to_string(), "e1.9");
+        assert_eq!(Tag(5).to_string(), "tag5");
+        assert_eq!(RegionId(7).to_string(), "reg7");
+        assert_eq!(CommId::WORLD.to_string(), "comm0");
+    }
+
+    #[test]
+    fn event_id_round_trip() {
+        let e = EventId::new(12, 34);
+        assert_eq!(e.p(), 12);
+        assert_eq!(e.i(), 34);
+    }
+
+    #[test]
+    fn rank_ordering() {
+        assert!(Rank(1) < Rank(2));
+        assert_eq!(Rank(4).idx(), 4);
+    }
+}

@@ -1,0 +1,452 @@
+//! Trace codecs: a human-readable text format and a compact binary format.
+//!
+//! The text format writes one event per line (`rank:thread time_ps MNEMONIC
+//! args…`), convenient for diffing and debugging. The binary format is a
+//! simple length-prefixed record stream built on [`bytes`], an order of
+//! magnitude denser — what a tracing library would actually flush to disk
+//! (paper §III: buffers are flushed at termination or when full).
+
+use crate::event::{CollOp, EventKind, EventRecord};
+use crate::ids::{CommId, Location, Rank, RegionId, Tag, ThreadId};
+use crate::trace::{ProcessTrace, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simclock::Time;
+use std::fmt::Write as _;
+
+/// Errors arising while decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended in the middle of a record.
+    Truncated,
+    /// Unknown event tag or mnemonic.
+    UnknownKind(String),
+    /// A field failed to parse.
+    BadField(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::UnknownKind(s) => write!(f, "unknown event kind {s:?}"),
+            CodecError::BadField(s) => write!(f, "bad field: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------- text ----
+
+/// Encode a trace in the line-oriented text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    for pt in &trace.procs {
+        for e in &pt.events {
+            write_text_line(&mut out, pt.location, e);
+        }
+    }
+    out
+}
+
+fn write_text_line(out: &mut String, loc: Location, e: &EventRecord) {
+    let _ = write!(
+        out,
+        "{}:{} {} {}",
+        loc.rank.0,
+        loc.thread.0,
+        e.time.as_ps(),
+        e.kind.mnemonic()
+    );
+    match e.kind {
+        EventKind::Enter { region } | EventKind::Exit { region } => {
+            let _ = write!(out, " {}", region.0);
+        }
+        EventKind::Send { to, tag, bytes } => {
+            let _ = write!(out, " {} {} {}", to.0, tag.0, bytes);
+        }
+        EventKind::Recv { from, tag, bytes } => {
+            let _ = write!(out, " {} {} {}", from.0, tag.0, bytes);
+        }
+        EventKind::CollBegin { op, comm, root, bytes }
+        | EventKind::CollEnd { op, comm, root, bytes } => {
+            let _ = write!(
+                out,
+                " {} {} {} {}",
+                coll_code(op),
+                comm.0,
+                root.map_or(-1, |r| r.0 as i64),
+                bytes
+            );
+        }
+        EventKind::Fork { region }
+        | EventKind::Join { region }
+        | EventKind::BarrierEnter { region }
+        | EventKind::BarrierExit { region } => {
+            let _ = write!(out, " {}", region.0);
+        }
+    }
+    out.push('\n');
+}
+
+/// Decode the text format back into a trace. Timelines appear in first-seen
+/// order.
+pub fn from_text(s: &str) -> Result<Trace, CodecError> {
+    let mut trace = Trace::default();
+    let mut index: std::collections::HashMap<Location, usize> = std::collections::HashMap::new();
+    for line in s.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let loc_str = parts.next().ok_or(CodecError::Truncated)?;
+        let (r, t) = loc_str
+            .split_once(':')
+            .ok_or_else(|| CodecError::BadField(loc_str.into()))?;
+        let loc = Location {
+            rank: Rank(parse(r)?),
+            thread: ThreadId(parse(t)?),
+        };
+        let time = Time::from_ps(parse(parts.next().ok_or(CodecError::Truncated)?)?);
+        let mn = parts.next().ok_or(CodecError::Truncated)?;
+        let mut next_u32 = || -> Result<u32, CodecError> {
+            parse(parts.next().ok_or(CodecError::Truncated)?)
+        };
+        let kind = match mn {
+            "ENTR" => EventKind::Enter { region: RegionId(next_u32()?) },
+            "EXIT" => EventKind::Exit { region: RegionId(next_u32()?) },
+            "SEND" => {
+                let to = Rank(next_u32()?);
+                let tag = Tag(next_u32()?);
+                let bytes: u64 = parse(parts.next().ok_or(CodecError::Truncated)?)?;
+                EventKind::Send { to, tag, bytes }
+            }
+            "RECV" => {
+                let from = Rank(next_u32()?);
+                let tag = Tag(next_u32()?);
+                let bytes: u64 = parse(parts.next().ok_or(CodecError::Truncated)?)?;
+                EventKind::Recv { from, tag, bytes }
+            }
+            "CBEG" | "CEND" => {
+                let op = coll_from_code(next_u32()? as u8)
+                    .ok_or_else(|| CodecError::UnknownKind(mn.into()))?;
+                let comm = CommId(next_u32()?);
+                let root_raw: i64 = parse(parts.next().ok_or(CodecError::Truncated)?)?;
+                let root = (root_raw >= 0).then_some(Rank(root_raw as u32));
+                let bytes: u64 = parse(parts.next().ok_or(CodecError::Truncated)?)?;
+                if mn == "CBEG" {
+                    EventKind::CollBegin { op, comm, root, bytes }
+                } else {
+                    EventKind::CollEnd { op, comm, root, bytes }
+                }
+            }
+            "FORK" => EventKind::Fork { region: RegionId(next_u32()?) },
+            "JOIN" => EventKind::Join { region: RegionId(next_u32()?) },
+            "BENT" => EventKind::BarrierEnter { region: RegionId(next_u32()?) },
+            "BEXT" => EventKind::BarrierExit { region: RegionId(next_u32()?) },
+            other => return Err(CodecError::UnknownKind(other.into())),
+        };
+        let p = *index.entry(loc).or_insert_with(|| {
+            trace.procs.push(ProcessTrace::new(loc));
+            trace.procs.len() - 1
+        });
+        trace.procs[p].push(time, kind);
+    }
+    Ok(trace)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, CodecError> {
+    s.parse().map_err(|_| CodecError::BadField(s.into()))
+}
+
+// -------------------------------------------------------------- binary ----
+
+const MAGIC: u32 = 0x4454_4c31; // "DTL1"
+
+fn coll_code(op: CollOp) -> u8 {
+    match op {
+        CollOp::Barrier => 0,
+        CollOp::Bcast => 1,
+        CollOp::Scatter => 2,
+        CollOp::Reduce => 3,
+        CollOp::Gather => 4,
+        CollOp::Allreduce => 5,
+        CollOp::Allgather => 6,
+        CollOp::Alltoall => 7,
+        CollOp::Scan => 8,
+    }
+}
+
+fn coll_from_code(c: u8) -> Option<CollOp> {
+    Some(match c {
+        0 => CollOp::Barrier,
+        1 => CollOp::Bcast,
+        2 => CollOp::Scatter,
+        3 => CollOp::Reduce,
+        4 => CollOp::Gather,
+        5 => CollOp::Allreduce,
+        6 => CollOp::Allgather,
+        7 => CollOp::Alltoall,
+        8 => CollOp::Scan,
+        _ => return None,
+    })
+}
+
+fn kind_code(kind: &EventKind) -> u8 {
+    match kind {
+        EventKind::Enter { .. } => 0,
+        EventKind::Exit { .. } => 1,
+        EventKind::Send { .. } => 2,
+        EventKind::Recv { .. } => 3,
+        EventKind::CollBegin { .. } => 4,
+        EventKind::CollEnd { .. } => 5,
+        EventKind::Fork { .. } => 6,
+        EventKind::Join { .. } => 7,
+        EventKind::BarrierEnter { .. } => 8,
+        EventKind::BarrierExit { .. } => 9,
+    }
+}
+
+/// Encode a trace in the compact binary format.
+pub fn to_binary(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.n_events() * 24);
+    buf.put_u32(MAGIC);
+    buf.put_u32(trace.procs.len() as u32);
+    for pt in &trace.procs {
+        buf.put_u32(pt.location.rank.0);
+        buf.put_u32(pt.location.thread.0);
+        buf.put_u64(pt.events.len() as u64);
+        for e in &pt.events {
+            buf.put_i64(e.time.as_ps());
+            buf.put_u8(kind_code(&e.kind));
+            match e.kind {
+                EventKind::Enter { region }
+                | EventKind::Exit { region }
+                | EventKind::Fork { region }
+                | EventKind::Join { region }
+                | EventKind::BarrierEnter { region }
+                | EventKind::BarrierExit { region } => buf.put_u32(region.0),
+                EventKind::Send { to, tag, bytes } => {
+                    buf.put_u32(to.0);
+                    buf.put_u32(tag.0);
+                    buf.put_u64(bytes);
+                }
+                EventKind::Recv { from, tag, bytes } => {
+                    buf.put_u32(from.0);
+                    buf.put_u32(tag.0);
+                    buf.put_u64(bytes);
+                }
+                EventKind::CollBegin { op, comm, root, bytes }
+                | EventKind::CollEnd { op, comm, root, bytes } => {
+                    buf.put_u8(coll_code(op));
+                    buf.put_u32(comm.0);
+                    buf.put_i64(root.map_or(-1, |r| r.0 as i64));
+                    buf.put_u64(bytes);
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode the binary format.
+pub fn from_binary(mut buf: Bytes) -> Result<Trace, CodecError> {
+    fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(&buf, 8)?;
+    if buf.get_u32() != MAGIC {
+        return Err(CodecError::BadField("magic".into()));
+    }
+    let n_procs = buf.get_u32() as usize;
+    let mut trace = Trace::default();
+    for _ in 0..n_procs {
+        need(&buf, 16)?;
+        let rank = Rank(buf.get_u32());
+        let thread = ThreadId(buf.get_u32());
+        let n_events = buf.get_u64() as usize;
+        let mut pt = ProcessTrace::new(Location { rank, thread });
+        pt.events.reserve_exact(n_events);
+        for _ in 0..n_events {
+            need(&buf, 9)?;
+            let time = Time::from_ps(buf.get_i64());
+            let code = buf.get_u8();
+            let kind = match code {
+                0 | 1 | 6 | 7 | 8 | 9 => {
+                    need(&buf, 4)?;
+                    let region = RegionId(buf.get_u32());
+                    match code {
+                        0 => EventKind::Enter { region },
+                        1 => EventKind::Exit { region },
+                        6 => EventKind::Fork { region },
+                        7 => EventKind::Join { region },
+                        8 => EventKind::BarrierEnter { region },
+                        _ => EventKind::BarrierExit { region },
+                    }
+                }
+                2 | 3 => {
+                    need(&buf, 16)?;
+                    let peer = Rank(buf.get_u32());
+                    let tag = Tag(buf.get_u32());
+                    let bytes = buf.get_u64();
+                    if code == 2 {
+                        EventKind::Send { to: peer, tag, bytes }
+                    } else {
+                        EventKind::Recv { from: peer, tag, bytes }
+                    }
+                }
+                4 | 5 => {
+                    need(&buf, 21)?;
+                    let op = coll_from_code(buf.get_u8())
+                        .ok_or_else(|| CodecError::UnknownKind("collective".into()))?;
+                    let comm = CommId(buf.get_u32());
+                    let root_raw = buf.get_i64();
+                    let root = (root_raw >= 0).then_some(Rank(root_raw as u32));
+                    let bytes = buf.get_u64();
+                    if code == 4 {
+                        EventKind::CollBegin { op, comm, root, bytes }
+                    } else {
+                        EventKind::CollEnd { op, comm, root, bytes }
+                    }
+                }
+                other => return Err(CodecError::UnknownKind(format!("code {other}"))),
+            };
+            pt.events.push(EventRecord::new(time, kind));
+        }
+        trace.procs.push(pt);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_ns(100), EventKind::Enter { region: RegionId(1) });
+        t.procs[0].push(
+            Time::from_ns(200),
+            EventKind::Send { to: Rank(1), tag: Tag(3), bytes: 1024 },
+        );
+        t.procs[0].push(
+            Time::from_ns(300),
+            EventKind::CollBegin {
+                op: CollOp::Allreduce,
+                comm: CommId::WORLD,
+                root: None,
+                bytes: 8,
+            },
+        );
+        t.procs[0].push(
+            Time::from_ns(400),
+            EventKind::CollEnd {
+                op: CollOp::Allreduce,
+                comm: CommId::WORLD,
+                root: None,
+                bytes: 8,
+            },
+        );
+        t.procs[0].push(Time::from_ns(500), EventKind::Exit { region: RegionId(1) });
+        t.procs[1].push(
+            Time::from_ns(250),
+            EventKind::Recv { from: Rank(0), tag: Tag(3), bytes: 1024 },
+        );
+        t.procs[1].push(
+            Time::from_ns(260),
+            EventKind::CollBegin {
+                op: CollOp::Bcast,
+                comm: CommId(1),
+                root: Some(Rank(0)),
+                bytes: 64,
+            },
+        );
+        t.procs[1].push(
+            Time::from_ns(270),
+            EventKind::CollEnd {
+                op: CollOp::Bcast,
+                comm: CommId(1),
+                root: Some(Rank(0)),
+                bytes: 64,
+            },
+        );
+        t
+    }
+
+    fn traces_equal(a: &Trace, b: &Trace) -> bool {
+        a.procs.len() == b.procs.len()
+            && a.procs.iter().zip(&b.procs).all(|(x, y)| {
+                x.location == y.location && x.events == y.events
+            })
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = sample_trace();
+        let s = to_text(&t);
+        let back = from_text(&s).unwrap();
+        assert!(traces_equal(&t, &back), "text round-trip mismatch:\n{s}");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let b = to_binary(&t);
+        let back = from_binary(b).unwrap();
+        assert!(traces_equal(&t, &back));
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blanks() {
+        let t = sample_trace();
+        let s = format!("# header\n\n{}\n# trailer\n", to_text(&t));
+        let back = from_text(&s).unwrap();
+        assert!(traces_equal(&t, &back));
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let t = sample_trace();
+        let b = to_binary(&t);
+        for cut in [0, 4, 7, b.len() / 2, b.len() - 1] {
+            let res = from_binary(b.slice(..cut));
+            assert!(res.is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xdeadbeef);
+        buf.put_u32(0);
+        assert!(matches!(
+            from_binary(buf.freeze()),
+            Err(CodecError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn text_rejects_unknown_mnemonic() {
+        assert!(matches!(
+            from_text("0:0 100 BOGUS 1"),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn negative_timestamps_survive() {
+        // Workers behind the master legitimately produce negative local
+        // times after alignment.
+        let mut t = Trace::for_ranks(1);
+        t.procs[0].push(Time::from_ns(-5000), EventKind::Enter { region: RegionId(0) });
+        let round = from_text(&to_text(&t)).unwrap();
+        assert_eq!(round.procs[0].events[0].time, Time::from_ns(-5000));
+        let round = from_binary(to_binary(&t)).unwrap();
+        assert_eq!(round.procs[0].events[0].time, Time::from_ns(-5000));
+    }
+}

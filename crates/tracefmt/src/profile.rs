@@ -1,0 +1,222 @@
+//! Trace profiling: event composition and communication statistics.
+//!
+//! The paper's Fig. 7 back row ("fraction of message transfer events in
+//! relation to the total number of events") is one instance of a general
+//! need: knowing what a trace is made of. [`TraceProfile`] summarises a
+//! trace — event counts per kind, per-timeline totals, message volume and
+//! transfer-time statistics — for experiment reporting and sanity checks.
+
+use crate::analysis::match_messages;
+use crate::event::EventKind;
+use crate::stats::Summary;
+use crate::trace::Trace;
+use simclock::Dur;
+
+/// Counts of each event kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// `Enter` events.
+    pub enter: usize,
+    /// `Exit` events.
+    pub exit: usize,
+    /// `Send` events.
+    pub send: usize,
+    /// `Recv` events.
+    pub recv: usize,
+    /// `CollBegin` events.
+    pub coll_begin: usize,
+    /// `CollEnd` events.
+    pub coll_end: usize,
+    /// `Fork` events.
+    pub fork: usize,
+    /// `Join` events.
+    pub join: usize,
+    /// `BarrierEnter` events.
+    pub barrier_enter: usize,
+    /// `BarrierExit` events.
+    pub barrier_exit: usize,
+}
+
+impl KindCounts {
+    fn add(&mut self, kind: &EventKind) {
+        match kind {
+            EventKind::Enter { .. } => self.enter += 1,
+            EventKind::Exit { .. } => self.exit += 1,
+            EventKind::Send { .. } => self.send += 1,
+            EventKind::Recv { .. } => self.recv += 1,
+            EventKind::CollBegin { .. } => self.coll_begin += 1,
+            EventKind::CollEnd { .. } => self.coll_end += 1,
+            EventKind::Fork { .. } => self.fork += 1,
+            EventKind::Join { .. } => self.join += 1,
+            EventKind::BarrierEnter { .. } => self.barrier_enter += 1,
+            EventKind::BarrierExit { .. } => self.barrier_exit += 1,
+        }
+    }
+
+    /// Total events counted.
+    pub fn total(&self) -> usize {
+        self.enter
+            + self.exit
+            + self.send
+            + self.recv
+            + self.coll_begin
+            + self.coll_end
+            + self.fork
+            + self.join
+            + self.barrier_enter
+            + self.barrier_exit
+    }
+}
+
+/// A trace's composition summary.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Event counts per kind, whole trace.
+    pub kinds: KindCounts,
+    /// Events per timeline.
+    pub events_per_proc: Vec<usize>,
+    /// Matched messages.
+    pub messages: usize,
+    /// Unmatched sends + receives (partial-trace indicator).
+    pub unmatched: usize,
+    /// Total payload bytes across matched messages.
+    pub bytes: u64,
+    /// Recorded transfer times (`t_recv − t_send`) in µs.
+    pub transfer_us: Summary,
+    /// Trace duration (first to last timestamp).
+    pub span: Option<Dur>,
+    /// Percentage of message-transfer events among all events
+    /// (the paper's Fig. 7 back-row metric).
+    pub message_event_pct: f64,
+}
+
+/// Profile a trace.
+pub fn profile(trace: &Trace) -> TraceProfile {
+    let mut kinds = KindCounts::default();
+    for pt in &trace.procs {
+        for e in &pt.events {
+            kinds.add(&e.kind);
+        }
+    }
+    let matching = match_messages(trace);
+    let mut transfer_us = Summary::new();
+    let mut bytes = 0u64;
+    for m in &matching.messages {
+        transfer_us.add((trace.time(m.recv) - trace.time(m.send)).as_us_f64());
+        bytes += m.bytes;
+    }
+    let total = kinds.total();
+    TraceProfile {
+        events_per_proc: trace.procs.iter().map(|p| p.events.len()).collect(),
+        messages: matching.messages.len(),
+        unmatched: matching.unmatched_sends.len() + matching.unmatched_recvs.len(),
+        bytes,
+        transfer_us,
+        span: trace.time_span().map(|(lo, hi)| hi - lo),
+        message_event_pct: if total == 0 {
+            0.0
+        } else {
+            100.0 * (kinds.send + kinds.recv) as f64 / total as f64
+        },
+        kinds,
+    }
+}
+
+impl std::fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} events on {} timelines ({} message events, {:.1} %)",
+            self.kinds.total(),
+            self.events_per_proc.len(),
+            self.kinds.send + self.kinds.recv,
+            self.message_event_pct
+        )?;
+        writeln!(
+            f,
+            "  enter/exit {}/{}, send/recv {}/{}, coll {}/{}, pomp {}/{}/{}/{}",
+            self.kinds.enter,
+            self.kinds.exit,
+            self.kinds.send,
+            self.kinds.recv,
+            self.kinds.coll_begin,
+            self.kinds.coll_end,
+            self.kinds.fork,
+            self.kinds.join,
+            self.kinds.barrier_enter,
+            self.kinds.barrier_exit
+        )?;
+        writeln!(
+            f,
+            "  {} matched messages ({} unmatched), {} payload bytes",
+            self.messages, self.unmatched, self.bytes
+        )?;
+        if let Some(span) = self.span {
+            writeln!(f, "  span {:.3} s", span.as_secs_f64())?;
+        }
+        write!(
+            f,
+            "  transfer time: mean {:.3} us, min {:.3}, max {:.3}",
+            self.transfer_us.mean(),
+            self.transfer_us.min(),
+            self.transfer_us.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Rank, RegionId, Tag};
+    use simclock::Time;
+
+    fn sample() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_us(0), EventKind::Enter { region: RegionId(1) });
+        t.procs[0].push(
+            Time::from_us(5),
+            EventKind::Send { to: Rank(1), tag: Tag(0), bytes: 128 },
+        );
+        t.procs[0].push(Time::from_us(9), EventKind::Exit { region: RegionId(1) });
+        t.procs[1].push(
+            Time::from_us(15),
+            EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 128 },
+        );
+        t.procs[1].push(
+            Time::from_us(20),
+            EventKind::Send { to: Rank(0), tag: Tag(9), bytes: 64 },
+        );
+        t
+    }
+
+    #[test]
+    fn counts_and_percentages() {
+        let p = profile(&sample());
+        assert_eq!(p.kinds.total(), 5);
+        assert_eq!(p.kinds.send, 2);
+        assert_eq!(p.kinds.recv, 1);
+        assert_eq!(p.events_per_proc, vec![3, 2]);
+        assert_eq!(p.messages, 1);
+        assert_eq!(p.unmatched, 1); // the unanswered tag-9 send
+        assert_eq!(p.bytes, 128);
+        assert!((p.message_event_pct - 60.0).abs() < 1e-9);
+        assert_eq!(p.span, Some(Dur::from_us(20)));
+        assert!((p.transfer_us.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let p = profile(&Trace::for_ranks(1));
+        assert_eq!(p.kinds.total(), 0);
+        assert_eq!(p.message_event_pct, 0.0);
+        assert_eq!(p.span, None);
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = profile(&sample());
+        let s = format!("{p}");
+        assert!(s.contains("5 events"));
+        assert!(s.contains("matched messages"));
+    }
+}

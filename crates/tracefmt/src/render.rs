@@ -1,0 +1,204 @@
+//! ASCII timeline rendering — VAMPIR-style time-line views in a terminal.
+//!
+//! The paper's Figs. 2 and 3 are time-line diagrams; [`render_timeline`]
+//! draws the same picture from any trace window: one row per timeline,
+//! event glyphs placed proportionally, and message arrows indicated by
+//! matching send/receive markers. Violated messages (receive drawn left of
+//! its send) become immediately visible, like the backward arrows the paper
+//! describes confusing VAMPIR users.
+
+use crate::analysis::match_messages;
+use crate::event::EventKind;
+use crate::trace::Trace;
+use simclock::Time;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Total line width in characters.
+    pub width: usize,
+    /// Restrict to a time window (defaults to the whole trace span).
+    pub window: Option<(Time, Time)>,
+    /// Mark matched messages with `s`/`r` pairs and flag reversed ones.
+    pub mark_messages: bool,
+    /// Region registry for a legend of the regions appearing in the view.
+    pub regions: Option<crate::regions::RegionRegistry>,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 100,
+            window: None,
+            mark_messages: true,
+            regions: None,
+        }
+    }
+}
+
+fn glyph(kind: &EventKind) -> char {
+    match kind {
+        EventKind::Enter { .. } => '(',
+        EventKind::Exit { .. } => ')',
+        EventKind::Send { .. } => 'S',
+        EventKind::Recv { .. } => 'R',
+        EventKind::CollBegin { .. } => '[',
+        EventKind::CollEnd { .. } => ']',
+        EventKind::Fork { .. } => 'F',
+        EventKind::Join { .. } => 'J',
+        EventKind::BarrierEnter { .. } => '{',
+        EventKind::BarrierExit { .. } => '}',
+    }
+}
+
+/// Render a trace window as an ASCII time-line diagram.
+///
+/// Each timeline becomes one row; glyphs: `( )` enter/exit, `S R`
+/// send/receive, `[ ]` collective begin/end, `F J` fork/join, `{ }`
+/// barrier enter/exit. When later events land on an occupied column the
+/// earlier glyph wins (the row shows the first event per column). A footer
+/// lists reversed messages when `mark_messages` is on.
+pub fn render_timeline(trace: &Trace, opts: &RenderOptions) -> String {
+    let Some((span_lo, span_hi)) = trace.time_span() else {
+        return String::from("(empty trace)\n");
+    };
+    let (lo, hi) = opts.window.unwrap_or((span_lo, span_hi));
+    let width = opts.width.max(20);
+    let span = (hi - lo).as_secs_f64().max(1e-12);
+    let col = |t: Time| -> Option<usize> {
+        if t < lo || t > hi {
+            return None;
+        }
+        let frac = (t - lo).as_secs_f64() / span;
+        Some(((width - 1) as f64 * frac).round() as usize)
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time {:.6}s .. {:.6}s ({:.3} us span)\n",
+        lo.as_secs_f64(),
+        hi.as_secs_f64(),
+        (hi - lo).as_us_f64()
+    ));
+    for pt in &trace.procs {
+        let mut row = vec!['-'; width];
+        for e in &pt.events {
+            if let Some(c) = col(e.time) {
+                if row[c] == '-' {
+                    row[c] = glyph(&e.kind);
+                }
+            }
+        }
+        out.push_str(&format!("{:>8} |", pt.location.to_string()));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+
+    if let Some(reg) = &opts.regions {
+        // Legend: the distinct regions entered in this view.
+        let mut seen = std::collections::BTreeSet::new();
+        for pt in &trace.procs {
+            for e in &pt.events {
+                if let EventKind::Enter { region } = e.kind {
+                    seen.insert(region);
+                }
+            }
+        }
+        if !seen.is_empty() {
+            out.push_str("regions: ");
+            let names: Vec<String> =
+                seen.iter().map(|&r| reg.name_or_id(r)).collect();
+            out.push_str(&names.join(", "));
+            out.push('\n');
+        }
+    }
+
+    if opts.mark_messages {
+        let matching = match_messages(trace);
+        let mut reversed = 0;
+        for m in &matching.messages {
+            if trace.time(m.recv) < trace.time(m.send) {
+                reversed += 1;
+            }
+        }
+        if reversed > 0 {
+            out.push_str(&format!(
+                "!! {reversed} message(s) point backward in this view (recv drawn left of send)\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Rank, RegionId, Tag};
+
+    fn us(n: i64) -> Time {
+        Time::from_us(n)
+    }
+
+    fn sample(reversed: bool) -> Trace {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(us(0), EventKind::Enter { region: RegionId(0) });
+        t.procs[0].push(us(50), EventKind::Send { to: Rank(1), tag: Tag(0), bytes: 0 });
+        t.procs[0].push(us(100), EventKind::Exit { region: RegionId(0) });
+        let recv_at = if reversed { 25 } else { 75 };
+        t.procs[1].push(us(recv_at), EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 0 });
+        t
+    }
+
+    #[test]
+    fn renders_rows_and_glyphs() {
+        let s = render_timeline(&sample(false), &RenderOptions::default());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("time"));
+        assert!(lines[1].contains("r0:t0"));
+        assert!(lines[1].contains('S'));
+        assert!(lines[1].contains('('));
+        assert!(lines[2].contains('R'));
+        assert!(!s.contains("backward"));
+    }
+
+    #[test]
+    fn flags_reversed_messages() {
+        let s = render_timeline(&sample(true), &RenderOptions::default());
+        assert!(s.contains("1 message(s) point backward"));
+        // The R glyph sits left of the S glyph in the rendered rows.
+        let lines: Vec<&str> = s.lines().collect();
+        let s_col = lines[1].find('S').expect("send glyph");
+        let r_col = lines[2].find('R').expect("recv glyph");
+        assert!(r_col < s_col, "reversed arrow should be visible");
+    }
+
+    #[test]
+    fn window_restricts_view() {
+        let t = sample(false);
+        let opts = RenderOptions {
+            window: Some((us(40), us(80))),
+            ..RenderOptions::default()
+        };
+        let s = render_timeline(&t, &opts);
+        // Enter (t=0) and Exit (t=100) fall outside the window.
+        assert!(!s.lines().nth(1).unwrap().contains('('));
+        assert!(!s.lines().nth(1).unwrap().contains(')'));
+        assert!(s.lines().nth(1).unwrap().contains('S'));
+    }
+
+    #[test]
+    fn legend_uses_the_registry() {
+        let mut opts = RenderOptions::default();
+        let mut reg = crate::regions::RegionRegistry::new();
+        reg.define(RegionId(0), "main_loop");
+        opts.regions = Some(reg);
+        let s = render_timeline(&sample(false), &opts);
+        assert!(s.contains("regions: main_loop"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        let s = render_timeline(&Trace::for_ranks(2), &RenderOptions::default());
+        assert!(s.contains("empty"));
+    }
+}

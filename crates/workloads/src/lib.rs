@@ -1,0 +1,32 @@
+//! # workloads — synthetic application twins for the drift-lab experiments
+//!
+//! Generators reproducing the communication signatures of the paper's
+//! evaluation applications:
+//!
+//! * [`pop`] — POP-like 2-D ocean stencil (halo exchanges + barotropic
+//!   allreduce series, partial tracing of a mid-run window);
+//! * [`smg`] — SMG2000-like semi-coarsening multigrid (non-nearest-neighbor
+//!   exchanges at distance `2^level`, sleep padding around the solve);
+//! * [`pingpong`] — the latency measurements behind Table II;
+//! * [`sweep`] — Sweep3D-like wavefront pipelines (the CLC stress case);
+//! * [`openmp`] — the parallel-for benchmark behind Figs. 3 and 8.
+
+#![warn(missing_docs)]
+
+pub mod openmp;
+pub mod pingpong;
+pub mod pop;
+pub mod smg;
+pub mod sweep;
+
+pub use openmp::{
+    check_run, placement_ablation, run_benchmark, run_benchmark_placed, violation_sweep,
+    OmpViolationRow,
+};
+pub use pingpong::{
+    measure_allreduce_latency, measure_collective_latency, measure_p2p_latency,
+    LatencyMeasurement,
+};
+pub use pop::PopConfig;
+pub use smg::SmgConfig;
+pub use sweep::SweepConfig;

@@ -1,0 +1,234 @@
+//! A POP-like workload (Parallel Ocean Program, SPEC MPI2007).
+//!
+//! POP's communication signature per timestep: halo exchanges with the four
+//! neighbours of a 2-D domain decomposition (baroclinic part) plus a series
+//! of small global reductions from the barotropic conjugate-gradient solver.
+//! The paper ran POP with the `mref` input — ≈9000 iterations in ≈25 min —
+//! and traced only iterations 3500–5500 ("partial tracing"), leaving the
+//! traced window far from the offset measurements at `MPI_Init` and
+//! `MPI_Finalize`. This generator reproduces exactly that structure at a
+//! configurable scale.
+
+use mpisim::program::{regions, Program, RankProgram};
+use simclock::Dur;
+use tracefmt::{CommId, Rank, Tag};
+
+/// POP-like workload configuration.
+#[derive(Debug, Clone)]
+pub struct PopConfig {
+    /// Process grid width (ranks = px × py).
+    pub px: usize,
+    /// Process grid height.
+    pub py: usize,
+    /// Total timesteps.
+    pub iterations: usize,
+    /// First traced iteration (inclusive).
+    pub trace_from: usize,
+    /// Last traced iteration (exclusive).
+    pub trace_to: usize,
+    /// Mean baroclinic compute time per step.
+    pub compute: Dur,
+    /// Compute-time coefficient of variation across steps/ranks.
+    pub compute_cv: f64,
+    /// Halo message payload per neighbour exchange.
+    pub halo_bytes: u64,
+    /// Barotropic solver reductions per step (small allreduces).
+    pub solver_reductions: usize,
+    /// Payload of each solver reduction.
+    pub reduction_bytes: u64,
+}
+
+impl PopConfig {
+    /// A scaled-down `mref`-like setup for `n` ranks: the paper's 32-rank
+    /// run shape with the iteration count divided by `scale` to keep
+    /// simulation time reasonable (timestamp error behaviour depends on
+    /// *when* the traced window sits, which is preserved).
+    pub fn mref_like(px: usize, py: usize, scale: usize) -> Self {
+        let scale = scale.max(1);
+        PopConfig {
+            px,
+            py,
+            iterations: 9000 / scale,
+            trace_from: 3500 / scale,
+            trace_to: 5500 / scale,
+            // mref: ≈25 min for 9000 iterations ≈ 167 ms/step; the halo +
+            // solver pattern below adds the communication on top.
+            compute: Dur::from_us(150_000),
+            compute_cv: 0.08,
+            halo_bytes: 16 * 1024,
+            solver_reductions: 6,
+            reduction_bytes: 16,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Grid coordinates of a rank.
+    fn coords(&self, r: usize) -> (usize, usize) {
+        (r % self.px, r / self.px)
+    }
+
+    /// Rank at (periodic) grid coordinates.
+    fn rank_at(&self, x: isize, y: isize) -> Rank {
+        let px = self.px as isize;
+        let py = self.py as isize;
+        let x = x.rem_euclid(px) as usize;
+        let y = y.rem_euclid(py) as usize;
+        Rank((y * self.px + x) as u32)
+    }
+
+    /// The four periodic neighbours of a rank (E, W, N, S).
+    pub fn neighbors(&self, r: usize) -> [Rank; 4] {
+        let (x, y) = self.coords(r);
+        let (x, y) = (x as isize, y as isize);
+        [
+            self.rank_at(x + 1, y),
+            self.rank_at(x - 1, y),
+            self.rank_at(x, y + 1),
+            self.rank_at(x, y - 1),
+        ]
+    }
+
+    /// Generate the program.
+    pub fn build(&self) -> Program {
+        let step_region = regions::user(1);
+        let solver_region = regions::user(2);
+        Program::build(self.n_ranks(), |r| {
+            let mut p = RankProgram::new();
+            // Tracing is off until the window begins (partial tracing).
+            if self.trace_from > 0 {
+                p = p.trace_off();
+            }
+            let neigh = self.neighbors(r.idx());
+            for iter in 0..self.iterations {
+                if iter == self.trace_from {
+                    p = p.trace_on();
+                }
+                if iter == self.trace_to {
+                    p = p.trace_off();
+                }
+                p = p.enter(step_region);
+                // Baroclinic: compute then halo exchange. Tags encode the
+                // direction so the four in-flight exchanges stay distinct;
+                // pairing is direction-reversed (my East send matches the
+                // eastern neighbour's West receive).
+                p = p.compute_jitter(self.compute, self.compute_cv);
+                for (d, &n) in neigh.iter().enumerate() {
+                    p = p.send(n, Tag(d as u32), self.halo_bytes);
+                }
+                // Receive from the opposite directions: E↔W (0↔1), N↔S (2↔3).
+                for (d, &n) in neigh.iter().enumerate() {
+                    let opposite = [1u32, 0, 3, 2][d];
+                    p = p.recv(n, Tag(opposite));
+                }
+                // Barotropic solver: small latency-bound allreduces.
+                p = p.enter(solver_region);
+                for _ in 0..self.solver_reductions {
+                    p = p.compute_jitter(self.compute / 20, self.compute_cv);
+                    p = p.allreduce(CommId::WORLD, self.reduction_bytes);
+                }
+                p = p.exit(solver_region);
+                p = p.exit(step_region);
+            }
+            p
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::program::MpiOp;
+
+    fn small() -> PopConfig {
+        PopConfig {
+            px: 4,
+            py: 2,
+            iterations: 10,
+            trace_from: 3,
+            trace_to: 7,
+            compute: Dur::from_us(100),
+            compute_cv: 0.05,
+            halo_bytes: 1024,
+            solver_reductions: 2,
+            reduction_bytes: 16,
+        }
+    }
+
+    #[test]
+    fn neighbor_topology_is_periodic_and_symmetric() {
+        let c = small();
+        // Rank 0 at (0,0): E=(1,0)=1, W=(3,0)=3, N=(0,1)=4, S=(0,1)=4.
+        assert_eq!(c.neighbors(0), [Rank(1), Rank(3), Rank(4), Rank(4)]);
+        // Symmetry: if b is a's eastern neighbour, a is b's western one.
+        for r in 0..c.n_ranks() {
+            let n = c.neighbors(r);
+            assert_eq!(c.neighbors(n[0].idx())[1], Rank(r as u32));
+            assert_eq!(c.neighbors(n[2].idx())[3], Rank(r as u32));
+        }
+    }
+
+    #[test]
+    fn program_structure() {
+        let c = small();
+        let prog = c.build();
+        assert_eq!(prog.n_ranks(), 8);
+        let ops = &prog.ranks[0].ops;
+        // Starts with tracing off, toggles twice.
+        assert_eq!(ops[0], MpiOp::TraceOff);
+        let on = ops.iter().filter(|o| matches!(o, MpiOp::TraceOn)).count();
+        let off = ops.iter().filter(|o| matches!(o, MpiOp::TraceOff)).count();
+        assert_eq!(on, 1);
+        assert_eq!(off, 2);
+        // 4 sends + 4 recvs per iteration.
+        let sends = ops.iter().filter(|o| matches!(o, MpiOp::Send { .. })).count();
+        assert_eq!(sends, 40);
+        let colls = ops.iter().filter(|o| matches!(o, MpiOp::Coll { .. })).count();
+        assert_eq!(colls, 20);
+    }
+
+    #[test]
+    fn runs_and_traces_only_the_window() {
+        use mpisim::{run, Cluster, RunOptions};
+        use netsim::{HierarchicalLatency, Placement, Topology};
+        use simclock::{ClockDomain, ClockEnsemble, ClockProfile, MachineShape, TimerKind};
+
+        let c = small();
+        let shape = MachineShape::new(8, 1, 1);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            0,
+        );
+        let mut cluster = Cluster::new(
+            Placement::one_per_node(shape, 8),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            1,
+        );
+        let out = run(&mut cluster, &c.build(), &RunOptions::default()).unwrap();
+        // Only iterations 3..7 are traced: 4 iterations × 8 ranks × 4 msgs.
+        let m = tracefmt::match_messages(&out.trace);
+        assert!(m.is_complete());
+        assert_eq!(m.messages.len(), 4 * 8 * 4);
+        // All runs' messages (10 iterations) actually happened.
+        assert_eq!(out.stats.messages, 10 * 8 * 4);
+        // Collectives in trace: 4 iterations × 2 reductions per rank.
+        let insts = tracefmt::match_collectives(&out.trace).unwrap();
+        assert_eq!(insts.len(), 8);
+    }
+
+    #[test]
+    fn mref_like_scales() {
+        let c = PopConfig::mref_like(8, 4, 10);
+        assert_eq!(c.n_ranks(), 32);
+        assert_eq!(c.iterations, 900);
+        assert_eq!(c.trace_from, 350);
+        assert_eq!(c.trace_to, 550);
+    }
+}

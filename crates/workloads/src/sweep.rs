@@ -1,0 +1,217 @@
+//! A Sweep3D-like wavefront workload (ASCI discrete-ordinates transport).
+//!
+//! Sweep3D pipelines wavefronts diagonally across a 2-D process grid: for
+//! each octant, every rank waits for its upstream neighbours (west and
+//! north for the (+x,+y) octant), computes a block of angles, and forwards
+//! to its downstream neighbours. The result is a long chain of *tightly
+//! dependent* small messages — the communication pattern most sensitive to
+//! clock-condition violations, because each hop's recv sits only one
+//! compute block after its send.
+//!
+//! This makes it the ideal stress workload for the CLC: a single violated
+//! hop cascades corrections through the entire downstream wavefront.
+
+use mpisim::program::{regions, Program, RankProgram};
+use simclock::Dur;
+use tracefmt::{Rank, Tag};
+
+/// Sweep3D-like configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Process grid width.
+    pub px: usize,
+    /// Process grid height.
+    pub py: usize,
+    /// Outer iterations (full 4-octant sweeps).
+    pub iterations: usize,
+    /// Pipeline blocks per octant (k-plane blocks).
+    pub blocks: usize,
+    /// Compute time per block.
+    pub compute: Dur,
+    /// Compute jitter.
+    pub compute_cv: f64,
+    /// Boundary-exchange payload per hop.
+    pub bytes: u64,
+}
+
+impl SweepConfig {
+    /// A small default: 4×4 grid, 2 iterations, 4 blocks.
+    pub fn small() -> Self {
+        SweepConfig {
+            px: 4,
+            py: 4,
+            iterations: 2,
+            blocks: 4,
+            compute: Dur::from_us(200),
+            compute_cv: 0.08,
+            bytes: 2048,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.px * self.py
+    }
+
+    fn coords(&self, r: usize) -> (usize, usize) {
+        (r % self.px, r / self.px)
+    }
+
+    fn rank_at(&self, x: usize, y: usize) -> Rank {
+        Rank((y * self.px + x) as u32)
+    }
+
+    /// Upstream/downstream neighbours of `rank` for one of the four sweep
+    /// directions `(dx, dy) ∈ {±1}²`: `(from_x, from_y, to_x, to_y)`,
+    /// each `None` at the boundary.
+    #[allow(clippy::type_complexity)]
+    pub fn neighbors(
+        &self,
+        rank: usize,
+        dx: isize,
+        dy: isize,
+    ) -> (Option<Rank>, Option<Rank>, Option<Rank>, Option<Rank>) {
+        let (x, y) = self.coords(rank);
+        let (x, y) = (x as isize, y as isize);
+        let inside = |x: isize, y: isize| {
+            (0..self.px as isize).contains(&x) && (0..self.py as isize).contains(&y)
+        };
+        let mk = |x: isize, y: isize| {
+            inside(x, y).then(|| self.rank_at(x as usize, y as usize))
+        };
+        (mk(x - dx, y), mk(x, y - dy), mk(x + dx, y), mk(x, y + dy))
+    }
+
+    /// Generate the program.
+    pub fn build(&self) -> Program {
+        let octant_region = |o: usize| regions::user(50 + o as u32);
+        // The four sweep directions (quadrants of the 2-D decomposition).
+        let dirs: [(isize, isize); 4] = [(1, 1), (-1, 1), (1, -1), (-1, -1)];
+        Program::build(self.n_ranks(), |r| {
+            let mut p = RankProgram::new();
+            for it in 0..self.iterations {
+                for (o, &(dx, dy)) in dirs.iter().enumerate() {
+                    let (from_x, from_y, to_x, to_y) = self.neighbors(r.idx(), dx, dy);
+                    p = p.enter(octant_region(o));
+                    for b in 0..self.blocks {
+                        // Tag encodes iteration/octant/block/axis so the
+                        // many small pipeline messages never cross-match.
+                        let tag_of = |axis: u32| {
+                            Tag(((it * 4 + o) * self.blocks + b) as u32 * 2 + axis)
+                        };
+                        if let Some(w) = from_x {
+                            p = p.recv(w, tag_of(0));
+                        }
+                        if let Some(n) = from_y {
+                            p = p.recv(n, tag_of(1));
+                        }
+                        p = p.compute_jitter(self.compute, self.compute_cv);
+                        if let Some(e) = to_x {
+                            p = p.send(e, tag_of(0), self.bytes);
+                        }
+                        if let Some(s) = to_y {
+                            p = p.send(s, tag_of(1), self.bytes);
+                        }
+                    }
+                    p = p.exit(octant_region(o));
+                }
+            }
+            p
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{run, Cluster, RunOptions};
+    use netsim::{HierarchicalLatency, Placement, Topology};
+    use simclock::{ClockDomain, ClockEnsemble, ClockProfile, MachineShape, Time, TimerKind};
+
+    #[test]
+    fn neighbor_geometry() {
+        let c = SweepConfig::small();
+        // Rank 5 = (1,1); sweep (+1,+1): upstream west (0,1)=4 and north
+        // (1,0)=1; downstream east (2,1)=6 and south (1,2)=9.
+        let (w, n, e, s) = c.neighbors(5, 1, 1);
+        assert_eq!(w, Some(Rank(4)));
+        assert_eq!(n, Some(Rank(1)));
+        assert_eq!(e, Some(Rank(6)));
+        assert_eq!(s, Some(Rank(9)));
+        // Corner (0,0) has no upstream for (+1,+1).
+        let (w, n, _, _) = c.neighbors(0, 1, 1);
+        assert_eq!(w, None);
+        assert_eq!(n, None);
+        // For the (-1,-1) octant the corner (0,0) is the *sink*.
+        let (w, n, e, s) = c.neighbors(0, -1, -1);
+        assert_eq!(w, Some(Rank(1)));
+        assert_eq!(n, Some(Rank(4)));
+        assert_eq!(e, None);
+        assert_eq!(s, None);
+    }
+
+    #[test]
+    fn wavefront_runs_and_pipelines() {
+        let c = SweepConfig::small();
+        let shape = MachineShape::new(4, 2, 2);
+        let clocks = ClockEnsemble::build(
+            shape,
+            ClockDomain::Global,
+            &ClockProfile::bare(TimerKind::IntelTsc),
+            0,
+        );
+        let mut cluster = Cluster::new(
+            Placement::round_robin(shape, 16),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            3,
+        );
+        let out = run(&mut cluster, &c.build(), &RunOptions::default()).unwrap();
+        let m = tracefmt::match_messages(&out.trace);
+        assert!(m.is_complete());
+        // Messages per octant: east hops 3×4 grid-edges... simply assert
+        // symmetric totals: every send found its recv and the counts match
+        // 2 iters × 4 octants × 4 blocks × (12 x-edges + 12 y-edges).
+        assert_eq!(m.messages.len(), 2 * 4 * 4 * 24);
+        // The wavefront serialises the corner-to-corner chain: at least
+        // (px+py-2+blocks) compute blocks of critical path.
+        let min_path = (4 + 4 - 2 + 4) as i64 * 200;
+        assert!(
+            out.stats.end_time >= Time::from_us(min_path),
+            "end {:?} too early for a pipelined wavefront",
+            out.stats.end_time
+        );
+    }
+
+    #[test]
+    fn violations_cascade_and_clc_repairs_the_wavefront() {
+        use clocksync::{controlled_logical_clock, ClcParams};
+        let c = SweepConfig::small();
+        let shape = MachineShape::new(8, 2, 1);
+        // Hefty per-node offsets so wavefront hops are reversed.
+        let profile = ClockProfile::bare(TimerKind::IntelTsc)
+            .with_node_spread(200e-6, 1e-6)
+            .with_horizon(10.0);
+        let clocks = ClockEnsemble::build(shape, ClockDomain::PerNode, &profile, 5);
+        let mut cluster = Cluster::new(
+            Placement::round_robin(shape, 16),
+            Topology::Crossbar,
+            HierarchicalLatency::xeon_infiniband(),
+            clocks,
+            7,
+        );
+        let out = run(&mut cluster, &c.build(), &RunOptions::default()).unwrap();
+        let lmin = tracefmt::UniformLatency(Dur::from_us(4));
+        let mut trace = out.trace;
+        let m = tracefmt::match_messages(&trace);
+        let before = tracefmt::check_p2p(&trace, &m, &lmin);
+        assert!(before.violations.len() > 10, "offsets should reverse hops");
+        let rep =
+            controlled_logical_clock(&mut trace, &lmin, &ClcParams::default()).unwrap();
+        // Cascades: far more events moved than jumps applied.
+        assert!(rep.events_moved > rep.n_jumps());
+        let m = tracefmt::match_messages(&trace);
+        assert!(tracefmt::check_p2p(&trace, &m, &lmin).violations.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's Figs. 3 and 8 as a runnable demo: unsynchronised per-chip
+//! cycle counters on an Itanium-style SMP node make OpenMP traces violate
+//! barrier/fork/join semantics — frequently with small teams, never with
+//! large ones.
+//!
+//! ```sh
+//! cargo run --release --example openmp_semantics
+//! ```
+
+use drift_lab::experiments::fig1_2_3::fig3;
+use drift_lab::workloads::violation_sweep;
+
+fn main() {
+    // --- the Fig. 3 timeline -----------------------------------------------
+    println!("searching a 4-thread run for a barrier-semantics violation...");
+    match fig3(42) {
+        Some(rows) => {
+            println!("{:>8} {:>14}   event", "thread", "time [us]");
+            for (thread, kind, us) in rows {
+                println!("{thread:>8} {us:>14.3}   {kind}");
+            }
+            println!("-> one thread's BarrierExit precedes another's BarrierEnter.\n");
+        }
+        None => println!("no violation found (unusual at 4 threads)\n"),
+    }
+
+    // --- the Fig. 8 sweep ---------------------------------------------------
+    println!("POMP violations per team size (300 regions, 3 runs averaged):");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "threads", "any[%]", "entry[%]", "exit[%]", "barrier[%]"
+    );
+    for row in violation_sweep(&[4, 8, 12, 16], 300, 3, 42) {
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            row.threads, row.any_pct, row.entry_pct, row.exit_pct, row.barrier_pct
+        );
+    }
+    println!("\npaper: 83% of regions affected at 4 threads, none at 16 — rising");
+    println!("synchronisation latencies protect larger teams from the fixed");
+    println!("inter-chip clock offsets.");
+}

@@ -1,0 +1,87 @@
+//! Quickstart: simulate a drifting cluster, trace a program, watch the
+//! clock condition break, and repair it with the Controlled Logical Clock.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use drift_lab::prelude::*;
+
+fn main() {
+    // --- 1. a machine with imperfect clocks --------------------------------
+    // Four Xeon nodes; each node's chips carry TSCs with ppm-scale rate
+    // differences and slow thermal wander, exactly as §II of the paper
+    // describes.
+    let shape = Platform::XeonCluster.shape(4);
+    let profile = Platform::XeonCluster.clock_profile(TimerKind::IntelTsc, 120.0);
+    let clocks = ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, 7);
+    let mut cluster = Cluster::new(
+        Placement::one_per_node(shape, 4),
+        Topology::FatTree { leaf_radix: 16 },
+        HierarchicalLatency::xeon_infiniband(),
+        clocks,
+        7,
+    );
+
+    // --- 2. a traced MPI program -------------------------------------------
+    // A ring exchange plus an allreduce per iteration, 200 iterations.
+    let n = 4u32;
+    let prog = Program::build(n as usize, |r| {
+        let next = Rank((r.0 + 1) % n);
+        let prev = Rank((r.0 + n - 1) % n);
+        let mut p = RankProgram::new();
+        for i in 0..200 {
+            p = p
+                .compute_jitter(Dur::from_us(300), 0.1)
+                .send(next, Tag(i), 1024)
+                .recv(prev, Tag(i))
+                .allreduce(CommId::WORLD, 8);
+        }
+        p
+    });
+    let out = run(&mut cluster, &prog, &RunOptions::default()).expect("simulation runs");
+    println!(
+        "traced {} events, {} messages, {} collectives; run took {:.3} s of simulated time",
+        out.stats.events,
+        out.stats.messages,
+        out.stats.collectives,
+        out.stats.end_time.as_secs_f64()
+    );
+
+    // --- 3. how broken are the timestamps? ---------------------------------
+    let mut trace = out.trace;
+    let lmin_table: Vec<Vec<Dur>> = (0..n)
+        .map(|a| (0..n).map(|b| cluster.l_min(Rank(a), Rank(b), 0)).collect())
+        .collect();
+    let lmin = move |a: Rank, b: Rank| lmin_table[a.idx()][b.idx()];
+
+    let matching = match_messages(&trace);
+    let before = check_p2p(&trace, &matching, &lmin);
+    println!(
+        "raw trace: {}/{} messages violate the clock condition ({} outright reversed)",
+        before.violations.len(),
+        before.total,
+        before.reversed
+    );
+
+    // --- 4. repair with the Controlled Logical Clock -----------------------
+    let report = controlled_logical_clock(&mut trace, &lmin, &ClcParams::default())
+        .expect("CLC runs");
+    println!(
+        "CLC applied {} corrections (largest {:.3} us), moved {} of {} events",
+        report.n_jumps(),
+        report.max_jump.as_us_f64(),
+        report.events_moved,
+        report.events_total
+    );
+
+    let matching = match_messages(&trace);
+    let after = check_p2p(&trace, &matching, &lmin);
+    println!(
+        "corrected trace: {}/{} messages violate the clock condition",
+        after.violations.len(),
+        after.total
+    );
+    assert!(after.violations.is_empty(), "the CLC must clear all violations");
+    println!("the logical event order is consistent again.");
+}

@@ -1,0 +1,73 @@
+//! Trace tooling tour: record a run, write it to an on-disk archive,
+//! reload it, profile its composition, and render a VAMPIR-style ASCII
+//! time-line showing a backward-pointing message before and after CLC
+//! correction.
+//!
+//! ```sh
+//! cargo run --release --example trace_tools
+//! ```
+
+use drift_lab::clocksync::{controlled_logical_clock, ClcParams};
+use drift_lab::prelude::*;
+use drift_lab::tracefmt::{archive, profile, render_timeline, RenderOptions};
+
+fn main() {
+    // A small cluster with one badly offset node so the timeline actually
+    // shows a backward message.
+    let shape = MachineShape::new(2, 1, 2);
+    let profile_cfg = drift_lab::simclock::ClockProfile::bare(TimerKind::IntelTsc)
+        .with_node_spread(100e-6, 1e-6)
+        .with_horizon(10.0);
+    let clocks = ClockEnsemble::build(shape, ClockDomain::PerNode, &profile_cfg, 13);
+    let mut cluster = Cluster::new(
+        Placement::one_per_node(shape, 2),
+        Topology::Crossbar,
+        HierarchicalLatency::xeon_infiniband(),
+        clocks,
+        13,
+    );
+    // Ping-pong: with a ±100 µs node offset, whichever direction runs
+    // "into" the offset shows up reversed on the raw timeline.
+    let prog = Program::build(2, |r| {
+        if r.0 == 0 {
+            RankProgram::new()
+                .enter(RegionId(1000))
+                .compute(Dur::from_us(40))
+                .send(Rank(1), Tag(0), 256)
+                .recv(Rank(1), Tag(1))
+                .exit(RegionId(1000))
+        } else {
+            RankProgram::new()
+                .enter(RegionId(1000))
+                .recv(Rank(0), Tag(0))
+                .compute(Dur::from_us(30))
+                .send(Rank(0), Tag(1), 256)
+                .exit(RegionId(1000))
+        }
+    });
+    let out = run(&mut cluster, &prog, &RunOptions::default()).expect("runs");
+    let mut trace = out.trace;
+
+    // --- profile -------------------------------------------------------
+    println!("== trace profile ==\n{}", profile(&trace));
+
+    // --- archive round trip ---------------------------------------------
+    let dir = std::env::temp_dir().join(format!("drift-lab-example-{}", std::process::id()));
+    archive::write_archive(&dir, &trace).expect("archive written");
+    let reloaded = archive::read_archive(&dir).expect("archive read");
+    assert_eq!(reloaded.n_events(), trace.n_events());
+    println!("\narchived to {} and reloaded {} events", dir.display(), reloaded.n_events());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- timeline before correction --------------------------------------
+    let opts = RenderOptions { width: 80, ..RenderOptions::default() };
+    println!("\n== raw timeline (local clocks; note any backward message) ==");
+    print!("{}", render_timeline(&trace, &opts));
+
+    // --- CLC and timeline after ------------------------------------------
+    let lmin = UniformLatency(Dur::from_us(4));
+    let rep = controlled_logical_clock(&mut trace, &lmin, &ClcParams::default())
+        .expect("CLC runs");
+    println!("\n== after CLC ({} corrections) ==", rep.n_jumps());
+    print!("{}", render_timeline(&trace, &opts));
+}

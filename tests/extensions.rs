@@ -1,0 +1,121 @@
+//! Integration tests for the beyond-the-paper extensions, chained across
+//! crates: archives, rendering, diffing, POMP/domain CLC, prediction.
+
+use drift_lab::clocksync::{
+    controlled_logical_clock, controlled_logical_clock_pomp,
+    controlled_logical_clock_with_domains, domain_misalignment, ClcParams,
+};
+use drift_lab::prelude::*;
+use drift_lab::tracefmt::{archive, diff_traces, render_timeline, RenderOptions};
+use drift_lab::workloads::SweepConfig;
+
+fn sweep_cluster(seed: u64) -> Cluster {
+    let shape = MachineShape::new(8, 2, 1);
+    let profile = drift_lab::simclock::ClockProfile::bare(TimerKind::IntelTsc)
+        .with_node_spread(150e-6, 2e-6)
+        .with_horizon(10.0);
+    let clocks = ClockEnsemble::build(shape, ClockDomain::PerChip, &profile, seed);
+    Cluster::new(
+        Placement::round_robin(shape, 16),
+        Topology::Dragonfly { nodes_per_router: 2, routers_per_group: 2 },
+        HierarchicalLatency::xeon_infiniband(),
+        clocks,
+        seed,
+    )
+}
+
+#[test]
+fn archive_render_diff_clc_chain_on_a_wavefront() {
+    // 1. run a Sweep3D-like wavefront on a dragonfly with skewed clocks.
+    let cfg = SweepConfig::small();
+    let mut cluster = sweep_cluster(3);
+    let out = run(&mut cluster, &cfg.build(), &RunOptions::default()).unwrap();
+    let raw = out.trace;
+
+    // 2. archive round trip.
+    let dir = std::env::temp_dir().join(format!("drift-lab-ext-{}", std::process::id()));
+    archive::write_archive(&dir, &raw).unwrap();
+    let mut reloaded = archive::read_archive(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(reloaded.n_events(), raw.n_events());
+
+    // 3. the raw trace renders with backward messages flagged.
+    let rendered = render_timeline(&reloaded, &RenderOptions::default());
+    assert!(rendered.contains("backward"), "expected reversed arrows:\n{rendered}");
+
+    // 4. CLC on the reloaded trace; diff quantifies the correction.
+    let lmin = UniformLatency(Dur::from_us(4));
+    let rep = controlled_logical_clock(&mut reloaded, &lmin, &ClcParams::default()).unwrap();
+    assert!(rep.n_jumps() > 0);
+    let d = diff_traces(&raw, &reloaded).unwrap();
+    assert_eq!(d.moved(), rep.events_moved);
+    assert!(d.max_abs_shift_us() > 0.0);
+
+    // 5. all violations gone; rendering no longer flags arrows.
+    let m = match_messages(&reloaded);
+    assert!(check_p2p(&reloaded, &m, &lmin).violations.is_empty());
+    let rendered = render_timeline(&reloaded, &RenderOptions::default());
+    assert!(!rendered.contains("backward"));
+}
+
+#[test]
+fn domain_clc_on_simulated_cluster_respects_chip_domains() {
+    // Ranks sharing a chip share a clock; the domain-aware CLC must keep
+    // them rigid where the plain CLC tears them apart.
+    let cfg = SweepConfig::small();
+    let mut cluster = sweep_cluster(9);
+    let out = run(&mut cluster, &cfg.build(), &RunOptions::default()).unwrap();
+    let raw = out.trace;
+    let shape = cluster.placement.shape();
+    let domains: Vec<usize> = (0..16)
+        .map(|r| shape.chip_of(cluster.placement.core_of(r)))
+        .collect();
+    let lmin = UniformLatency(Dur::from_us(4));
+
+    let mut plain = raw.clone();
+    controlled_logical_clock(&mut plain, &lmin, &ClcParams::default()).unwrap();
+    let mut aware = raw.clone();
+    controlled_logical_clock_with_domains(&mut aware, &lmin, &ClcParams::default(), &domains)
+        .unwrap();
+
+    let mis_plain = domain_misalignment(&raw, &plain, &domains, Dur::from_us(50));
+    let mis_aware = domain_misalignment(&raw, &aware, &domains, Dur::from_us(50));
+    assert!(
+        mis_aware <= mis_plain,
+        "domain-aware ({mis_aware:?}) should not be worse than plain ({mis_plain:?})"
+    );
+    // Both restore the condition.
+    for t in [&plain, &aware] {
+        let m = match_messages(t);
+        assert!(check_p2p(t, &m, &lmin).violations.is_empty());
+    }
+}
+
+#[test]
+fn pomp_clc_fixes_a_full_openmp_benchmark_run() {
+    let trace = drift_lab::workloads::run_benchmark(4, 150, 21);
+    let regions = match_parallel_regions(&trace).unwrap();
+    let before = check_pomp(&trace, &regions);
+    assert!(before.any_violations > 0, "4-thread run should violate");
+
+    let mut fixed = trace.clone();
+    controlled_logical_clock_pomp(&mut fixed, Dur::from_ns(100), &ClcParams::default())
+        .unwrap();
+    let regions = match_parallel_regions(&fixed).unwrap();
+    assert_eq!(check_pomp(&fixed, &regions).any_violations, 0);
+    // The diff shows the corrections were bounded (µs scale, not wild).
+    let d = diff_traces(&trace, &fixed).unwrap();
+    assert!(d.moved() > 0);
+    assert!(d.max_abs_shift_us() < 100.0, "shift {}", d.max_abs_shift_us());
+}
+
+#[test]
+fn prediction_module_agrees_with_platform_parameters() {
+    use drift_lab::clocksync::predict::WanderModel;
+    let p = Platform::XeonCluster.clock_profile(TimerKind::IntelTsc, 60.0);
+    let m = WanderModel { step_sigma: p.walk_step_sigma, step_s: p.walk_step_s };
+    // The safe run length for the paper's inter-node latency must be in the
+    // minutes range — consistent with both Fig. 6 and our Fig. 7 setups.
+    let safe = drift_lab::clocksync::safe_run_length(&m, Dur::from_us_f64(4.29));
+    assert!(safe > 60.0 && safe < 1800.0, "safe window {safe} s");
+}

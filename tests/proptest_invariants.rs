@@ -1,0 +1,325 @@
+//! Property-based invariants on the core data structures and algorithms.
+
+use drift_lab::clocksync::{controlled_logical_clock, ClcParams, LinearInterpolation,
+    OffsetMeasurement, TimestampMap};
+use drift_lab::prelude::*;
+use drift_lab::simclock::{ConstantDrift, NoiseSpec, PiecewiseLinearDrift, SinusoidalDrift};
+use drift_lab::simclock::DriftModel;
+use drift_lab::tracefmt::io;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ------------------------------------------------------------ strategies --
+
+/// A random but *causally valid* two-to-six-process message trace: messages
+/// are generated on a true timeline, then per-process clock skews corrupt
+/// the recorded timestamps (which is exactly how real violations arise).
+fn arb_skewed_trace() -> impl Strategy<Value = (Trace, i64)> {
+    (
+        2usize..6,
+        5usize..40,
+        prop::collection::vec(-300i64..300, 6),
+        1i64..20,
+    )
+        .prop_map(|(procs, msgs, skews, lmin_us)| {
+            let mut trace = Trace::for_ranks(procs);
+            let mut now = vec![0i64; procs];
+            for m in 0..msgs {
+                let from = m % procs;
+                let to = (m * 7 + 1) % procs;
+                if from == to {
+                    continue;
+                }
+                let send_true = now[from] + 10 + (m as i64 * 13) % 50;
+                now[from] = send_true;
+                let recv_true = send_true.max(now[to]) + lmin_us + (m as i64 * 5) % 30;
+                now[to] = recv_true;
+                trace.procs[from].push(
+                    Time::from_us(send_true + skews[from]),
+                    EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 8 },
+                );
+                trace.procs[to].push(
+                    Time::from_us(recv_true + skews[to]),
+                    EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 8 },
+                );
+            }
+            (trace, lmin_us)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- CLC postconditions -------------------------------------------------
+
+    #[test]
+    fn clc_always_restores_the_clock_condition((trace, lmin_us) in arb_skewed_trace()) {
+        let mut t = trace;
+        let lmin = UniformLatency(Dur::from_us(lmin_us));
+        controlled_logical_clock(&mut t, &lmin, &ClcParams::default()).unwrap();
+        let m = match_messages(&t);
+        let rep = check_p2p(&t, &m, &lmin);
+        prop_assert!(rep.violations.is_empty(),
+            "CLC left {} violations", rep.violations.len());
+        prop_assert!(t.is_locally_monotone(), "CLC broke local order");
+    }
+
+    #[test]
+    fn clc_never_moves_events_backward((trace, lmin_us) in arb_skewed_trace()) {
+        let before = trace.clone();
+        let mut t = trace;
+        let lmin = UniformLatency(Dur::from_us(lmin_us));
+        controlled_logical_clock(&mut t, &lmin, &ClcParams::default()).unwrap();
+        for p in 0..t.n_procs() {
+            for (a, b) in t.procs[p].events.iter().zip(&before.procs[p].events) {
+                prop_assert!(a.time >= b.time,
+                    "event moved backward on proc {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn clc_is_idempotent((trace, lmin_us) in arb_skewed_trace()) {
+        let mut t = trace;
+        let lmin = UniformLatency(Dur::from_us(lmin_us));
+        controlled_logical_clock(&mut t, &lmin, &ClcParams::default()).unwrap();
+        let snapshot = t.clone();
+        let rep = controlled_logical_clock(&mut t, &lmin, &ClcParams::default()).unwrap();
+        prop_assert_eq!(rep.n_jumps(), 0, "second application found jumps");
+        for p in 0..t.n_procs() {
+            prop_assert_eq!(&t.procs[p].events, &snapshot.procs[p].events);
+        }
+    }
+
+    #[test]
+    fn parallel_clc_equals_serial((trace, lmin_us) in arb_skewed_trace()) {
+        let lmin = UniformLatency(Dur::from_us(lmin_us));
+        let params = ClcParams::default();
+        let mut serial = trace.clone();
+        let mut par = trace;
+        controlled_logical_clock(&mut serial, &lmin, &params).unwrap();
+        drift_lab::clocksync::controlled_logical_clock_parallel(&mut par, &lmin, &params)
+            .unwrap();
+        for p in 0..serial.n_procs() {
+            prop_assert_eq!(&serial.procs[p].events, &par.procs[p].events);
+        }
+    }
+
+    // --- codecs ---------------------------------------------------------------
+
+    #[test]
+    fn codecs_round_trip((trace, _) in arb_skewed_trace()) {
+        let text = io::to_text(&trace);
+        let back = io::from_text(&text).unwrap();
+        prop_assert_eq!(back.n_events(), trace.n_events());
+        let bin = io::to_binary(&trace);
+        let back = io::from_binary(bin).unwrap();
+        for p in 0..trace.n_procs() {
+            prop_assert_eq!(&back.procs[p].events, &trace.procs[p].events);
+        }
+    }
+
+    // --- logical clocks --------------------------------------------------------
+
+    #[test]
+    fn lamport_and_vector_conditions_hold((trace, _) in arb_skewed_trace()) {
+        let lamport = drift_lab::clocksync::lamport_timestamps(&trace);
+        prop_assert!(drift_lab::clocksync::satisfies_lamport_condition(&trace, &lamport));
+        let vectors = drift_lab::clocksync::vector_timestamps(&trace);
+        let m = match_messages(&trace);
+        for msg in &m.messages {
+            prop_assert!(vectors[msg.send.p()][msg.send.i()]
+                .happened_before(&vectors[msg.recv.p()][msg.recv.i()]));
+        }
+    }
+
+    // --- clock physics --------------------------------------------------------
+
+    #[test]
+    fn clock_ideal_time_is_monotone_for_sane_drifts(
+        rate in -1e-4f64..1e-4,
+        offset_us in -1_000_000i64..1_000_000,
+        amp in 0.0f64..1e-5,
+        period in 10.0f64..2000.0,
+    ) {
+        let drift = drift_lab::simclock::CompositeDrift::new(vec![
+            Box::new(ConstantDrift::new(rate)),
+            Box::new(SinusoidalDrift::new(amp, period, 0.0)),
+        ]);
+        let clock = SimClock::new(
+            TimerKind::IntelTsc,
+            Dur::from_us(offset_us),
+            Arc::new(drift),
+            NoiseSpec::noiseless(),
+            0,
+        );
+        // |rate| + amp << 1, so local time must be strictly increasing.
+        let mut prev = clock.ideal_at(Time::ZERO);
+        for k in 1..200 {
+            let t = Time::from_ms(k * 37);
+            let v = clock.ideal_at(t);
+            prop_assert!(v > prev, "ideal time not increasing at step {k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn piecewise_drift_integral_matches_numeric_integration(
+        rates in prop::collection::vec(-1e-5f64..1e-5, 2..6),
+    ) {
+        let points: Vec<(Time, f64)> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (Time::from_secs(i as i64 * 10), r))
+            .collect();
+        let d = PiecewiseLinearDrift::new(points);
+        // Trapezoid-rule numeric integral at fine resolution.
+        let end = Time::from_secs((rates.len() as i64 - 1) * 10 + 5);
+        let steps = 2000;
+        let h = end.as_secs_f64() / steps as f64;
+        let mut num = 0.0;
+        for i in 0..steps {
+            let a = d.rate_at(Time::from_secs_f64(i as f64 * h));
+            let b = d.rate_at(Time::from_secs_f64((i + 1) as f64 * h));
+            num += 0.5 * (a + b) * h;
+        }
+        let exact = d.integrated(end);
+        prop_assert!((num - exact).abs() < 1e-9,
+            "integral mismatch: numeric {num}, analytic {exact}");
+    }
+
+    // --- interpolation ----------------------------------------------------------
+
+    #[test]
+    fn interpolation_is_exact_at_anchors_and_linear_between(
+        w1 in 0i64..1000, o1 in -500i64..500,
+        dw in 1i64..1000, do_ in -500i64..500,
+    ) {
+        let a = OffsetMeasurement {
+            worker_time: Time::from_ms(w1),
+            offset: Dur::from_us(o1),
+            rtt: Dur::from_us(10),
+        };
+        let b = OffsetMeasurement {
+            worker_time: Time::from_ms(w1 + dw),
+            offset: Dur::from_us(o1 + do_),
+            rtt: Dur::from_us(10),
+        };
+        let li = LinearInterpolation::new(&a, &b);
+        prop_assert_eq!(li.map(a.worker_time), a.worker_time + a.offset);
+        prop_assert_eq!(li.map(b.worker_time), b.worker_time + b.offset);
+        // Midpoint maps to the midpoint of the corrected anchors.
+        let mid = a.worker_time + (b.worker_time - a.worker_time) / 2;
+        let expected = {
+            let ca = li.map(a.worker_time);
+            let cb = li.map(b.worker_time);
+            ca + (cb - ca) / 2
+        };
+        let got = li.map(mid);
+        prop_assert!((got - expected).abs() <= Dur::from_ps(1000),
+            "midpoint off by {:?}", got - expected);
+    }
+}
+
+// -------- extensions: POMP CLC and clock-domain-aware CLC -----------------
+
+/// A random POMP trace: a team of 2–6 threads, several region instances,
+/// per-thread clock skews corrupting the recorded timestamps.
+fn arb_pomp_trace() -> impl Strategy<Value = Trace> {
+    (
+        2usize..6,
+        2usize..8,
+        prop::collection::vec(-20i64..20, 6),
+    )
+        .prop_map(|(threads, regions, skews)| {
+            let r = RegionId(0);
+            let mut t = Trace::for_threads(threads);
+            let mut now = 10i64;
+            for k in 0..regions {
+                t.procs[0].push(
+                    Time::from_us(now + skews[0]),
+                    EventKind::Fork { region: r },
+                );
+                let start = now + 2;
+                let mut enters = Vec::new();
+                #[allow(clippy::needless_range_loop)]
+                for th in 0..threads {
+                    let body_end = start + 30 + ((th + k) as i64 * 7) % 17;
+                    t.procs[th].push(
+                        Time::from_us(start + skews[th]),
+                        EventKind::Enter { region: r },
+                    );
+                    t.procs[th].push(
+                        Time::from_us(body_end + skews[th]),
+                        EventKind::BarrierEnter { region: r },
+                    );
+                    enters.push(body_end);
+                }
+                let all_in = *enters.iter().max().expect("non-empty") + 1;
+                #[allow(clippy::needless_range_loop)]
+                for th in 0..threads {
+                    t.procs[th].push(
+                        Time::from_us(all_in + th as i64 + skews[th]),
+                        EventKind::BarrierExit { region: r },
+                    );
+                }
+                now = all_in + threads as i64 + 2;
+                t.procs[0].push(
+                    Time::from_us(now + skews[0]),
+                    EventKind::Join { region: r },
+                );
+                now += 10;
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pomp_clc_always_restores_pomp_rules(trace in arb_pomp_trace()) {
+        use drift_lab::clocksync::controlled_logical_clock_pomp;
+        let mut t = trace;
+        controlled_logical_clock_pomp(
+            &mut t,
+            Dur::from_ns(100),
+            &drift_lab::clocksync::ClcParams::default(),
+        )
+        .unwrap();
+        let regions = match_parallel_regions(&t).unwrap();
+        let rep = check_pomp(&t, &regions);
+        prop_assert_eq!(rep.any_violations, 0, "POMP CLC left violations");
+        prop_assert!(t.is_locally_monotone());
+    }
+
+    #[test]
+    fn domain_clc_keeps_constraints_and_never_moves_backward(
+        (trace, lmin_us) in arb_skewed_trace(),
+        split in 1usize..4,
+    ) {
+        use drift_lab::clocksync::controlled_logical_clock_with_domains;
+        let n = trace.n_procs();
+        // Group processes into `split` clock domains round-robin.
+        let domains: Vec<usize> = (0..n).map(|p| p % split.min(n)).collect();
+        let before = trace.clone();
+        let mut t = trace;
+        let lmin = UniformLatency(Dur::from_us(lmin_us));
+        controlled_logical_clock_with_domains(
+            &mut t,
+            &lmin,
+            &drift_lab::clocksync::ClcParams::default(),
+            &domains,
+        )
+        .unwrap();
+        let m = match_messages(&t);
+        let rep = check_p2p(&t, &m, &lmin);
+        prop_assert!(rep.violations.is_empty(), "domain CLC left violations");
+        prop_assert!(t.is_locally_monotone());
+        for p in 0..n {
+            for (a, b) in t.procs[p].events.iter().zip(&before.procs[p].events) {
+                prop_assert!(a.time >= b.time, "domain CLC moved an event backward");
+            }
+        }
+    }
+}
