@@ -1,0 +1,173 @@
+//! Throughput of the synchronisation pipeline on a large trace (≥100k
+//! events): the per-stage-reanalysis baseline (what the pipeline did before
+//! analysis caching — matching recomputed for every census), the cached
+//! sequential path, and the sharded parallel path.
+//!
+//! ```sh
+//! cargo bench -p bench --bench pipeline_parallel
+//! ```
+
+use clocksync::{
+    apply_maps, controlled_logical_clock, synchronize, ClcParams, LinearInterpolation,
+    OffsetMeasurement, ParallelConfig, PipelineConfig, PreSync, TimestampMap,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::{Dur, Time};
+use tracefmt::{
+    check_collectives, check_p2p, match_collectives, match_messages, EventKind, Rank, Tag,
+    Trace, UniformLatency,
+};
+
+const PROCS: usize = 16;
+const MSGS: usize = 60_000; // ≥120k events
+
+/// A causally valid trace recorded through skewed, linearly drifting
+/// clocks, plus init/finalize offset measurements.
+fn big_trace(
+    seed: u64,
+) -> (
+    Trace,
+    Vec<Option<OffsetMeasurement>>,
+    Vec<Option<OffsetMeasurement>>,
+    UniformLatency,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offsets: Vec<i64> = (0..PROCS)
+        .map(|p| if p == 0 { 0 } else { rng.gen_range(-500i64..500) })
+        .collect();
+    let rates: Vec<f64> = (0..PROCS)
+        .map(|p| if p == 0 { 0.0 } else { rng.gen_range(-30e-6..30e-6) })
+        .collect();
+    let local = |p: usize, true_us: i64| -> i64 {
+        true_us + offsets[p] + (rates[p] * true_us as f64).round() as i64
+    };
+    let lmin_us = 4i64;
+    let mut trace = Trace::for_ranks(PROCS);
+    let mut now = vec![0i64; PROCS];
+    for m in 0..MSGS {
+        let from = rng.gen_range(0usize..PROCS);
+        let to = (from + rng.gen_range(1usize..PROCS)) % PROCS;
+        let send_true = now[from] + rng.gen_range(5i64..40);
+        now[from] = send_true;
+        let recv_true = send_true.max(now[to]) + lmin_us + rng.gen_range(0i64..20);
+        now[to] = recv_true;
+        trace.procs[from].push(
+            Time::from_us(local(from, send_true)),
+            EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+        trace.procs[to].push(
+            Time::from_us(local(to, recv_true)),
+            EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+    }
+    let end = *now.iter().max().expect("non-empty") + 100;
+    let measure = |p: usize, true_us: i64| -> Option<OffsetMeasurement> {
+        (p != 0).then(|| OffsetMeasurement {
+            worker_time: Time::from_us(local(p, true_us)),
+            offset: Dur::from_us(true_us - local(p, true_us) + 3),
+            rtt: Dur::from_us(10),
+        })
+    };
+    let init: Vec<_> = (0..PROCS).map(|p| measure(p, 0)).collect();
+    let fin: Vec<_> = (0..PROCS).map(|p| measure(p, end)).collect();
+    (trace, init, fin, UniformLatency(Dur::from_us(lmin_us)))
+}
+
+/// The pre-caching sequential pipeline: interpolation + CLC with matching
+/// and collective reconstruction recomputed for every violation census and
+/// again inside the CLC — exactly what `synchronize` did before the
+/// shared-analysis refactor.
+fn seed_style_pipeline(
+    trace: &mut Trace,
+    init: &[Option<OffsetMeasurement>],
+    fin: &[Option<OffsetMeasurement>],
+    lmin: &UniformLatency,
+) -> usize {
+    let census = |t: &Trace| {
+        let m = match_messages(t);
+        let insts = match_collectives(t).expect("well-formed");
+        check_p2p(t, &m, lmin).violations.len()
+            + check_collectives(t, &insts, lmin).logical_violated
+    };
+    let mut total = census(trace);
+    let maps: Vec<Box<dyn TimestampMap>> = init
+        .iter()
+        .zip(fin)
+        .map(|(a, b)| -> Box<dyn TimestampMap> {
+            match (a, b) {
+                (Some(a), Some(b)) => Box::new(LinearInterpolation::new(a, b)),
+                _ => Box::new(clocksync::IdentityMap),
+            }
+        })
+        .collect();
+    apply_maps(trace, &maps);
+    total += census(trace);
+    controlled_logical_clock(trace, lmin, &ClcParams::default()).expect("CLC runs");
+    total += census(trace);
+    total
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (trace, init, fin, lmin) = big_trace(7);
+    let n_events = trace.n_events() as u64;
+    assert!(n_events >= 100_000, "bench trace too small: {n_events}");
+
+    {
+        let mut t = trace.clone();
+        let cfg = PipelineConfig {
+            presync: PreSync::Linear,
+            clc: Some(ClcParams::default()),
+            parallel: None,
+        };
+        let rep = synchronize(&mut t, &init, Some(&fin), &lmin, &cfg).unwrap();
+        eprintln!("{}", rep.stats.render());
+    }
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_events));
+
+    g.bench_function("sequential_reanalysis", |b| {
+        b.iter(|| {
+            let mut t = trace.clone();
+            seed_style_pipeline(&mut t, &init, &fin, &lmin)
+        })
+    });
+
+    let seq_cfg = PipelineConfig {
+        presync: PreSync::Linear,
+        clc: Some(ClcParams::default()),
+        parallel: None,
+    };
+    g.bench_function("sequential_cached", |b| {
+        b.iter(|| {
+            let mut t = trace.clone();
+            synchronize(&mut t, &init, Some(&fin), &lmin, &seq_cfg)
+                .expect("pipeline runs")
+                .after_clc
+                .expect("CLC ran")
+                .total_violations()
+        })
+    });
+
+    let par_cfg = PipelineConfig {
+        parallel: Some(ParallelConfig::default()),
+        ..seq_cfg.clone()
+    };
+    g.bench_function("parallel_sharded", |b| {
+        b.iter(|| {
+            let mut t = trace.clone();
+            synchronize(&mut t, &init, Some(&fin), &lmin, &par_cfg)
+                .expect("pipeline runs")
+                .after_clc
+                .expect("CLC ran")
+                .total_violations()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

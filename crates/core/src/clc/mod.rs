@@ -201,17 +201,27 @@ impl Iterator for DepsOfEnd<'_> {
 
 pub(crate) fn extract_deps(trace: &Trace) -> Result<Deps, ClcError> {
     let matching = match_messages(trace);
+    let raw = match_collectives(trace).map_err(ClcError::BadCollectives)?;
+    Ok(deps_from_parts(&matching, &raw))
+}
+
+/// Build the dependency structure from an already-reconstructed
+/// communication analysis (the pipeline computes matching once and shares
+/// it across every stage, including the CLC).
+pub(crate) fn deps_from_parts(
+    matching: &tracefmt::Matching,
+    raw: &[tracefmt::CollectiveInstance],
+) -> Deps {
     let mut send_of = std::collections::HashMap::with_capacity(matching.messages.len());
     let mut recv_of = std::collections::HashMap::with_capacity(matching.messages.len());
     for m in &matching.messages {
         send_of.insert(m.recv, (m.send, m.from));
         recv_of.insert(m.send, (m.recv, m.to));
     }
-    let raw = match_collectives(trace).map_err(ClcError::BadCollectives)?;
     let mut insts = Vec::with_capacity(raw.len());
     let mut end_info = std::collections::HashMap::new();
     let mut begin_info = std::collections::HashMap::new();
-    for (idx, inst) in raw.into_iter().enumerate() {
+    for (idx, inst) in raw.iter().enumerate() {
         let root_pos = inst
             .root
             .and_then(|r| inst.members.iter().position(|m| m.rank == r));
@@ -230,13 +240,13 @@ pub(crate) fn extract_deps(trace: &Trace) -> Result<Deps, ClcError> {
             members,
         });
     }
-    Ok(Deps {
+    Deps {
         send_of,
         insts,
         end_info,
         begin_info,
         recv_of,
-    })
+    }
 }
 
 /// Apply the CLC to `trace` in place, returning correction statistics.
@@ -269,21 +279,33 @@ pub fn controlled_logical_clock(
     lmin: &dyn MinLatency,
     params: &ClcParams,
 ) -> Result<ClcReport, ClcError> {
+    let deps = extract_deps(trace)?;
+    controlled_logical_clock_with_deps(trace, &deps, lmin, params)
+}
+
+/// [`controlled_logical_clock`] on a pre-extracted dependency structure,
+/// so callers that already reconstructed the communication analysis (the
+/// pipeline) skip the re-matching pass.
+pub(crate) fn controlled_logical_clock_with_deps(
+    trace: &mut Trace,
+    deps: &Deps,
+    lmin: &dyn MinLatency,
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
     if !(params.mu > 0.0 && params.mu <= 1.0) {
         return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
     }
     if params.backward && params.backward_window_factor <= 0.0 {
         return Err(ClcError::BadParams("non-positive backward window".into()));
     }
-    let deps = extract_deps(trace)?;
     let originals: Vec<Vec<Time>> = trace
         .procs
         .iter()
         .map(|p| p.events.iter().map(|e| e.time).collect())
         .collect();
-    let mut report = forward_pass(trace, &originals, &deps, lmin, params.mu)?;
+    let mut report = forward_pass(trace, &originals, deps, lmin, params.mu)?;
     if params.backward {
-        backward_amortization(trace, &deps, lmin, params, &report.jumps);
+        backward_amortization(trace, deps, lmin, params, &report.jumps);
         // Safety net: backward clamping is designed to preserve every
         // constraint, but a final μ=1 forward sweep guarantees the
         // postcondition even if future latency models interact badly.
@@ -292,7 +314,7 @@ pub fn controlled_logical_clock(
             .iter()
             .map(|p| p.events.iter().map(|e| e.time).collect())
             .collect();
-        let _ = forward_pass(trace, &post, &deps, lmin, 1.0)?;
+        let _ = forward_pass(trace, &post, deps, lmin, 1.0)?;
     }
     report.events_total = trace.n_events();
     report.events_moved = trace

@@ -80,13 +80,24 @@ pub fn controlled_logical_clock_parallel(
     lmin: &(dyn MinLatency + Sync),
     params: &ClcParams,
 ) -> Result<ClcReport, ClcError> {
+    let deps = extract_deps(trace)?;
+    controlled_logical_clock_parallel_with_deps(trace, &deps, lmin, params)
+}
+
+/// [`controlled_logical_clock_parallel`] on a pre-extracted dependency
+/// structure (the pipeline shares one analysis across every stage).
+pub(crate) fn controlled_logical_clock_parallel_with_deps(
+    trace: &mut Trace,
+    deps: &Deps,
+    lmin: &(dyn MinLatency + Sync),
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
     if !(params.mu > 0.0 && params.mu <= 1.0) {
         return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
     }
     if params.backward && params.backward_window_factor <= 0.0 {
         return Err(ClcError::BadParams("non-positive backward window".into()));
     }
-    let deps = extract_deps(trace)?;
     let n = trace.n_procs();
 
     // Per-process inboxes for corrected send times, addressed by recv id.
@@ -115,7 +126,7 @@ pub fn controlled_logical_clock_parallel(
         .collect();
 
     let mut all_jumps: Vec<Vec<Jump>> = Vec::new();
-    let deps_ref = &deps;
+    let deps_ref = deps;
     let cells_ref = &cells;
     let inst_ranks_ref = &inst_ranks;
     let originals_ref = &originals;
@@ -152,14 +163,14 @@ pub fn controlled_logical_clock_parallel(
     let max_jump = jumps.iter().map(|j| j.size).max().unwrap_or(Dur::ZERO);
 
     if params.backward {
-        parallel_backward(trace, &deps, lmin, params, &jumps);
+        parallel_backward(trace, deps, lmin, params, &jumps);
         // Safety-net μ=1 sweep, identical to the serial implementation.
         let post: Vec<Vec<Time>> = trace
             .procs
             .iter()
             .map(|p| p.events.iter().map(|e| e.time).collect())
             .collect();
-        super::forward_pass(trace, &post, &deps, lmin, 1.0)?;
+        super::forward_pass(trace, &post, deps, lmin, 1.0)?;
     }
 
     let events_moved = trace
@@ -324,7 +335,7 @@ mod tests {
         for round in 0..rounds {
             for p in 0..procs {
                 let next = (p + 1) % procs;
-                now[p] += rng.gen_range(5..50);
+                now[p] += rng.gen_range(5i64..50);
                 t.procs[p].push(
                     Time::from_us(now[p] + skews[p]),
                     EventKind::Send { to: Rank(next as u32), tag: Tag(round as u32), bytes: 8 },
@@ -332,7 +343,7 @@ mod tests {
             }
             for p in 0..procs {
                 let prev = (p + procs - 1) % procs;
-                now[p] += rng.gen_range(5..50);
+                now[p] += rng.gen_range(5i64..50);
                 t.procs[p].push(
                     Time::from_us(now[p] + skews[p]),
                     EventKind::Recv { from: Rank(prev as u32), tag: Tag(round as u32), bytes: 8 },
@@ -341,7 +352,7 @@ mod tests {
             if round % 3 == 0 {
                 let base = *now.iter().max().unwrap();
                 for p in 0..procs {
-                    now[p] = base + rng.gen_range(0..10);
+                    now[p] = base + rng.gen_range(0i64..10);
                     t.procs[p].push(
                         Time::from_us(now[p] + skews[p]),
                         EventKind::CollBegin {
@@ -351,7 +362,7 @@ mod tests {
                             bytes: 8,
                         },
                     );
-                    now[p] += rng.gen_range(10..25);
+                    now[p] += rng.gen_range(10i64..25);
                     t.procs[p].push(
                         Time::from_us(now[p] + skews[p]),
                         EventKind::CollEnd {

@@ -48,6 +48,9 @@ pub use interp::{
 };
 pub use lamport::{lamport_timestamps, satisfies_lamport_condition};
 pub use offset::{estimate_offset, error_bound, OffsetMeasurement, ProbeSample};
-pub use pipeline::{synchronize, PipelineConfig, PipelineError, PipelineReport, PreSync, StageReport};
+pub use pipeline::{
+    synchronize, ParallelConfig, PipelineConfig, PipelineError, PipelineReport, PipelineStats,
+    PreSync, StageReport, StageStats, TraceAnalysis,
+};
 pub use predict::{normal_cdf, safe_run_length, violation_probability, WanderModel};
 pub use vector::{vector_timestamps, VectorStamp};

@@ -1,0 +1,576 @@
+//! The end-to-end synchronisation pipeline the paper recommends (§V/§VI):
+//! weak pre-synchronisation by linear offset interpolation, then the CLC to
+//! remove residual clock-condition violations.
+//!
+//! [`synchronize`] drives the whole chain on a trace and reports violation
+//! counts before, after interpolation, and after the CLC — the numbers the
+//! constructive experiments print.
+//!
+//! # Execution model
+//!
+//! The pipeline runs sequentially by default. Setting
+//! [`PipelineConfig::parallel`] shards the per-rank work — timestamp
+//! mapping and the violation censuses — across a scoped worker pool and
+//! replaces the serial CLC with the replay-based parallel CLC
+//! ([`crate::controlled_logical_clock_parallel`]). Both paths produce
+//! **bit-identical** corrected timestamps and reports: the shard merge
+//! preserves sequential order, and the parallel CLC re-enacts the serial
+//! forward pass exactly.
+//!
+//! Cross-stage work is computed once and cached: message matching and
+//! collective reconstruction are order-based (timestamps never enter
+//! them), so one [`TraceAnalysis`] serves every census; the `l_min` model
+//! is frozen into a dense [`LatencyTable`] up front so later stages never
+//! re-query a potentially expensive model.
+//!
+//! Every run also returns [`PipelineStats`]: per-stage item counts and
+//! throughput, shard counts, and the time the merge side spent waiting on
+//! shard results.
+
+mod parallel;
+mod stats;
+
+pub use parallel::ParallelConfig;
+pub use stats::{PipelineStats, StageStats};
+
+use crate::clc::{ClcError, ClcParams, ClcReport};
+use crate::interp::{LinearInterpolation, OffsetAlignment, TimestampMap};
+use crate::offset::OffsetMeasurement;
+use simclock::Time;
+use std::time::Instant;
+use tracefmt::{
+    check_collectives, check_p2p_messages, match_collectives, match_messages, CollReport,
+    CollectiveInstance, LatencyTable, Matching, MinLatency, P2pReport, Rank, Trace,
+};
+
+/// Which pre-synchronisation to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreSync {
+    /// Leave timestamps untouched.
+    None,
+    /// Offset alignment from the initialization measurement only.
+    AlignOnly,
+    /// Eq. 3 linear interpolation between the init and finalize
+    /// measurements (Scalasca's scheme).
+    Linear,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Pre-synchronisation stage.
+    pub presync: PreSync,
+    /// CLC stage (None = skip).
+    pub clc: Option<ClcParams>,
+    /// Parallel execution (None = sequential, the default). The parallel
+    /// path is guaranteed bit-identical to the sequential one.
+    pub parallel: Option<ParallelConfig>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            presync: PreSync::Linear,
+            clc: Some(ClcParams::default()),
+            parallel: None,
+        }
+    }
+}
+
+/// The reconstructed communication structure of a trace: matched
+/// point-to-point messages and collective instances.
+///
+/// Matching uses only per-timeline event *order* (MPI's non-overtaking
+/// rule), never timestamps, so the analysis of the raw trace stays valid
+/// after every timestamp-rewriting stage — the pipeline computes it once
+/// and reuses it for all three censuses.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Matched send/receive pairs (plus any dangling events).
+    pub matching: Matching,
+    /// Reconstructed collective instances.
+    pub instances: Vec<CollectiveInstance>,
+}
+
+impl TraceAnalysis {
+    /// Reconstruct the communication structure of `trace`.
+    pub fn capture(trace: &Trace) -> Result<Self, String> {
+        Ok(TraceAnalysis {
+            matching: match_messages(trace),
+            instances: match_collectives(trace)?,
+        })
+    }
+
+    /// Census work items: messages plus collective instances.
+    fn n_items(&self) -> usize {
+        self.matching.messages.len() + self.instances.len()
+    }
+}
+
+/// Concrete per-process pre-synchronisation map. An enum rather than a
+/// boxed trait object so a slice of maps is `Sync` and can be shared by
+/// the worker pool without locking.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PresyncMap {
+    Identity,
+    Align(OffsetAlignment),
+    Linear(LinearInterpolation),
+}
+
+impl TimestampMap for PresyncMap {
+    fn map(&self, t: Time) -> Time {
+        match self {
+            PresyncMap::Identity => t,
+            PresyncMap::Align(m) => m.map(t),
+            PresyncMap::Linear(m) => m.map(t),
+        }
+    }
+}
+
+/// Violation census of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Point-to-point check.
+    pub p2p: P2pReport,
+    /// Collective (logical message) check.
+    pub coll: CollReport,
+}
+
+impl StageReport {
+    /// Census `trace` against a cached analysis and latency table.
+    fn capture(trace: &Trace, analysis: &TraceAnalysis, lmin: &dyn MinLatency) -> Self {
+        StageReport {
+            p2p: check_p2p_messages(trace, &analysis.matching.messages, lmin),
+            coll: check_collectives(trace, &analysis.instances, lmin),
+        }
+    }
+
+    /// Total violated constraints (messages + logical messages).
+    pub fn total_violations(&self) -> usize {
+        self.p2p.violations.len() + self.coll.logical_violated
+    }
+}
+
+/// Outcome of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Census on the raw trace.
+    pub raw: StageReport,
+    /// Census after pre-synchronisation (equals `raw` when
+    /// `PreSync::None`).
+    pub after_presync: StageReport,
+    /// Census after the CLC (None when the CLC stage was skipped).
+    pub after_clc: Option<StageReport>,
+    /// CLC statistics (None when skipped).
+    pub clc: Option<ClcReport>,
+    /// Per-stage throughput and shard instrumentation.
+    pub stats: PipelineStats,
+}
+
+/// Pipeline failures.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// A measurement vector does not match the process count.
+    BadMeasurements(String),
+    /// Trace reconstruction failed.
+    BadTrace(String),
+    /// The CLC stage failed.
+    Clc(ClcError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::BadMeasurements(s) => write!(f, "bad measurements: {s}"),
+            PipelineError::BadTrace(s) => write!(f, "bad trace: {s}"),
+            PipelineError::Clc(e) => write!(f, "CLC failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Build the per-process pre-synchronisation maps, or `None` for
+/// `PreSync::None`.
+fn build_presync_maps(
+    presync: PreSync,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+) -> Result<Option<Vec<PresyncMap>>, PipelineError> {
+    match presync {
+        PreSync::None => Ok(None),
+        PreSync::AlignOnly => Ok(Some(
+            init.iter()
+                .map(|m| match m {
+                    Some(m) => PresyncMap::Align(OffsetAlignment::new(m)),
+                    None => PresyncMap::Identity,
+                })
+                .collect(),
+        )),
+        PreSync::Linear => {
+            let fin = fin.ok_or_else(|| {
+                PipelineError::BadMeasurements(
+                    "linear interpolation requires finalize measurements".into(),
+                )
+            })?;
+            Ok(Some(
+                init.iter()
+                    .zip(fin)
+                    .map(|(a, b)| match (a, b) {
+                        (Some(a), Some(b)) => PresyncMap::Linear(LinearInterpolation::new(a, b)),
+                        _ => PresyncMap::Identity,
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
+/// Census one stage, sequentially or sharded, and record its stats.
+fn census_stage(
+    name: &'static str,
+    trace: &Trace,
+    analysis: &TraceAnalysis,
+    table: &LatencyTable,
+    par: Option<&ParallelConfig>,
+    stats: &mut PipelineStats,
+) -> StageReport {
+    let t0 = Instant::now();
+    match par {
+        None => {
+            let rep = StageReport::capture(trace, analysis, table);
+            stats
+                .stages
+                .push(StageStats::sequential(name, analysis.n_items(), t0.elapsed()));
+            rep
+        }
+        Some(par) => {
+            let (rep, items, shards, wait) = parallel::census_sharded(trace, analysis, table, par);
+            stats
+                .stages
+                .push(StageStats::sharded(name, items, t0.elapsed(), shards, wait));
+            rep
+        }
+    }
+}
+
+/// Run the pipeline on `trace` in place.
+///
+/// `init[p]` / `fin[p]` are the offset measurements of process `p` taken at
+/// program initialization and finalization (`None` entries for the master,
+/// which is never remapped). `fin` may be `None` as a whole when only
+/// alignment is requested.
+pub fn synchronize(
+    trace: &mut Trace,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, PipelineError> {
+    let t_total = Instant::now();
+    let n = trace.n_procs();
+    if init.len() != n {
+        return Err(PipelineError::BadMeasurements(format!(
+            "init has {} entries for {} procs",
+            init.len(),
+            n
+        )));
+    }
+    if let Some(f) = fin {
+        if f.len() != n {
+            return Err(PipelineError::BadMeasurements(format!(
+                "fin has {} entries for {} procs",
+                f.len(),
+                n
+            )));
+        }
+    }
+    let par = cfg.parallel.as_ref();
+    let mut stats = PipelineStats {
+        workers: par.map_or(1, ParallelConfig::effective_workers),
+        ..PipelineStats::default()
+    };
+    let n_events = trace.n_events();
+
+    // Freeze the latency model into a dense table, shared by every stage.
+    let ranks: Vec<Rank> = trace.procs.iter().map(|p| p.location.rank).collect();
+    let table = LatencyTable::freeze(lmin, &ranks);
+
+    // Reconstruct the communication structure once; every census reuses it
+    // (matching is order-based, so timestamp rewrites cannot invalidate it).
+    let t0 = Instant::now();
+    let analysis = TraceAnalysis::capture(trace).map_err(PipelineError::BadTrace)?;
+    stats
+        .stages
+        .push(StageStats::sequential("match", n_events, t0.elapsed()));
+
+    let raw = census_stage("census:raw", trace, &analysis, &table, par, &mut stats);
+
+    // Pre-synchronisation.
+    let after_presync = match build_presync_maps(cfg.presync, init, fin)? {
+        None => raw.clone(),
+        Some(maps) => {
+            let t0 = Instant::now();
+            match par {
+                None => {
+                    trace.map_times(|p, t| maps[p].map(t));
+                    stats
+                        .stages
+                        .push(StageStats::sequential("presync", n_events, t0.elapsed()));
+                }
+                Some(par) => {
+                    let (items, shards, wait) = parallel::apply_maps_sharded(trace, &maps, par);
+                    stats
+                        .stages
+                        .push(StageStats::sharded("presync", items, t0.elapsed(), shards, wait));
+                }
+            }
+            census_stage("census:presync", trace, &analysis, &table, par, &mut stats)
+        }
+    };
+
+    // CLC cleanup.
+    let (after_clc, clc) = match &cfg.clc {
+        None => (None, None),
+        Some(params) => {
+            let t0 = Instant::now();
+            // Feed the cached analysis into the CLC instead of letting it
+            // re-match the trace (matching is order-based, so the presync
+            // timestamp rewrite cannot have invalidated it).
+            let deps = crate::clc::deps_from_parts(&analysis.matching, &analysis.instances);
+            // The replay-based parallel CLC runs one worker per process
+            // timeline and is bit-identical to the serial one. With a
+            // single-worker pool the replay threads would only time-slice
+            // one core, so the serial CLC is used instead — same output.
+            let replay = par.is_some_and(|p| p.effective_workers() >= 2);
+            let rep = if replay {
+                crate::clc::parallel::controlled_logical_clock_parallel_with_deps(
+                    trace, &deps, &table, params,
+                )
+            } else {
+                crate::clc::controlled_logical_clock_with_deps(trace, &deps, &table, params)
+            }
+            .map_err(PipelineError::Clc)?;
+            stats.stages.push(StageStats::sharded(
+                "clc",
+                n_events,
+                t0.elapsed(),
+                if replay { n } else { 1 },
+                std::time::Duration::ZERO,
+            ));
+            let census = census_stage("census:clc", trace, &analysis, &table, par, &mut stats);
+            (Some(census), Some(rep))
+        }
+    };
+
+    stats.total_seconds = t_total.elapsed().as_secs_f64();
+    Ok(PipelineReport {
+        raw,
+        after_presync,
+        after_clc,
+        clc,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::{Dur, Time};
+    use tracefmt::{EventKind, Rank, Tag, UniformLatency};
+
+    const LMIN: UniformLatency = UniformLatency(Dur::from_ps(4_000_000));
+
+    /// Worker clock +500 µs ahead; messages both directions with 10 µs true
+    /// transfer. Raw trace: master→worker messages look "too long"
+    /// (510 µs), worker→master messages look reversed (−490 µs).
+    fn skewed_trace() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        let off = 500;
+        for k in 0..10 {
+            let base = k * 1000;
+            t.procs[0].push(
+                Time::from_us(base),
+                EventKind::Send { to: Rank(1), tag: Tag(k as u32), bytes: 0 },
+            );
+            t.procs[1].push(
+                Time::from_us(base + 10 + off),
+                EventKind::Recv { from: Rank(0), tag: Tag(k as u32), bytes: 0 },
+            );
+            t.procs[1].push(
+                Time::from_us(base + 500 + off),
+                EventKind::Send { to: Rank(0), tag: Tag(1000 + k as u32), bytes: 0 },
+            );
+            t.procs[0].push(
+                Time::from_us(base + 510),
+                EventKind::Recv { from: Rank(1), tag: Tag(1000 + k as u32), bytes: 0 },
+            );
+        }
+        t
+    }
+
+    fn measurements(offset_us: i64, w: i64) -> Option<OffsetMeasurement> {
+        Some(OffsetMeasurement {
+            worker_time: Time::from_us(w),
+            offset: Dur::from_us(offset_us),
+            rtt: Dur::from_us(10),
+        })
+    }
+
+    #[test]
+    fn full_pipeline_repairs_everything() {
+        let mut t = skewed_trace();
+        // Measured offsets: master - worker = -500 µs (accurate).
+        let init = vec![None, measurements(-500, 0)];
+        let fin = vec![None, measurements(-500, 10_000)];
+        let rep = synchronize(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        // Raw trace: the 10 worker→master messages are reversed.
+        assert_eq!(rep.raw.p2p.reversed, 10);
+        // Interpolation with accurate offsets already fixes them.
+        assert_eq!(rep.after_presync.total_violations(), 0);
+        let after = rep.after_clc.unwrap();
+        assert_eq!(after.total_violations(), 0);
+    }
+
+    #[test]
+    fn clc_rescues_inaccurate_interpolation() {
+        let mut t = skewed_trace();
+        // Offset measurements off by 30 µs (asymmetric probe error): the
+        // interpolation leaves violations behind; the CLC must clear them.
+        let init = vec![None, measurements(-530, 0)];
+        let fin = vec![None, measurements(-530, 10_000)];
+        let rep = synchronize(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            rep.after_presync.total_violations() > 0,
+            "expected residual violations after bad interpolation"
+        );
+        assert_eq!(rep.after_clc.unwrap().total_violations(), 0);
+        assert!(rep.clc.unwrap().n_jumps() > 0);
+    }
+
+    #[test]
+    fn align_only_without_finalize() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let cfg = PipelineConfig {
+            presync: PreSync::AlignOnly,
+            clc: None,
+            parallel: None,
+        };
+        let rep = synchronize(&mut t, &init, None, &LMIN, &cfg).unwrap();
+        assert_eq!(rep.after_presync.total_violations(), 0);
+        assert!(rep.after_clc.is_none());
+    }
+
+    #[test]
+    fn linear_without_finalize_is_an_error() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let err = synchronize(&mut t, &init, None, &LMIN, &PipelineConfig::default());
+        assert!(matches!(err, Err(PipelineError::BadMeasurements(_))));
+    }
+
+    #[test]
+    fn wrong_measurement_count_is_an_error() {
+        let mut t = skewed_trace();
+        let err = synchronize(&mut t, &[], None, &LMIN, &PipelineConfig::default());
+        assert!(matches!(err, Err(PipelineError::BadMeasurements(_))));
+    }
+
+    /// The core differential guarantee, on the canonical small fixture:
+    /// the parallel path must be bit-identical to the sequential one.
+    #[test]
+    fn parallel_path_is_bit_identical() {
+        for workers in [1, 2, 4] {
+            let init = vec![None, measurements(-530, 0)];
+            let fin = vec![None, measurements(-530, 10_000)];
+
+            let mut seq_trace = skewed_trace();
+            let seq = synchronize(
+                &mut seq_trace,
+                &init,
+                Some(&fin),
+                &LMIN,
+                &PipelineConfig::default(),
+            )
+            .unwrap();
+
+            let mut par_trace = skewed_trace();
+            let cfg = PipelineConfig {
+                parallel: Some(ParallelConfig { workers, shard_size: 3 }),
+                ..PipelineConfig::default()
+            };
+            let par = synchronize(&mut par_trace, &init, Some(&fin), &LMIN, &cfg).unwrap();
+
+            for (p, (a, b)) in seq_trace.procs.iter().zip(&par_trace.procs).enumerate() {
+                for (i, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
+                    assert_eq!(ea.time, eb.time, "proc {p} event {i} with {workers} workers");
+                }
+            }
+            assert_eq!(seq.raw.p2p.reversed, par.raw.p2p.reversed);
+            assert_eq!(
+                seq.after_presync.total_violations(),
+                par.after_presync.total_violations()
+            );
+            assert_eq!(
+                seq.after_clc.unwrap().total_violations(),
+                par.after_clc.unwrap().total_violations()
+            );
+            assert_eq!(par.stats.workers, workers.max(1));
+        }
+    }
+
+    #[test]
+    fn stats_account_for_all_events() {
+        let mut t = skewed_trace();
+        let n_events = t.n_events();
+        let init = vec![None, measurements(-500, 0)];
+        let fin = vec![None, measurements(-500, 10_000)];
+        let cfg = PipelineConfig {
+            parallel: Some(ParallelConfig { workers: 2, shard_size: 4 }),
+            ..PipelineConfig::default()
+        };
+        let rep = synchronize(&mut t, &init, Some(&fin), &LMIN, &cfg).unwrap();
+        let presync = rep.stats.stage("presync").unwrap();
+        // Shard accounting: per-shard counts must sum to the event total.
+        assert_eq!(presync.items, n_events);
+        // 40 events over 2 procs in shards of 4 → 10 shards.
+        assert_eq!(presync.shards, 10);
+        assert!(rep.stats.stage("match").is_some());
+        assert!(rep.stats.stage("census:raw").is_some());
+        assert!(rep.stats.stage("census:presync").is_some());
+        assert!(rep.stats.stage("clc").is_some());
+        assert!(rep.stats.stage("census:clc").is_some());
+    }
+
+    #[test]
+    fn presync_none_skips_presync_stage() {
+        let mut t = skewed_trace();
+        let init = vec![None, None];
+        let cfg = PipelineConfig {
+            presync: PreSync::None,
+            clc: None,
+            parallel: None,
+        };
+        let rep = synchronize(&mut t, &init, None, &LMIN, &cfg).unwrap();
+        assert!(rep.stats.stage("presync").is_none());
+        assert_eq!(
+            rep.raw.total_violations(),
+            rep.after_presync.total_violations()
+        );
+    }
+}

@@ -100,15 +100,25 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
     };
     out.push(pipeline_method(
         "offset alignment",
-        PipelineConfig { presync: PreSync::AlignOnly, clc: None },
+        PipelineConfig { presync: PreSync::AlignOnly, clc: None, parallel: None },
     ));
     out.push(pipeline_method(
         "linear interpolation (Eq. 3)",
-        PipelineConfig { presync: PreSync::Linear, clc: None },
+        PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
     ));
     out.push(pipeline_method(
         "interpolation + CLC",
-        PipelineConfig { presync: PreSync::Linear, clc: Some(ClcParams::default()) },
+        PipelineConfig { presync: PreSync::Linear, clc: Some(ClcParams::default()), parallel: None },
+    ));
+    // The same chain through the sharded worker pool: results are
+    // bit-identical, only wall-clock differs.
+    out.push(pipeline_method(
+        "interpolation + CLC (parallel pipeline)",
+        PipelineConfig {
+            presync: PreSync::Linear,
+            clc: Some(ClcParams::default()),
+            parallel: Some(clocksync::ParallelConfig::default()),
+        },
     ));
 
     // Parallel CLC.
@@ -119,7 +129,7 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
             &base.init,
             Some(&base.fin),
             &lmin_owned,
-            &PipelineConfig { presync: PreSync::Linear, clc: None },
+            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
         )
         .expect("pipeline runs");
         let start = Instant::now();
@@ -185,7 +195,7 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
             &base.init,
             Some(&base.fin),
             &lmin_owned,
-            &PipelineConfig { presync: PreSync::Linear, clc: None },
+            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
         )
         .expect("pipeline runs");
         let start = Instant::now();

@@ -1,0 +1,260 @@
+//! Offline shim for the `bytes` crate API surface used by the trace codecs:
+//! [`BytesMut`] as an append-only build buffer, [`Bytes`] as a cheaply
+//! cloneable read cursor, and the [`Buf`]/[`BufMut`] accessor traits with
+//! the big-endian (network order) semantics of the real crate.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Read-side accessors (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume `n` raw bytes.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+    /// Consume a big-endian `i64`.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+}
+
+/// Write-side accessors (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian `i64`.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Growable byte buffer (mirrors `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.data),
+            start: 0,
+            pos: 0,
+            end_off: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Immutable shared byte view with a read cursor (mirrors `bytes::Bytes`).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Window start in `data`.
+    start: usize,
+    /// Read cursor, relative to `start`.
+    pos: usize,
+    /// Bytes cut off the end of `data` (window end = len - end_off).
+    end_off: usize,
+}
+
+impl Bytes {
+    /// Length of the (unconsumed part of the) view.
+    pub fn len(&self) -> usize {
+        self.window_len() - self.pos
+    }
+
+    /// True when fully consumed or empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn window_len(&self) -> usize {
+        self.data.len() - self.start - self.end_off
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let lo = self.start + self.pos;
+        let hi = self.data.len() - self.end_off;
+        &self.data[lo..hi]
+    }
+
+    /// Sub-view of the unconsumed bytes (zero-copy, like `Bytes::slice`).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice {lo}..{hi} out of range {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + self.pos + lo,
+            pos: 0,
+            end_off: self.data.len() - (self.start + self.pos + hi),
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "buffer underflow: need {}, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.as_slice()[..dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            pos: 0,
+            end_off: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_accessors() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u8(7);
+        b.put_i64(-12345);
+        b.put_u64(u64::MAX);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 4 + 1 + 8 + 8);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_i64(), -12345);
+        assert_eq!(r.get_u64(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let mut b = BytesMut::new();
+        for i in 0..10u8 {
+            b.put_u8(i);
+        }
+        let r = b.freeze();
+        let mut s = r.slice(2..6);
+        assert_eq!(s.remaining(), 4);
+        assert_eq!(s.get_u8(), 2);
+        assert_eq!(s.get_u8(), 3);
+        let mut nested = s.slice(1..2);
+        assert_eq!(nested.get_u8(), 5);
+        // Full and empty edges.
+        assert_eq!(r.slice(..).remaining(), 10);
+        assert_eq!(r.slice(..0).remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut r = BytesMut::new().freeze();
+        let _ = r.get_u8();
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline shim for the `crossbeam` API surface used by drift-lab.
+//!
+//! Only [`channel`] is provided; since Rust 1.72 `std::sync::mpsc` *is* the
+//! crossbeam channel implementation (with `Sender: Sync`), so this shim is a
+//! thin renaming layer with crossbeam's `Result`-based signatures.
+
+pub mod channel {
+    //! MPMC-ish channels (mirrors `crossbeam::channel`).
+
+    use std::sync::mpsc;
+
+    /// Sending half. `Sync`, so a slice of senders can be shared across
+    /// scoped worker threads (the replay pipeline relies on this).
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Manual impl: the derive would needlessly require `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender has hung up.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`; fails only when the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn senders_shared_across_scoped_threads() {
+            let (s, r) = unbounded::<usize>();
+            let senders = [s];
+            std::thread::scope(|scope| {
+                for k in 0..4 {
+                    let sref = &senders;
+                    scope.spawn(move || sref[0].send(k).unwrap());
+                }
+            });
+            let mut got: Vec<usize> = (0..4).map(|_| r.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (s, r) = unbounded::<u8>();
+            drop(s);
+            assert_eq!(r.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline shim for the `parking_lot` API surface used by drift-lab:
+//! [`Mutex`] whose `lock()` returns the guard directly (no `Result`) and
+//! [`Condvar::wait`] taking `&mut MutexGuard`. Backed by `std::sync`;
+//! poisoning is swallowed, matching parking_lot semantics.
+
+use std::sync;
+
+/// Mutual exclusion with parking_lot's panic-free `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait can temporarily take the std guard by value.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire, ignoring poisoning (a panicked holder does not wedge the
+    /// whole replay).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = self.0.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(inner) }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Condition variable with parking_lot's `wait(&mut guard)` signature.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and sleep until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present before wait");
+        let inner = self
+            .0
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn condvar_wakes_waiters() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let woke = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut g = m.lock();
+                    while !*g {
+                        cv.wait(&mut g);
+                    }
+                    woke.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                *m.lock() = true;
+                cv.notify_all();
+            });
+        });
+        assert_eq!(woke.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Length specification for collection strategies — a fixed size or a
+/// half-open range of sizes (mirrors `proptest::collection::SizeRange`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range for collection strategy");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Strategy;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = crate::test_rng("collection");
+        let fixed = super::vec(0i64..10, 6);
+        let ranged = super::vec(0i64..10, 2..5);
+        for _ in 0..200 {
+            assert_eq!(fixed.generate(&mut rng).len(), 6);
+            let v = ranged.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = crate::test_rng("nested");
+        let s = super::vec(super::vec(-1i64..2, 3), 2..4);
+        let v = s.generate(&mut rng);
+        assert!((2..4).contains(&v.len()));
+        assert!(v.iter().all(|inner| inner.len() == 3));
+    }
+}

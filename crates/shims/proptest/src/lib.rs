@@ -1,0 +1,242 @@
+//! Offline shim for the `proptest` API surface used by drift-lab.
+//!
+//! Implements deterministic randomized property testing: range and tuple
+//! strategies, [`Strategy::prop_map`], [`collection::vec`], the
+//! [`proptest!`] macro and `prop_assert*` assertions. Unlike the real
+//! proptest there is **no shrinking** — on failure the panic message carries
+//! the case number, and every run is fully deterministic (the RNG is seeded
+//! from the test's name), so a failing case replays by itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (mirrors `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Deterministic per-test RNG: FNV-1a over the test name, so every property
+/// gets an independent, stable stream.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// The property-test macro. Matches the real `proptest!` syntax for
+/// `fn name(pat in strategy, ...) { body }` items, with an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategies = ($(($strat),)*);
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let __run = || {
+                    let ($($pat,)*) = $crate::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic seed: test name)",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Property assertion (plain `assert!` here — no shrinking to drive).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// The crate root under its conventional `prop::` alias
+    /// (`prop::collection::vec(...)`).
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_rng("ranges_and_tuples");
+        let s = (0i64..10, 0.5f64..1.0);
+        for _ in 0..1000 {
+            let (a, b) = s.generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((0.5..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = crate::test_rng("prop_map");
+        let s = (1i64..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_single_binding(x in 0i64..100) {
+            prop_assert!((0..100).contains(&x));
+        }
+
+        #[test]
+        fn macro_multi_binding_and_vec(
+            (a, b) in (0u32..5, 10u32..20),
+            v in collection::vec(-3i64..3, 4),
+        ) {
+            prop_assert!(a < 5 && (10..20).contains(&b));
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|x| (-3..3).contains(x)));
+        }
+
+        #[test]
+        fn macro_ranged_vec(v in prop::collection::vec(0f64..1.0, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline drop-in shim for the `rand` 0.8 API surface used by drift-lab.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! real `rand` crate cannot be fetched. This shim reimplements exactly the
+//! subset the workspace uses — [`RngCore`], [`Rng`] (`gen`, `gen_range`,
+//! `gen_bool`), [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom`] — backed by xoshiro256++ with SplitMix64 seeding.
+//!
+//! Determinism is the contract that matters here: every experiment seeds its
+//! generators explicitly, so any good 64-bit PRNG gives reproducible,
+//! well-distributed streams. Bit-compatibility with upstream `rand` is NOT
+//! provided (and nothing in the workspace depends on it).
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level generator interface (mirrors `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let n = rem.len();
+            rem.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Values samplable uniformly from all bits (mirrors the `Standard`
+/// distribution of `rand`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 24) as u8
+    }
+}
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = widening_mod(rng.next_u64(), span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = widening_mod(rng.next_u64(), span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_impl!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Reduce a 64-bit draw onto `[0, span)`. Lemire-style multiply-shift keeps
+/// the bias below 2^-64 for the span sizes the simulator uses.
+fn widening_mod(x: u64, span: u128) -> u128 {
+    (x as u128).wrapping_mul(span) >> 64
+}
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_range<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+float_range_impl!(f32, f64);
+
+/// High-level sampling methods (mirrors `rand::Rng`); blanket-implemented
+/// for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from all random bits.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_range(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = rngs::SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let n = chunk.len();
+            chunk.copy_from_slice(&sm.next().to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde`: marker traits and no-op derives.
+//!
+//! Data types across the workspace carry `#[derive(Serialize, Deserialize)]`
+//! for a future wire format; nothing serializes yet, so in this offline
+//! build the traits are empty markers and the derives expand to nothing
+//! (see the `serde_derive` shim).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derives compile to nothing.
+//!
+//! The workspace tags its data types `#[derive(Serialize, Deserialize)]` so
+//! a future wire format can serialize them, but no code path serializes
+//! anything yet. In this offline build the derives are accepted (including
+//! `#[serde(...)]` helper attributes) and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

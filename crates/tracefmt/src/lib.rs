@@ -44,6 +44,6 @@ pub use render::{render_timeline, RenderOptions};
 pub use stats::{fit_line, percentile, LineFit, Summary};
 pub use trace::{ProcessTrace, Trace};
 pub use violation::{
-    check_collectives, check_p2p, check_pomp, CollReport, MinLatency, P2pReport, PompReport,
-    UniformLatency, ViolatedMessage,
+    check_collectives, check_p2p, check_p2p_messages, check_pomp, CollReport, LatencyTable,
+    MinLatency, P2pReport, PompReport, UniformLatency, ViolatedMessage,
 };

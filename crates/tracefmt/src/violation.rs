@@ -16,7 +16,7 @@
 //! Everything is reported both as raw violation counts and as the
 //! percentages the paper plots.
 
-use crate::analysis::{CollectiveInstance, Matching, ParallelRegion};
+use crate::analysis::{CollectiveInstance, Matching, MessageMatch, ParallelRegion};
 use crate::event::CollFlavor;
 use crate::ids::{EventId, Rank};
 use crate::trace::Trace;
@@ -44,8 +44,48 @@ impl<F: Fn(Rank, Rank) -> Dur> MinLatency for F {
     }
 }
 
+/// A dense `l_min` table frozen from any [`MinLatency`] model.
+///
+/// Latency models are often closures over simulator state and may be costly
+/// to query; the synchronization pipeline evaluates `l_min` once per rank
+/// pair up front and reads this table in every later stage. The table is
+/// plain data, hence `Send + Sync` — worker threads of the parallel
+/// pipeline share one reference.
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    n: usize,
+    entries: Vec<Dur>,
+}
+
+impl LatencyTable {
+    /// Freeze `lmin` for all pairs of `ranks`. The table covers rank
+    /// indices `0..=max(ranks)`; pairs not listed read whatever `lmin`
+    /// returned for them during construction.
+    pub fn freeze(lmin: &dyn MinLatency, ranks: &[Rank]) -> Self {
+        let n = ranks.iter().map(|r| r.idx() + 1).max().unwrap_or(0);
+        let mut entries = vec![Dur::ZERO; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                entries[a * n + b] = lmin.l_min(Rank(a as u32), Rank(b as u32));
+            }
+        }
+        LatencyTable { n, entries }
+    }
+
+    /// Number of ranks covered.
+    pub fn n_ranks(&self) -> usize {
+        self.n
+    }
+}
+
+impl MinLatency for LatencyTable {
+    fn l_min(&self, from: Rank, to: Rank) -> Dur {
+        self.entries[from.idx() * self.n + to.idx()]
+    }
+}
+
 /// One violated point-to-point message.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ViolatedMessage {
     /// The send event.
     pub send: EventId,
@@ -79,15 +119,35 @@ impl P2pReport {
     pub fn reversed_pct(&self) -> f64 {
         pct(self.reversed, self.total)
     }
+
+    /// Fold another report into this one, preserving violation order:
+    /// appending shard reports in shard order reproduces the sequential
+    /// report bit for bit.
+    pub fn merge(&mut self, other: P2pReport) {
+        self.total += other.total;
+        self.reversed += other.reversed;
+        self.violations.extend(other.violations);
+    }
 }
 
 /// Check the clock condition on all matched messages.
 pub fn check_p2p(trace: &Trace, matching: &Matching, lmin: &dyn MinLatency) -> P2pReport {
+    check_p2p_messages(trace, &matching.messages, lmin)
+}
+
+/// Check the clock condition on a slice of matched messages — the shard
+/// unit of the parallel pipeline. Equivalent to [`check_p2p`] when handed
+/// the full message list.
+pub fn check_p2p_messages(
+    trace: &Trace,
+    messages: &[MessageMatch],
+    lmin: &dyn MinLatency,
+) -> P2pReport {
     let mut report = P2pReport {
-        total: matching.messages.len(),
+        total: messages.len(),
         ..P2pReport::default()
     };
-    for m in &matching.messages {
+    for m in messages {
         let ts = trace.time(m.send);
         let tr = trace.time(m.recv);
         let bound = lmin.l_min(m.from, m.to);
@@ -131,6 +191,16 @@ impl CollReport {
     /// Percentage of logical messages reversed.
     pub fn reversed_pct(&self) -> f64 {
         pct(self.logical_reversed, self.logical_total)
+    }
+
+    /// Fold another report into this one. [`check_collectives`] over
+    /// instance shards, merged in shard order, equals the sequential run.
+    pub fn merge(&mut self, other: CollReport) {
+        self.instances += other.instances;
+        self.logical_total += other.logical_total;
+        self.logical_violated += other.logical_violated;
+        self.logical_reversed += other.logical_reversed;
+        self.instances_affected += other.instances_affected;
     }
 }
 
@@ -478,6 +548,104 @@ mod tests {
         let regions = match_parallel_regions(&t).unwrap();
         let r = check_pomp(&t, &regions);
         assert_eq!(r.exit_violations, 1);
+    }
+
+    #[test]
+    fn latency_table_matches_model() {
+        let model = |from: Rank, to: Rank| Dur::from_us((from.0 as i64 + 1) * (to.0 as i64 + 2));
+        let ranks = [Rank(0), Rank(1), Rank(2)];
+        let table = LatencyTable::freeze(&model, &ranks);
+        assert_eq!(table.n_ranks(), 3);
+        for &a in &ranks {
+            for &b in &ranks {
+                assert_eq!(table.l_min(a, b), model(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_table_empty_ranks() {
+        let table = LatencyTable::freeze(&UniformLatency(Dur::from_us(1)), &[]);
+        assert_eq!(table.n_ranks(), 0);
+    }
+
+    /// Sharded checks, merged in shard order, must equal the sequential run
+    /// bit for bit — the invariant the parallel pipeline's censuses rest on.
+    #[test]
+    fn sharded_p2p_check_equals_sequential() {
+        let mut t = Trace::for_ranks(4);
+        // Mix of fine, sub-latency, and reversed messages.
+        for k in 0..20i64 {
+            let (from, to) = ((k % 4) as usize, ((k + 1) % 4) as usize);
+            let skew = (k % 5) * 3 - 6; // some negative transfers
+            t.procs[from].push(
+                us(10 * k),
+                EventKind::Send { to: Rank(to as u32), tag: Tag(k as u32), bytes: 8 },
+            );
+            t.procs[to].push(
+                us(10 * k + skew),
+                EventKind::Recv { from: Rank(from as u32), tag: Tag(k as u32), bytes: 8 },
+            );
+        }
+        let m = match_messages(&t);
+        let lmin = UniformLatency(Dur::from_us(2));
+        let seq = check_p2p(&t, &m, &lmin);
+        for shard_size in [1, 3, 7, 100] {
+            let mut merged = P2pReport::default();
+            for chunk in m.messages.chunks(shard_size) {
+                merged.merge(check_p2p_messages(&t, chunk, &lmin));
+            }
+            assert_eq!(merged.total, seq.total);
+            assert_eq!(merged.reversed, seq.reversed);
+            assert_eq!(merged.violations.len(), seq.violations.len());
+            for (a, b) in merged.violations.iter().zip(&seq.violations) {
+                assert_eq!(a.send, b.send);
+                assert_eq!(a.recv, b.recv);
+                assert_eq!(a.measured_transfer, b.measured_transfer);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_collective_check_equals_sequential() {
+        let mut t = Trace::for_ranks(3);
+        for k in 0..9i64 {
+            let jitter = [0, 4, -3][(k % 3) as usize];
+            for p in 0..3usize {
+                t.procs[p].push(
+                    us(100 * k + p as i64 + jitter),
+                    EventKind::CollBegin {
+                        op: CollOp::Barrier,
+                        comm: CommId::WORLD,
+                        root: None,
+                        bytes: 8,
+                    },
+                );
+                t.procs[p].push(
+                    us(100 * k + 10 + p as i64 - jitter),
+                    EventKind::CollEnd {
+                        op: CollOp::Barrier,
+                        comm: CommId::WORLD,
+                        root: None,
+                        bytes: 8,
+                    },
+                );
+            }
+        }
+        let insts = match_collectives(&t).unwrap();
+        let lmin = UniformLatency(Dur::from_us(3));
+        let seq = check_collectives(&t, &insts, &lmin);
+        for shard_size in [1, 2, 4, 50] {
+            let mut merged = CollReport::default();
+            for chunk in insts.chunks(shard_size) {
+                merged.merge(check_collectives(&t, chunk, &lmin));
+            }
+            assert_eq!(merged.instances, seq.instances);
+            assert_eq!(merged.logical_total, seq.logical_total);
+            assert_eq!(merged.logical_violated, seq.logical_violated);
+            assert_eq!(merged.logical_reversed, seq.logical_reversed);
+            assert_eq!(merged.instances_affected, seq.instances_affected);
+        }
     }
 
     #[test]

@@ -38,10 +38,12 @@ fn main() {
         .collect();
     let lmin = move |a: Rank, b: Rank| lmin_table[a.idx()][b.idx()];
 
-    // Scalasca's pipeline: Eq. 3 interpolation, then the CLC.
+    // Scalasca's pipeline: Eq. 3 interpolation, then the CLC, sharded
+    // across the machine's cores (bit-identical to the sequential path).
     let cfg = PipelineConfig {
         presync: PreSync::Linear,
         clc: Some(ClcParams::default()),
+        parallel: Some(drift_lab::clocksync::ParallelConfig::default()),
     };
     let report = drift_lab::clocksync::synchronize(
         &mut tr.trace,
@@ -74,6 +76,7 @@ fn main() {
         clc.n_jumps(),
         clc.max_jump.as_us_f64()
     );
+    println!("\n{}", report.stats.render());
     assert_eq!(
         report.after_clc.expect("CLC ran").total_violations(),
         0,

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate for drift-lab, as one command:
+#
+#   ./scripts/ci.sh
+#
+# 1. tier-1 (ROADMAP): release build + full test suite
+# 2. ignored stress tests (~1M-event parallel pipeline run)
+# 3. bench harnesses in check mode (each bench body runs once)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> stress: cargo test -q -- --ignored"
+cargo test -q -- --ignored
+
+echo "==> bench check: cargo bench -p bench --bench engine -- --test"
+cargo bench -p bench --bench engine -- --test
+
+echo "==> bench check: cargo bench -p bench --bench pipeline_parallel -- --test"
+cargo bench -p bench --bench pipeline_parallel -- --test
+
+echo "==> all gates green"

@@ -98,6 +98,7 @@ fn full_pipeline_on_probed_measurements() {
         &PipelineConfig {
             presync: PreSync::Linear,
             clc: Some(ClcParams::default()),
+            parallel: None,
         },
     )
     .unwrap();

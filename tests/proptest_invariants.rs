@@ -1,7 +1,7 @@
 //! Property-based invariants on the core data structures and algorithms.
 
 use drift_lab::clocksync::{controlled_logical_clock, ClcParams, LinearInterpolation,
-    OffsetMeasurement, TimestampMap};
+    OffsetMeasurement, PreSync, TimestampMap};
 use drift_lab::prelude::*;
 use drift_lab::simclock::{ConstantDrift, NoiseSpec, PiecewiseLinearDrift, SinusoidalDrift};
 use drift_lab::simclock::DriftModel;
@@ -218,6 +218,98 @@ proptest! {
         let got = li.map(mid);
         prop_assert!((got - expected).abs() <= Dur::from_ps(1000),
             "midpoint off by {:?}", got - expected);
+    }
+}
+
+// -------- pipeline invariants (sequential and sharded) ---------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After the pipeline's CLC stage, no matched message may violate
+    /// `t_recv >= t_send + l_min` — checked explicitly against the event
+    /// times, not just via the report.
+    #[test]
+    fn pipeline_clc_leaves_no_latency_violations(
+        (trace, lmin_us) in arb_skewed_trace(),
+        workers in 1usize..5,
+    ) {
+        let n = trace.n_procs();
+        let mut t = trace;
+        let lmin = Dur::from_us(lmin_us);
+        let cfg = drift_lab::clocksync::PipelineConfig {
+            presync: PreSync::None,
+            clc: Some(ClcParams::default()),
+            parallel: Some(drift_lab::clocksync::ParallelConfig {
+                workers,
+                shard_size: 16,
+            }),
+        };
+        let rep = drift_lab::clocksync::synchronize(
+            &mut t, &vec![None; n], None, &UniformLatency(lmin), &cfg,
+        ).unwrap();
+        prop_assert_eq!(rep.after_clc.unwrap().total_violations(), 0);
+        let m = match_messages(&t);
+        for msg in &m.messages {
+            let ts = t.procs[msg.send.p()].events[msg.send.i()].time;
+            let tr = t.procs[msg.recv.p()].events[msg.recv.i()].time;
+            prop_assert!(tr >= ts + lmin,
+                "message {:?} -> {:?} violates t_recv >= t_send + l_min", msg.send, msg.recv);
+        }
+    }
+
+    /// Corrected timestamps stay monotone along every rank's timeline.
+    #[test]
+    fn pipeline_output_is_monotone_per_rank(
+        (trace, lmin_us) in arb_skewed_trace(),
+    ) {
+        let n = trace.n_procs();
+        let mut t = trace;
+        let cfg = drift_lab::clocksync::PipelineConfig {
+            presync: PreSync::None,
+            clc: Some(ClcParams::default()),
+            parallel: Some(drift_lab::clocksync::ParallelConfig::default()),
+        };
+        drift_lab::clocksync::synchronize(
+            &mut t, &vec![None; n], None, &UniformLatency(Dur::from_us(lmin_us)), &cfg,
+        ).unwrap();
+        prop_assert!(t.is_locally_monotone(), "pipeline broke local order");
+        for p in 0..n {
+            for w in t.procs[p].events.windows(2) {
+                prop_assert!(w[0].time <= w[1].time, "non-monotone on rank {p}");
+            }
+        }
+    }
+
+    /// The identity configuration — no pre-synchronisation, no CLC — must
+    /// leave every timestamp untouched, sequentially and sharded.
+    #[test]
+    fn identity_pipeline_leaves_trace_unchanged(
+        (trace, lmin_us) in arb_skewed_trace(),
+        par_flag in 0usize..2,
+    ) {
+        let n = trace.n_procs();
+        let before = trace.clone();
+        let mut t = trace;
+        let cfg = drift_lab::clocksync::PipelineConfig {
+            presync: PreSync::None,
+            clc: None,
+            parallel: (par_flag == 1).then(|| drift_lab::clocksync::ParallelConfig {
+                workers: 3,
+                shard_size: 8,
+            }),
+        };
+        let rep = drift_lab::clocksync::synchronize(
+            &mut t, &vec![None; n], None, &UniformLatency(Dur::from_us(lmin_us)), &cfg,
+        ).unwrap();
+        for p in 0..n {
+            prop_assert_eq!(&t.procs[p].events, &before.procs[p].events,
+                "identity pipeline modified rank {}", p);
+        }
+        prop_assert_eq!(
+            rep.raw.total_violations(),
+            rep.after_presync.total_violations()
+        );
     }
 }
 
