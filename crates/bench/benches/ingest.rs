@@ -1,0 +1,142 @@
+//! Ingest throughput: how fast trace bytes become a pipeline-ready trace.
+//!
+//! Three decoders are measured over the same ≥100k-event trace, each ending
+//! in the state the columnar pipeline starts from (a [`Trace`] plus its
+//! gathered timestamp [`TraceColumns`]):
+//!
+//! * `v1_full` — the v1 record-stream binary: materialize the whole
+//!   `Vec<EventRecord>` trace from one contiguous buffer, then gather the
+//!   timestamp columns;
+//! * `v2_full` — the blocked columnar binary decoded in one call;
+//! * `v2_streamed` — the same bytes fed to the incremental
+//!   [`StreamDecoder`] in bounded chunks, the way `synchronize_stream`
+//!   ingests: timestamp columns fall out of the block frames directly.
+//!
+//! Run with `cargo bench -p bench --bench ingest` (add `-- --test` for the
+//! CI smoke run: fewer repetitions, same report). Either way the events/sec
+//! summary is written to `BENCH_ingest.json` at the repository root.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::Time;
+use std::time::{Duration, Instant};
+use tracefmt::io::{
+    from_binary, from_binary_columnar, to_binary, to_binary_columnar, StreamDecoder, TraceBuilder,
+};
+use tracefmt::{EventKind, Rank, Tag, Trace, TraceColumns};
+
+const PROCS: usize = 16;
+const MSGS: usize = 60_000; // ≥120k events
+const STREAM_CHUNK: usize = 256 * 1024;
+
+/// A causally valid message trace with skewed clocks (same shape as the
+/// pipeline benchmarks; drift detail is irrelevant to decode speed).
+fn big_trace(seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let offsets: Vec<i64> = (0..PROCS)
+        .map(|p| if p == 0 { 0 } else { rng.gen_range(-500i64..500) })
+        .collect();
+    let mut trace = Trace::for_ranks(PROCS);
+    let mut now = [0i64; PROCS];
+    for m in 0..MSGS {
+        let from = rng.gen_range(0usize..PROCS);
+        let to = (from + rng.gen_range(1usize..PROCS)) % PROCS;
+        let send_true = now[from] + rng.gen_range(5i64..40);
+        now[from] = send_true;
+        let recv_true = send_true.max(now[to]) + 4 + rng.gen_range(0i64..20);
+        now[to] = recv_true;
+        trace.procs[from].push(
+            Time::from_us(send_true + offsets[from]),
+            EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+        trace.procs[to].push(
+            Time::from_us(recv_true + offsets[to]),
+            EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+    }
+    trace
+}
+
+/// Best-of-N wall time of `f` (minimum is the least noisy estimator for a
+/// deterministic workload).
+fn best_of<R>(iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed();
+        std::hint::black_box(out);
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn events_per_sec(n_events: usize, took: Duration) -> f64 {
+    n_events as f64 / took.as_secs_f64()
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters = if test_mode { 3 } else { 15 };
+
+    let trace = big_trace(7);
+    let n_events = trace.n_events();
+    assert!(n_events >= 100_000, "bench trace too small: {n_events}");
+    let v1_bytes = to_binary(&trace);
+    let v2_bytes = to_binary_columnar(&trace);
+
+    // v1: full materialization from one contiguous buffer, then gather.
+    let t_v1 = best_of(iters, || {
+        let t = from_binary(v1_bytes.clone()).expect("v1 decodes");
+        let cols = TraceColumns::gather(&t);
+        (t, cols)
+    });
+
+    // v2: one-shot decode of the blocked columnar format.
+    let t_v2_full = best_of(iters, || {
+        from_binary_columnar(v2_bytes.clone()).expect("columnar decodes")
+    });
+
+    // v2 streamed: bounded chunks through the incremental decoder; the
+    // timestamp columns come straight out of the block frames.
+    let t_v2_stream = best_of(iters, || {
+        let mut dec = StreamDecoder::new();
+        let mut builder = TraceBuilder::new();
+        for chunk in v2_bytes.chunks(STREAM_CHUNK) {
+            dec.feed_into(chunk, &mut builder).expect("stream decodes");
+        }
+        dec.finish().expect("stream complete");
+        builder.finish_parts()
+    });
+
+    let eps_v1 = events_per_sec(n_events, t_v1);
+    let eps_v2_full = events_per_sec(n_events, t_v2_full);
+    let eps_v2_stream = events_per_sec(n_events, t_v2_stream);
+    let speedup = eps_v2_stream / eps_v1;
+
+    println!("ingest: {n_events} events, v1 {} bytes, v2 {} bytes", v1_bytes.len(), v2_bytes.len());
+    println!("  v1_full      {:>12.0} events/s  ({t_v1:?})", eps_v1);
+    println!("  v2_full      {:>12.0} events/s  ({t_v2_full:?})", eps_v2_full);
+    println!("  v2_streamed  {:>12.0} events/s  ({t_v2_stream:?})", eps_v2_stream);
+    println!("  streamed/v1 speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"n_events\": {n_events},\n  \"v1_bytes\": {},\n  \"v2_bytes\": {},\n  \
+         \"v1_full_events_per_sec\": {eps_v1:.0},\n  \
+         \"v2_full_events_per_sec\": {eps_v2_full:.0},\n  \
+         \"v2_streamed_events_per_sec\": {eps_v2_stream:.0},\n  \
+         \"streamed_over_v1_speedup\": {speedup:.3}\n}}\n",
+        v1_bytes.len(),
+        v2_bytes.len(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(out, json).expect("write BENCH_ingest.json");
+    println!("wrote {out}");
+
+    assert!(
+        speedup >= 1.5,
+        "chunked columnar ingest must be >= 1.5x v1 full decode, got {speedup:.2}x"
+    );
+}

@@ -45,7 +45,7 @@ fn big_trace(
     };
     let lmin_us = 4i64;
     let mut trace = Trace::for_ranks(PROCS);
-    let mut now = vec![0i64; PROCS];
+    let mut now = [0i64; PROCS];
     for m in 0..MSGS {
         let from = rng.gen_range(0usize..PROCS);
         let to = (from + rng.gen_range(1usize..PROCS)) % PROCS;
@@ -120,6 +120,7 @@ fn bench_pipeline(c: &mut Criterion) {
             presync: PreSync::Linear,
             clc: Some(ClcParams::default()),
             parallel: None,
+            ..Default::default()
         };
         let rep = synchronize(&mut t, &init, Some(&fin), &lmin, &cfg).unwrap();
         eprintln!("{}", rep.stats.render());
@@ -140,6 +141,7 @@ fn bench_pipeline(c: &mut Criterion) {
         presync: PreSync::Linear,
         clc: Some(ClcParams::default()),
         parallel: None,
+        ..Default::default()
     };
     g.bench_function("sequential_cached", |b| {
         b.iter(|| {

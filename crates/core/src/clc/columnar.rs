@@ -1,0 +1,583 @@
+//! CLC kernels over columnar timestamp storage.
+//!
+//! These re-implement the serial forward/backward passes and the
+//! replay-based parallel forward pass of [`super`] and [`super::parallel`]
+//! as tight loops over dense `i64` picosecond columns
+//! ([`TraceColumns`]) instead of per-record struct walks. The arithmetic
+//! is copied statement for statement, and the one structural difference —
+//! the AoS passes dispatch on `EventKind` before consulting the dependency
+//! maps, the columnar passes consult the maps directly — cannot change
+//! behaviour: `Deps::send_of` only ever holds matched receive events and
+//! `Deps::end_info` only collective-end events, so a map hit implies
+//! exactly the kind the AoS match required, and a miss leaves the event
+//! unconstrained in both versions. Bit-identity is enforced by the
+//! differential test matrix in `tests/columnar_differential.rs`.
+
+use super::{ClcError, ClcParams, ClcReport, Deps, Jump};
+use crate::clc::parallel::CollCell;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use simclock::{Dur, Time};
+use std::collections::HashMap;
+use tracefmt::{EventId, MinLatency, Rank, TraceColumns};
+
+/// Serial CLC on timestamp columns: the columnar twin of
+/// [`super::controlled_logical_clock_with_deps`]. `ranks[p]` is the rank of
+/// timeline `p`.
+pub(crate) fn controlled_logical_clock_columnar_with_deps(
+    cols: &mut TraceColumns,
+    ranks: &[Rank],
+    deps: &Deps,
+    lmin: &(dyn MinLatency + Sync),
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
+    validate(params)?;
+    let originals = cols.to_time_vecs();
+    let mut report = forward_pass_columnar(cols, ranks, &originals, deps, lmin, params.mu)?;
+    if params.backward {
+        backward_amortization_columnar(cols, ranks, deps, lmin, params, &report.jumps, false);
+        let post = cols.to_time_vecs();
+        let _ = forward_pass_columnar(cols, ranks, &post, deps, lmin, 1.0)?;
+    }
+    report.events_total = cols.n_events();
+    report.events_moved = events_moved(cols, &originals);
+    Ok(report)
+}
+
+/// Replay-based parallel CLC on timestamp columns: the columnar twin of
+/// [`super::parallel::controlled_logical_clock_parallel_with_deps`]. One
+/// worker per timeline; corrected send times flow over channels, collective
+/// begin times through shared gather cells.
+pub(crate) fn controlled_logical_clock_columnar_parallel_with_deps(
+    cols: &mut TraceColumns,
+    ranks: &[Rank],
+    deps: &Deps,
+    lmin: &(dyn MinLatency + Sync),
+    params: &ClcParams,
+) -> Result<ClcReport, ClcError> {
+    validate(params)?;
+    let n = cols.n_procs();
+
+    let mut senders: Vec<Sender<(EventId, Time)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<(EventId, Time)>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(Some(r));
+    }
+    let cells: Vec<CollCell> = deps
+        .insts
+        .iter()
+        .map(|i| CollCell::new(i.members.len()))
+        .collect();
+    let inst_ranks: Vec<Vec<Rank>> = deps
+        .insts
+        .iter()
+        .map(|i| i.members.iter().map(|m| m.0).collect())
+        .collect();
+
+    let originals = cols.to_time_vecs();
+
+    let mut all_jumps: Vec<Vec<Jump>> = Vec::new();
+    let cells_ref = &cells;
+    let inst_ranks_ref = &inst_ranks;
+    let originals_ref = &originals;
+    let senders_ref = &senders;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (p, col) in cols.iter_mut_slices() {
+            let inbox = receivers[p].take().expect("inbox taken twice");
+            let my_rank = ranks[p];
+            let mu = params.mu;
+            handles.push(scope.spawn(move || {
+                replay_process_columnar(
+                    p,
+                    my_rank,
+                    col,
+                    &originals_ref[p],
+                    inbox,
+                    senders_ref,
+                    deps,
+                    cells_ref,
+                    inst_ranks_ref,
+                    lmin,
+                    mu,
+                )
+            }));
+        }
+        for h in handles {
+            all_jumps.push(h.join().expect("replay worker panicked"));
+        }
+    });
+    drop(senders);
+
+    let mut jumps: Vec<Jump> = all_jumps.into_iter().flatten().collect();
+    jumps.sort_by_key(|j| (j.event.proc, j.event.idx));
+    let max_jump = jumps.iter().map(|j| j.size).max().unwrap_or(Dur::ZERO);
+
+    if params.backward {
+        backward_amortization_columnar(cols, ranks, deps, lmin, params, &jumps, true);
+        let post = cols.to_time_vecs();
+        forward_pass_columnar(cols, ranks, &post, deps, lmin, 1.0)?;
+    }
+
+    Ok(ClcReport {
+        max_jump,
+        events_moved: events_moved(cols, &originals),
+        events_total: cols.n_events(),
+        jumps,
+    })
+}
+
+fn validate(params: &ClcParams) -> Result<(), ClcError> {
+    if !(params.mu > 0.0 && params.mu <= 1.0) {
+        return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
+    }
+    if params.backward && params.backward_window_factor <= 0.0 {
+        return Err(ClcError::BadParams("non-positive backward window".into()));
+    }
+    Ok(())
+}
+
+fn events_moved(cols: &TraceColumns, originals: &[Vec<Time>]) -> usize {
+    cols.iter()
+        .zip(originals)
+        .map(|(col, orig)| {
+            col.as_slice()
+                .iter()
+                .zip(orig)
+                .filter(|(&ps, &o)| ps != o.as_ps())
+                .count()
+        })
+        .sum()
+}
+
+/// The forward pass over columns: assign corrected times in dependency
+/// order, round-robin across timelines, exactly like
+/// [`super::forward_pass`].
+pub(crate) fn forward_pass_columnar(
+    cols: &mut TraceColumns,
+    ranks: &[Rank],
+    originals: &[Vec<Time>],
+    deps: &Deps,
+    lmin: &dyn MinLatency,
+    mu: f64,
+) -> Result<ClcReport, ClcError> {
+    let n = cols.n_procs();
+    let mut pc = vec![0usize; n];
+    let mut prev_orig = vec![Time::MIN; n];
+    let mut prev_corr = vec![Time::MIN; n];
+    let mut report = ClcReport::default();
+
+    loop {
+        let mut progressed = false;
+        for p in 0..n {
+            'events: while pc[p] < cols.col(p).len() {
+                let i = pc[p];
+                let id = EventId::new(p, i);
+                let orig = originals[p][i];
+                let my_rank = ranks[p];
+
+                // Remote constraint, if any. A hit in `send_of` means this
+                // is a matched receive; a hit in `end_info` a collective
+                // end — the same dispatch the AoS pass derives from kinds.
+                let mut remote: Option<Time> = None;
+                if let Some(&(send, from)) = deps.send_of.get(&id) {
+                    if send.i() >= pc[send.p()] {
+                        break 'events; // send not yet corrected
+                    }
+                    remote = Some(cols.time(send) + lmin.l_min(from, my_rank));
+                } else if let Some(&(inst_idx, pos)) = deps.end_info.get(&id) {
+                    let inst = &deps.insts[inst_idx];
+                    let mut bound: Option<Time> = None;
+                    for j in inst.deps_of_end(pos) {
+                        let (jrank, jbegin, _) = inst.members[j];
+                        if jbegin.i() >= pc[jbegin.p()] {
+                            break 'events; // dependency pending
+                        }
+                        let c = cols.time(jbegin) + lmin.l_min(jrank, my_rank);
+                        bound = Some(bound.map_or(c, |b: Time| b.max(c)));
+                    }
+                    remote = bound;
+                }
+
+                // Amortized local candidate.
+                let candidate = if i == 0 {
+                    orig
+                } else {
+                    let gap = (orig - prev_orig[p]).max(Dur::ZERO);
+                    orig.max(prev_corr[p] + gap.scale(mu))
+                };
+                let corrected = match remote {
+                    Some(r) if r > candidate => {
+                        let size = r - candidate;
+                        report.jumps.push(Jump { event: id, size });
+                        report.max_jump = report.max_jump.max(size);
+                        r
+                    }
+                    _ => candidate,
+                };
+                cols.set_time(id, corrected);
+                prev_orig[p] = orig;
+                prev_corr[p] = corrected;
+                pc[p] += 1;
+                progressed = true;
+            }
+        }
+        if (0..n).all(|p| pc[p] == cols.col(p).len()) {
+            return Ok(report);
+        }
+        if !progressed {
+            return Err(ClcError::CyclicTrace);
+        }
+    }
+}
+
+/// Backward amortization over columns: smooth each jump over a window of
+/// preceding events, clamped against a snapshot — the columnar twin of the
+/// serial `backward_amortization` / `parallel_backward` pair. With
+/// `threaded` the per-timeline kernels run on scoped threads (timelines
+/// are independent here, so threading cannot change the result).
+fn backward_amortization_columnar(
+    cols: &mut TraceColumns,
+    ranks: &[Rank],
+    deps: &Deps,
+    lmin: &(dyn MinLatency + Sync),
+    params: &ClcParams,
+    jumps: &[Jump],
+    threaded: bool,
+) {
+    let snapshot = cols.to_time_vecs();
+    let snapshot_ref = &snapshot;
+    let mut per_proc: Vec<Vec<Jump>> = vec![Vec::new(); cols.n_procs()];
+    for j in jumps {
+        per_proc[j.event.p()].push(*j);
+    }
+    for list in per_proc.iter_mut() {
+        list.sort_by_key(|j| j.event.i());
+    }
+    if threaded {
+        std::thread::scope(|scope| {
+            for (p, col) in cols.iter_mut_slices() {
+                let my_jumps = std::mem::take(&mut per_proc[p]);
+                if my_jumps.is_empty() {
+                    continue;
+                }
+                let my_rank = ranks[p];
+                scope.spawn(move || {
+                    backward_pass_columnar(
+                        p, my_rank, col, &my_jumps, deps, lmin, params, snapshot_ref,
+                    );
+                });
+            }
+        });
+    } else {
+        for (p, col) in cols.iter_mut_slices() {
+            backward_pass_columnar(
+                p,
+                ranks[p],
+                col,
+                &per_proc[p],
+                deps,
+                lmin,
+                params,
+                snapshot_ref,
+            );
+        }
+    }
+}
+
+/// The per-timeline backward kernel over a raw picosecond slice — the
+/// columnar twin of [`super::backward_pass_proc`], statement for statement.
+#[allow(clippy::too_many_arguments)]
+fn backward_pass_columnar(
+    p: usize,
+    my_rank: Rank,
+    col: &mut [i64],
+    jumps: &[Jump],
+    deps: &Deps,
+    lmin: &dyn MinLatency,
+    params: &ClcParams,
+    snapshot: &[Vec<Time>],
+) {
+    for jump in jumps {
+        let k = jump.event.i();
+        if k == 0 {
+            continue;
+        }
+        let delta = jump.size;
+        let t_pre = Time::from_ps(col[k]) - delta;
+        let window = delta.scale(params.backward_window_factor);
+        let w_start = t_pre - window;
+        // Walk backward applying min(ramp, cap, shift_of_successor).
+        let mut shift_above = delta;
+        for i in (0..k).rev() {
+            let t_i = Time::from_ps(col[i]);
+            if t_i <= w_start {
+                break;
+            }
+            let frac = (t_i - w_start).as_ps() as f64 / window.as_ps().max(1) as f64;
+            let ramp = delta.scale(frac.clamp(0.0, 1.0));
+            let id = EventId::new(p, i);
+            let mut cap = Dur::MAX;
+            if let Some(&(recv, to)) = deps.recv_of.get(&id) {
+                cap = cap.min(snapshot[recv.p()][recv.i()] - lmin.l_min(my_rank, to) - t_i);
+            }
+            if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
+                let inst = &deps.insts[inst_idx];
+                for j in inst.dependents_of_begin(pos) {
+                    let (jrank, _, jend) = inst.members[j];
+                    cap = cap.min(snapshot[jend.p()][jend.i()] - lmin.l_min(my_rank, jrank) - t_i);
+                }
+            }
+            let shift = ramp.min(cap).min(shift_above).max(Dur::ZERO);
+            col[i] = (t_i + shift).as_ps();
+            shift_above = shift;
+            if shift == Dur::ZERO {
+                break;
+            }
+        }
+    }
+}
+
+/// The per-timeline replay worker over a raw picosecond slice — the
+/// columnar twin of `replay_process`, with dependency-map hits standing in
+/// for the kind dispatch.
+#[allow(clippy::too_many_arguments)]
+fn replay_process_columnar(
+    p: usize,
+    my_rank: Rank,
+    col: &mut [i64],
+    originals: &[Time],
+    inbox: Receiver<(EventId, Time)>,
+    senders: &[Sender<(EventId, Time)>],
+    deps: &Deps,
+    cells: &[CollCell],
+    inst_ranks: &[Vec<Rank>],
+    lmin: &(dyn MinLatency + Sync),
+    mu: f64,
+) -> Vec<Jump> {
+    let mut jumps = Vec::new();
+    let mut prev_orig = Time::MIN;
+    let mut prev_corr = Time::MIN;
+    let mut pending: HashMap<EventId, Time> = HashMap::new();
+
+    for i in 0..col.len() {
+        let id = EventId::new(p, i);
+        let orig = originals[i];
+        let mut remote: Option<Time> = None;
+        if let Some(&(_, from)) = deps.send_of.get(&id) {
+            // Wait for this recv's corrected send time.
+            let send_time = loop {
+                if let Some(t) = pending.remove(&id) {
+                    break t;
+                }
+                let (rid, t) = inbox.recv().expect("sender hung up early");
+                pending.insert(rid, t);
+            };
+            remote = Some(send_time + lmin.l_min(from, my_rank));
+        } else if let Some(&(inst_idx, pos)) = deps.end_info.get(&id) {
+            let needed: Vec<usize> = deps.insts[inst_idx].deps_of_end(pos).collect();
+            remote = cells[inst_idx].await_bound(&needed, &inst_ranks[inst_idx], my_rank, lmin);
+        }
+
+        let candidate = if i == 0 {
+            orig
+        } else {
+            let gap = (orig - prev_orig).max(Dur::ZERO);
+            orig.max(prev_corr + gap.scale(mu))
+        };
+        let corrected = match remote {
+            Some(r) if r > candidate => {
+                jumps.push(Jump { event: id, size: r - candidate });
+                r
+            }
+            _ => candidate,
+        };
+        col[i] = corrected.as_ps();
+        prev_orig = orig;
+        prev_corr = corrected;
+
+        // Publish the corrected time to whoever depends on it.
+        if let Some(&(recv, _)) = deps.recv_of.get(&id) {
+            senders[recv.p()]
+                .send((recv, corrected))
+                .expect("receiver hung up early");
+        }
+        if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
+            cells[inst_idx].deposit(pos, corrected);
+        }
+    }
+    jumps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clc::{
+        controlled_logical_clock,
+        parallel::controlled_logical_clock_parallel_with_deps as aos_parallel, ClcParams,
+    };
+    use simclock::Time;
+    use tracefmt::{CollOp, CommId, EventKind, Tag, Trace, UniformLatency};
+
+    const LMIN: UniformLatency = UniformLatency(Dur::from_ps(4_000_000));
+
+    /// Mixed p2p + collective trace with injected skew (deterministic).
+    fn fixture(procs: usize, rounds: usize) -> Trace {
+        let mut t = Trace::for_ranks(procs);
+        let mut now = vec![0i64; procs];
+        for round in 0..rounds {
+            for (p, now_p) in now.iter_mut().enumerate() {
+                let next = (p + 1) % procs;
+                *now_p += 7 + ((round * 13 + p * 5) % 40) as i64;
+                let skew = ((p * 37) % 90) as i64 - 45;
+                t.procs[p].push(
+                    Time::from_us(*now_p + skew),
+                    EventKind::Send { to: Rank(next as u32), tag: Tag(round as u32), bytes: 8 },
+                );
+            }
+            for (p, now_p) in now.iter_mut().enumerate() {
+                let prev = (p + procs - 1) % procs;
+                *now_p += 6 + ((round * 11 + p * 3) % 30) as i64;
+                let skew = ((p * 37) % 90) as i64 - 45;
+                t.procs[p].push(
+                    Time::from_us(*now_p + skew),
+                    EventKind::Recv { from: Rank(prev as u32), tag: Tag(round as u32), bytes: 8 },
+                );
+            }
+            if round % 4 == 0 {
+                let base = *now.iter().max().unwrap();
+                for (p, now_p) in now.iter_mut().enumerate() {
+                    let skew = ((p * 37) % 90) as i64 - 45;
+                    *now_p = base + ((p * 3) % 10) as i64;
+                    t.procs[p].push(
+                        Time::from_us(*now_p + skew),
+                        EventKind::CollBegin {
+                            op: CollOp::Allreduce,
+                            comm: CommId::WORLD,
+                            root: None,
+                            bytes: 8,
+                        },
+                    );
+                    *now_p += 12 + ((p * 7) % 9) as i64;
+                    t.procs[p].push(
+                        Time::from_us(*now_p + skew),
+                        EventKind::CollEnd {
+                            op: CollOp::Allreduce,
+                            comm: CommId::WORLD,
+                            root: None,
+                            bytes: 8,
+                        },
+                    );
+                }
+            }
+        }
+        t
+    }
+
+    fn ranks_of(t: &Trace) -> Vec<Rank> {
+        t.procs.iter().map(|p| p.location.rank).collect()
+    }
+
+    #[test]
+    fn columnar_serial_matches_aos_serial() {
+        for (procs, rounds) in [(2, 8), (5, 17), (8, 25)] {
+            let base = fixture(procs, rounds);
+            let params = ClcParams::default();
+
+            let mut aos = base.clone();
+            let ra = controlled_logical_clock(&mut aos, &LMIN, &params).unwrap();
+
+            let deps = crate::clc::extract_deps(&base).unwrap();
+            let mut cols = TraceColumns::gather(&base);
+            let rc = controlled_logical_clock_columnar_with_deps(
+                &mut cols,
+                &ranks_of(&base),
+                &deps,
+                &LMIN,
+                &params,
+            )
+            .unwrap();
+
+            assert_eq!(ra.n_jumps(), rc.n_jumps());
+            assert_eq!(ra.max_jump, rc.max_jump);
+            assert_eq!(ra.events_moved, rc.events_moved);
+            for (ja, jc) in ra.jumps.iter().zip(&rc.jumps) {
+                assert_eq!(ja.event, jc.event);
+                assert_eq!(ja.size, jc.size);
+            }
+            for (id, e) in aos.iter_events() {
+                assert_eq!(cols.time(id), e.time, "{procs}x{rounds} event {id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_parallel_matches_aos_parallel() {
+        let base = fixture(6, 20);
+        let params = ClcParams::default();
+        let deps = crate::clc::extract_deps(&base).unwrap();
+
+        let mut aos = base.clone();
+        let ra = aos_parallel(&mut aos, &deps, &LMIN, &params).unwrap();
+
+        let mut cols = TraceColumns::gather(&base);
+        let rc = controlled_logical_clock_columnar_parallel_with_deps(
+            &mut cols,
+            &ranks_of(&base),
+            &deps,
+            &LMIN,
+            &params,
+        )
+        .unwrap();
+
+        assert_eq!(ra.n_jumps(), rc.n_jumps());
+        for (ja, jc) in ra.jumps.iter().zip(&rc.jumps) {
+            assert_eq!(ja.event, jc.event);
+            assert_eq!(ja.size, jc.size);
+        }
+        for (id, e) in aos.iter_events() {
+            assert_eq!(cols.time(id), e.time);
+        }
+    }
+
+    #[test]
+    fn forward_only_variants_match() {
+        let base = fixture(4, 12);
+        let params = ClcParams { backward: false, ..ClcParams::default() };
+        let deps = crate::clc::extract_deps(&base).unwrap();
+
+        let mut aos = base.clone();
+        controlled_logical_clock(&mut aos, &LMIN, &params).unwrap();
+
+        let mut cols = TraceColumns::gather(&base);
+        controlled_logical_clock_columnar_with_deps(
+            &mut cols,
+            &ranks_of(&base),
+            &deps,
+            &LMIN,
+            &params,
+        )
+        .unwrap();
+
+        for (id, e) in aos.iter_events() {
+            assert_eq!(cols.time(id), e.time);
+        }
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let base = fixture(2, 3);
+        let deps = crate::clc::extract_deps(&base).unwrap();
+        let mut cols = TraceColumns::gather(&base);
+        let err = controlled_logical_clock_columnar_with_deps(
+            &mut cols,
+            &ranks_of(&base),
+            &deps,
+            &LMIN,
+            &ClcParams { mu: 0.0, ..ClcParams::default() },
+        );
+        assert!(matches!(err, Err(ClcError::BadParams(_))));
+    }
+}

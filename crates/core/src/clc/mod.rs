@@ -21,6 +21,7 @@
 //! corrected; [`parallel`] holds the replay-based parallel implementation
 //! of [31].
 
+pub(crate) mod columnar;
 pub mod domains;
 pub mod parallel;
 pub mod pomp;

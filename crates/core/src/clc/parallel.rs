@@ -24,20 +24,20 @@ use tracefmt::{EventId, EventKind, MinLatency, Rank, Trace};
 
 /// One collective instance's gather cell: member begin times filled in as
 /// threads reach them.
-struct CollCell {
+pub(crate) struct CollCell {
     state: Mutex<Vec<Option<Time>>>,
     cond: Condvar,
 }
 
 impl CollCell {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         CollCell {
             state: Mutex::new(vec![None; n]),
             cond: Condvar::new(),
         }
     }
 
-    fn deposit(&self, pos: usize, t: Time) {
+    pub(crate) fn deposit(&self, pos: usize, t: Time) {
         let mut s = self.state.lock();
         s[pos] = Some(t);
         self.cond.notify_all();
@@ -45,7 +45,7 @@ impl CollCell {
 
     /// Wait until every position in `needed` is filled; return the max of
     /// `filled[j] + lmin(rank_j, my_rank)`.
-    fn await_bound(
+    pub(crate) fn await_bound(
         &self,
         needed: &[usize],
         ranks: &[Rank],

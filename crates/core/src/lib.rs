@@ -49,8 +49,9 @@ pub use interp::{
 pub use lamport::{lamport_timestamps, satisfies_lamport_condition};
 pub use offset::{estimate_offset, error_bound, OffsetMeasurement, ProbeSample};
 pub use pipeline::{
-    synchronize, ParallelConfig, PipelineConfig, PipelineError, PipelineReport, PipelineStats,
-    PreSync, StageReport, StageStats, TraceAnalysis,
+    synchronize, synchronize_stream, ParallelConfig, PipelineConfig, PipelineError,
+    PipelineReport, PipelineStats, PreSync, StageReport, StageStats, TimestampStorage,
+    TraceAnalysis,
 };
 pub use predict::{normal_cdf, safe_run_length, violation_probability, WanderModel};
 pub use vector::{vector_timestamps, VectorStamp};

@@ -1,0 +1,129 @@
+//! Columnar execution of the pipeline's timestamp-touching stages.
+//!
+//! The stages between the censuses only ever read and write *timestamps*;
+//! the kind/args payload of each event is dead weight in their working
+//! set. This engine gathers the timestamps into dense per-timeline
+//! [`TraceColumns`] once, runs pre-synchronisation mapping, the CLC and
+//! all three censuses over `&[i64]` / `&mut [i64]` picosecond columns, and
+//! scatters the corrected times back into the event records at the end.
+//!
+//! Equivalence with the AoS engine is structural, not approximate:
+//!
+//! * the presync map applies the same [`TimestampMap`] arithmetic per
+//!   element ([`PresyncMap::map_col`] only hoists the enum dispatch);
+//! * the censuses are the same generic code, instantiated with a
+//!   [`TraceColumns`] `TimeSource` instead of the trace;
+//! * the columnar CLC kernels are statement-level ports of the AoS ones
+//!   (differentially tested in `clc::columnar`).
+//!
+//! [`TimestampMap`]: crate::interp::TimestampMap
+//! [`PresyncMap::map_col`]: super::PresyncMap::map_col
+
+use super::{
+    census_stage, parallel, PipelineConfig, PipelineError, PipelineStats, PresyncMap,
+    StageOutcomes, StageStats, TraceAnalysis,
+};
+use std::time::{Duration, Instant};
+use tracefmt::{LatencyTable, Rank, Trace, TraceColumns};
+
+/// Run the timestamp stages on gathered columns.
+///
+/// `pre_cols` carries columns produced by streaming ingest (already
+/// recorded as an `"ingest"` stage); when absent, a `"gather"` stage
+/// builds them from the trace. The trace's records are only touched again
+/// by the final `"scatter"` stage.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run(
+    trace: &mut Trace,
+    pre_cols: Option<TraceColumns>,
+    maps: Option<Vec<PresyncMap>>,
+    analysis: &TraceAnalysis,
+    table: &LatencyTable,
+    ranks: &[Rank],
+    cfg: &PipelineConfig,
+    stats: &mut PipelineStats,
+) -> Result<StageOutcomes, PipelineError> {
+    let par = cfg.parallel.as_ref();
+    let n_events = trace.n_events();
+    let n = trace.n_procs();
+
+    let mut cols = match pre_cols {
+        Some(cols) => cols,
+        None => {
+            let t0 = Instant::now();
+            let cols = TraceColumns::gather(trace);
+            stats
+                .stages
+                .push(StageStats::sequential("gather", n_events, t0.elapsed()));
+            cols
+        }
+    };
+
+    let raw = census_stage("census:raw", &cols, analysis, table, par, stats);
+
+    // Pre-synchronisation: tight per-column loops.
+    let after_presync = match maps {
+        None => raw.clone(),
+        Some(maps) => {
+            let t0 = Instant::now();
+            match par {
+                None => {
+                    for (p, col) in cols.iter_mut_slices() {
+                        maps[p].map_col(col);
+                    }
+                    stats
+                        .stages
+                        .push(StageStats::sequential("presync", n_events, t0.elapsed()));
+                }
+                Some(par) => {
+                    let (items, shards, wait) =
+                        parallel::apply_maps_sharded_cols(&mut cols, &maps, par);
+                    stats
+                        .stages
+                        .push(StageStats::sharded("presync", items, t0.elapsed(), shards, wait));
+                }
+            }
+            census_stage("census:presync", &cols, analysis, table, par, stats)
+        }
+    };
+
+    // CLC cleanup on the columns.
+    let (after_clc, clc) = match &cfg.clc {
+        None => (None, None),
+        Some(params) => {
+            let t0 = Instant::now();
+            let deps = crate::clc::deps_from_parts(&analysis.matching, &analysis.instances);
+            // Same replay policy as the AoS engine: one replay thread per
+            // timeline only pays off with a real worker pool.
+            let replay = par.is_some_and(|p| p.effective_workers() >= 2);
+            let rep = if replay {
+                crate::clc::columnar::controlled_logical_clock_columnar_parallel_with_deps(
+                    &mut cols, ranks, &deps, table, params,
+                )
+            } else {
+                crate::clc::columnar::controlled_logical_clock_columnar_with_deps(
+                    &mut cols, ranks, &deps, table, params,
+                )
+            }
+            .map_err(PipelineError::Clc)?;
+            stats.stages.push(StageStats::sharded(
+                "clc",
+                n_events,
+                t0.elapsed(),
+                if replay { n } else { 1 },
+                Duration::ZERO,
+            ));
+            let census = census_stage("census:clc", &cols, analysis, table, par, stats);
+            (Some(census), Some(rep))
+        }
+    };
+
+    // Write the corrected timestamps back into the event records.
+    let t0 = Instant::now();
+    cols.scatter_into(trace);
+    stats
+        .stages
+        .push(StageStats::sequential("scatter", n_events, t0.elapsed()));
+
+    Ok((raw, after_presync, after_clc, clc))
+}

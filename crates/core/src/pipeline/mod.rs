@@ -27,6 +27,7 @@
 //! throughput, shard counts, and the time the merge side spent waiting on
 //! shard results.
 
+mod columnar;
 mod parallel;
 mod stats;
 
@@ -37,10 +38,12 @@ use crate::clc::{ClcError, ClcParams, ClcReport};
 use crate::interp::{LinearInterpolation, OffsetAlignment, TimestampMap};
 use crate::offset::OffsetMeasurement;
 use simclock::Time;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use tracefmt::io::{CodecError, StreamDecoder, TraceBuilder};
 use tracefmt::{
-    check_collectives, check_p2p_messages, match_collectives, match_messages, CollReport,
-    CollectiveInstance, LatencyTable, Matching, MinLatency, P2pReport, Rank, Trace,
+    check_collectives_at, check_p2p_messages_at, match_collectives, match_messages, CollReport,
+    CollectiveInstance, LatencyTable, Matching, MinLatency, P2pReport, Rank, TimeSource, Trace,
+    TraceColumns,
 };
 
 /// Which pre-synchronisation to apply.
@@ -55,6 +58,24 @@ pub enum PreSync {
     Linear,
 }
 
+/// Which timestamp layout the pipeline's hot stages run on.
+///
+/// Both layouts are guaranteed **bit-identical** in output — corrected
+/// timestamps and every violation census. The columnar engine exists
+/// purely for throughput: the timestamp-touching stages (presync mapping,
+/// CLC amortization, censuses) walk dense `i64` picosecond columns at an
+/// 8-byte stride instead of striding over full event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimestampStorage {
+    /// Operate on the event records in place (array-of-structs).
+    Aos,
+    /// Gather timestamps into per-timeline [`TraceColumns`], run every
+    /// timestamp stage over dense `&mut [i64]` columns, and scatter the
+    /// corrected times back into the records at the end.
+    #[default]
+    Columnar,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -65,6 +86,9 @@ pub struct PipelineConfig {
     /// Parallel execution (None = sequential, the default). The parallel
     /// path is guaranteed bit-identical to the sequential one.
     pub parallel: Option<ParallelConfig>,
+    /// Timestamp storage layout for the hot stages (columnar by default;
+    /// bit-identical either way).
+    pub storage: TimestampStorage,
 }
 
 impl Default for PipelineConfig {
@@ -73,6 +97,7 @@ impl Default for PipelineConfig {
             presync: PreSync::Linear,
             clc: Some(ClcParams::default()),
             parallel: None,
+            storage: TimestampStorage::default(),
         }
     }
 }
@@ -127,6 +152,29 @@ impl TimestampMap for PresyncMap {
     }
 }
 
+impl PresyncMap {
+    /// Apply the map to a dense picosecond column in place.
+    ///
+    /// The enum dispatch is hoisted out of the loop, but each element goes
+    /// through exactly the same [`TimestampMap::map`] arithmetic as the
+    /// per-event path — the two are bit-identical by construction.
+    pub(crate) fn map_col(&self, col: &mut [i64]) {
+        match self {
+            PresyncMap::Identity => {}
+            PresyncMap::Align(m) => {
+                for ps in col.iter_mut() {
+                    *ps = m.map(Time::from_ps(*ps)).as_ps();
+                }
+            }
+            PresyncMap::Linear(m) => {
+                for ps in col.iter_mut() {
+                    *ps = m.map(Time::from_ps(*ps)).as_ps();
+                }
+            }
+        }
+    }
+}
+
 /// Violation census of one pipeline stage.
 #[derive(Debug, Clone)]
 pub struct StageReport {
@@ -137,11 +185,16 @@ pub struct StageReport {
 }
 
 impl StageReport {
-    /// Census `trace` against a cached analysis and latency table.
-    fn capture(trace: &Trace, analysis: &TraceAnalysis, lmin: &dyn MinLatency) -> Self {
+    /// Census a timestamp source (either layout) against a cached analysis
+    /// and latency table.
+    fn capture_at<S: TimeSource + ?Sized>(
+        times: &S,
+        analysis: &TraceAnalysis,
+        lmin: &dyn MinLatency,
+    ) -> Self {
         StageReport {
-            p2p: check_p2p_messages(trace, &analysis.matching.messages, lmin),
-            coll: check_collectives(trace, &analysis.instances, lmin),
+            p2p: check_p2p_messages_at(times, &analysis.matching.messages, lmin),
+            coll: check_collectives_at(times, &analysis.instances, lmin),
         }
     }
 
@@ -176,6 +229,8 @@ pub enum PipelineError {
     BadTrace(String),
     /// The CLC stage failed.
     Clc(ClcError),
+    /// Streaming ingest could not decode the trace bytes.
+    Codec(CodecError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -184,6 +239,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::BadMeasurements(s) => write!(f, "bad measurements: {s}"),
             PipelineError::BadTrace(s) => write!(f, "bad trace: {s}"),
             PipelineError::Clc(e) => write!(f, "CLC failed: {e}"),
+            PipelineError::Codec(e) => write!(f, "trace ingest failed: {e}"),
         }
     }
 }
@@ -227,9 +283,11 @@ fn build_presync_maps(
 }
 
 /// Census one stage, sequentially or sharded, and record its stats.
-fn census_stage(
+/// Generic over the timestamp layout: `times` is the trace itself on the
+/// AoS path and the gathered [`TraceColumns`] on the columnar path.
+fn census_stage<S: TimeSource + Sync>(
     name: &'static str,
-    trace: &Trace,
+    times: &S,
     analysis: &TraceAnalysis,
     table: &LatencyTable,
     par: Option<&ParallelConfig>,
@@ -238,14 +296,14 @@ fn census_stage(
     let t0 = Instant::now();
     match par {
         None => {
-            let rep = StageReport::capture(trace, analysis, table);
+            let rep = StageReport::capture_at(times, analysis, table);
             stats
                 .stages
                 .push(StageStats::sequential(name, analysis.n_items(), t0.elapsed()));
             rep
         }
         Some(par) => {
-            let (rep, items, shards, wait) = parallel::census_sharded(trace, analysis, table, par);
+            let (rep, items, shards, wait) = parallel::census_sharded(times, analysis, table, par);
             stats
                 .stages
                 .push(StageStats::sharded(name, items, t0.elapsed(), shards, wait));
@@ -253,6 +311,15 @@ fn census_stage(
         }
     }
 }
+
+/// The stage outputs shared by both storage engines: raw census, presync
+/// census, and the optional CLC census + report.
+type StageOutcomes = (
+    StageReport,
+    StageReport,
+    Option<StageReport>,
+    Option<ClcReport>,
+);
 
 /// Run the pipeline on `trace` in place.
 ///
@@ -262,6 +329,57 @@ fn census_stage(
 /// alignment is requested.
 pub fn synchronize(
     trace: &mut Trace,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+) -> Result<PipelineReport, PipelineError> {
+    synchronize_impl(trace, None, init, fin, lmin, cfg)
+}
+
+/// Stream-decode a columnar binary trace (the `DTC2` format of
+/// [`tracefmt::io::to_binary_columnar`]) chunk by chunk and run the
+/// pipeline on the result.
+///
+/// Unlike decode-then-[`synchronize`], the input never has to be resident
+/// as one contiguous buffer: each chunk (any size — a read buffer, a
+/// network packet) is fed to the incremental [`StreamDecoder`], and the
+/// timestamp columns it produces feed the columnar engine directly, so the
+/// gather pass over the materialized records is skipped as well. The
+/// decode cost is recorded as an `"ingest"` stage in
+/// [`PipelineStats`] (items = events decoded, shards = blocks decoded).
+///
+/// Returns the decoded, synchronized trace alongside the report.
+pub fn synchronize_stream<'a>(
+    chunks: impl IntoIterator<Item = &'a [u8]>,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+) -> Result<(Trace, PipelineReport), PipelineError> {
+    let t0 = Instant::now();
+    let mut decoder = StreamDecoder::new();
+    let mut builder = TraceBuilder::new();
+    for chunk in chunks {
+        decoder
+            .feed_into(chunk, &mut builder)
+            .map_err(PipelineError::Codec)?;
+    }
+    let blocks = decoder.blocks_decoded() as usize;
+    decoder.finish().map_err(PipelineError::Codec)?;
+    let (mut trace, cols) = builder.finish_parts();
+    let ingest = StageStats::sharded("ingest", cols.n_events(), t0.elapsed(), blocks, Duration::ZERO);
+    let report = synchronize_impl(&mut trace, Some((cols, ingest)), init, fin, lmin, cfg)?;
+    Ok((trace, report))
+}
+
+/// Shared driver behind [`synchronize`] and [`synchronize_stream`]:
+/// validate, freeze the latency table, reconstruct the communication
+/// structure, then hand the timestamp-touching stages to the configured
+/// storage engine.
+fn synchronize_impl(
+    trace: &mut Trace,
+    ingested: Option<(TraceColumns, StageStats)>,
     init: &[Option<OffsetMeasurement>],
     fin: Option<&[Option<OffsetMeasurement>]>,
     lmin: &dyn MinLatency,
@@ -290,6 +408,13 @@ pub fn synchronize(
         workers: par.map_or(1, ParallelConfig::effective_workers),
         ..PipelineStats::default()
     };
+    let pre_cols = match ingested {
+        Some((cols, ingest_stats)) => {
+            stats.stages.push(ingest_stats);
+            Some(cols)
+        }
+        None => None,
+    };
     let n_events = trace.n_events();
 
     // Freeze the latency model into a dense table, shared by every stage.
@@ -304,10 +429,43 @@ pub fn synchronize(
         .stages
         .push(StageStats::sequential("match", n_events, t0.elapsed()));
 
-    let raw = census_stage("census:raw", trace, &analysis, &table, par, &mut stats);
+    let maps = build_presync_maps(cfg.presync, init, fin)?;
+
+    let (raw, after_presync, after_clc, clc) = match cfg.storage {
+        TimestampStorage::Aos => run_aos(trace, maps, &analysis, &table, cfg, &mut stats)?,
+        TimestampStorage::Columnar => columnar::run(
+            trace, pre_cols, maps, &analysis, &table, &ranks, cfg, &mut stats,
+        )?,
+    };
+
+    stats.total_seconds = t_total.elapsed().as_secs_f64();
+    Ok(PipelineReport {
+        raw,
+        after_presync,
+        after_clc,
+        clc,
+        stats,
+    })
+}
+
+/// The array-of-structs engine: every timestamp-touching stage operates on
+/// the event records in place.
+fn run_aos(
+    trace: &mut Trace,
+    maps: Option<Vec<PresyncMap>>,
+    analysis: &TraceAnalysis,
+    table: &LatencyTable,
+    cfg: &PipelineConfig,
+    stats: &mut PipelineStats,
+) -> Result<StageOutcomes, PipelineError> {
+    let par = cfg.parallel.as_ref();
+    let n_events = trace.n_events();
+    let n = trace.n_procs();
+
+    let raw = census_stage("census:raw", &*trace, analysis, table, par, stats);
 
     // Pre-synchronisation.
-    let after_presync = match build_presync_maps(cfg.presync, init, fin)? {
+    let after_presync = match maps {
         None => raw.clone(),
         Some(maps) => {
             let t0 = Instant::now();
@@ -325,7 +483,7 @@ pub fn synchronize(
                         .push(StageStats::sharded("presync", items, t0.elapsed(), shards, wait));
                 }
             }
-            census_stage("census:presync", trace, &analysis, &table, par, &mut stats)
+            census_stage("census:presync", &*trace, analysis, table, par, stats)
         }
     };
 
@@ -345,10 +503,10 @@ pub fn synchronize(
             let replay = par.is_some_and(|p| p.effective_workers() >= 2);
             let rep = if replay {
                 crate::clc::parallel::controlled_logical_clock_parallel_with_deps(
-                    trace, &deps, &table, params,
+                    trace, &deps, table, params,
                 )
             } else {
-                crate::clc::controlled_logical_clock_with_deps(trace, &deps, &table, params)
+                crate::clc::controlled_logical_clock_with_deps(trace, &deps, table, params)
             }
             .map_err(PipelineError::Clc)?;
             stats.stages.push(StageStats::sharded(
@@ -356,21 +514,14 @@ pub fn synchronize(
                 n_events,
                 t0.elapsed(),
                 if replay { n } else { 1 },
-                std::time::Duration::ZERO,
+                Duration::ZERO,
             ));
-            let census = census_stage("census:clc", trace, &analysis, &table, par, &mut stats);
+            let census = census_stage("census:clc", &*trace, analysis, table, par, stats);
             (Some(census), Some(rep))
         }
     };
 
-    stats.total_seconds = t_total.elapsed().as_secs_f64();
-    Ok(PipelineReport {
-        raw,
-        after_presync,
-        after_clc,
-        clc,
-        stats,
-    })
+    Ok((raw, after_presync, after_clc, clc))
 }
 
 #[cfg(test)]
@@ -470,6 +621,7 @@ mod tests {
             presync: PreSync::AlignOnly,
             clc: None,
             parallel: None,
+            ..Default::default()
         };
         let rep = synchronize(&mut t, &init, None, &LMIN, &cfg).unwrap();
         assert_eq!(rep.after_presync.total_violations(), 0);
@@ -565,6 +717,7 @@ mod tests {
             presync: PreSync::None,
             clc: None,
             parallel: None,
+            ..Default::default()
         };
         let rep = synchronize(&mut t, &init, None, &LMIN, &cfg).unwrap();
         assert!(rep.stats.stage("presync").is_none());

@@ -13,8 +13,8 @@ use super::{PresyncMap, StageReport, TraceAnalysis};
 use crate::interp::TimestampMap;
 use std::time::{Duration, Instant};
 use tracefmt::{
-    check_collectives, check_p2p_messages, CollReport, CollectiveInstance, EventRecord,
-    LatencyTable, MessageMatch, P2pReport, Trace,
+    check_collectives_at, check_p2p_messages_at, CollReport, CollectiveInstance, EventRecord,
+    LatencyTable, MessageMatch, P2pReport, TimeSource, Trace, TraceColumns,
 };
 
 /// Worker-pool configuration for the parallel pipeline.
@@ -158,6 +158,29 @@ pub(super) fn apply_maps_sharded(
     (run.results.iter().sum(), run.shards, run.merge_wait)
 }
 
+/// Columnar counterpart of [`apply_maps_sharded`]: shard the dense
+/// picosecond columns into `&mut [i64]` chunks and map each in place.
+/// Identical sharding geometry (per-timeline chunks of `shard_size`
+/// events), so the shard accounting matches the AoS path exactly.
+pub(super) fn apply_maps_sharded_cols(
+    cols: &mut TraceColumns,
+    maps: &[PresyncMap],
+    cfg: &ParallelConfig,
+) -> (usize, usize, Duration) {
+    let shard_size = cfg.effective_shard_size();
+    let mut jobs: Vec<(usize, &mut [i64])> = Vec::new();
+    for (p, col) in cols.iter_mut_slices() {
+        for chunk in col.chunks_mut(shard_size) {
+            jobs.push((p, chunk));
+        }
+    }
+    let run = run_sharded(jobs, cfg.effective_workers(), |(p, chunk): (usize, &mut [i64])| {
+        maps[p].map_col(chunk);
+        chunk.len()
+    });
+    (run.results.iter().sum(), run.shards, run.merge_wait)
+}
+
 /// One census work unit: a chunk of either the message list or the
 /// collective-instance list.
 enum CensusJob<'a> {
@@ -173,8 +196,9 @@ enum CensusOut {
 /// Run both violation censuses sharded. Returns the merged stage report
 /// plus `(items, shards, merge wait)` instrumentation. Shards are merged
 /// in list order, so the report is identical to the sequential census.
-pub(super) fn census_sharded(
-    trace: &Trace,
+/// Generic over the timestamp layout (trace records or gathered columns).
+pub(super) fn census_sharded<S: TimeSource + Sync>(
+    times: &S,
     analysis: &TraceAnalysis,
     table: &LatencyTable,
     cfg: &ParallelConfig,
@@ -189,8 +213,8 @@ pub(super) fn census_sharded(
     }
 
     let run = run_sharded(jobs, cfg.effective_workers(), |job| match job {
-        CensusJob::P2p(chunk) => CensusOut::P2p(check_p2p_messages(trace, chunk, table)),
-        CensusJob::Coll(chunk) => CensusOut::Coll(check_collectives(trace, chunk, table)),
+        CensusJob::P2p(chunk) => CensusOut::P2p(check_p2p_messages_at(times, chunk, table)),
+        CensusJob::Coll(chunk) => CensusOut::Coll(check_collectives_at(times, chunk, table)),
     });
 
     let mut p2p = P2pReport::default();

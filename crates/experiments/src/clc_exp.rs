@@ -100,15 +100,15 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
     };
     out.push(pipeline_method(
         "offset alignment",
-        PipelineConfig { presync: PreSync::AlignOnly, clc: None, parallel: None },
+        PipelineConfig { presync: PreSync::AlignOnly, clc: None, parallel: None, ..Default::default() },
     ));
     out.push(pipeline_method(
         "linear interpolation (Eq. 3)",
-        PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
+        PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None, ..Default::default() },
     ));
     out.push(pipeline_method(
         "interpolation + CLC",
-        PipelineConfig { presync: PreSync::Linear, clc: Some(ClcParams::default()), parallel: None },
+        PipelineConfig { presync: PreSync::Linear, clc: Some(ClcParams::default()), parallel: None, ..Default::default() },
     ));
     // The same chain through the sharded worker pool: results are
     // bit-identical, only wall-clock differs.
@@ -118,7 +118,8 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
             presync: PreSync::Linear,
             clc: Some(ClcParams::default()),
             parallel: Some(clocksync::ParallelConfig::default()),
-        },
+            ..Default::default()
+},
     ));
 
     // Parallel CLC.
@@ -129,7 +130,7 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
             &base.init,
             Some(&base.fin),
             &lmin_owned,
-            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
+            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None, ..Default::default() },
         )
         .expect("pipeline runs");
         let start = Instant::now();
@@ -195,7 +196,7 @@ pub fn clc_survey(scale: usize, seed: u64) -> Vec<MethodResult> {
             &base.init,
             Some(&base.fin),
             &lmin_owned,
-            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None },
+            &PipelineConfig { presync: PreSync::Linear, clc: None, parallel: None, ..Default::default() },
         )
         .expect("pipeline runs");
         let start = Instant::now();

@@ -176,6 +176,7 @@ pub fn census_after_interpolation(run: &mut TracedRun) -> ViolationCensus {
         } else {
             None
         },
+        ..Default::default()
     };
     let lmin = run.cluster.l_min_model();
     let report = synchronize(

@@ -1,0 +1,354 @@
+//! Columnar (structure-of-arrays) timestamp storage.
+//!
+//! A [`Trace`] keeps its events as an array of structs: one
+//! [`EventRecord`](crate::EventRecord) per event, timestamp interleaved
+//! with the kind/args payload. That layout is convenient for construction
+//! and analysis, but the synchronisation pipeline's hot passes — timestamp
+//! mapping, violation censuses, CLC amortization — only ever touch the
+//! *times*. Walking 40-byte records to read 8-byte timestamps wastes most
+//! of every cache line.
+//!
+//! This module splits the timestamp column out: a [`TimeColumn`] is the
+//! dense `Vec<i64>` (picoseconds) of one timeline, and [`TraceColumns`]
+//! bundles one column per timeline. Columns are gathered from a trace in
+//! one pass, mutated in place as `&mut [i64]` slices by the pipeline
+//! stages, and scattered back when the pipeline is done. The
+//! [`TimeSource`] trait abstracts "timestamp of an event" over both
+//! layouts so census code is written once and is bit-identical on either.
+
+use crate::ids::EventId;
+use crate::trace::Trace;
+use simclock::Time;
+
+/// Timestamp of an event, independent of storage layout.
+///
+/// Implemented by [`Trace`] (array-of-structs: reads
+/// `procs[p].events[i].time`) and [`TraceColumns`] (structure-of-arrays:
+/// reads `cols[p][i]`). Census code generic over `TimeSource` runs
+/// identically on both — the foundation of the columnar/AoS differential
+/// guarantee.
+pub trait TimeSource {
+    /// Timestamp of the event `id`.
+    fn time_of(&self, id: EventId) -> Time;
+}
+
+impl TimeSource for Trace {
+    #[inline]
+    fn time_of(&self, id: EventId) -> Time {
+        self.time(id)
+    }
+}
+
+/// The dense timestamp column of one timeline, in picoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeColumn {
+    ps: Vec<i64>,
+}
+
+impl TimeColumn {
+    /// Empty column.
+    pub fn new() -> Self {
+        TimeColumn::default()
+    }
+
+    /// Column with `cap` slots pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        TimeColumn {
+            ps: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.ps.len()
+    }
+
+    /// True when the column holds no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.ps.is_empty()
+    }
+
+    /// Append a timestamp.
+    pub fn push(&mut self, t: Time) {
+        self.ps.push(t.as_ps());
+    }
+
+    /// Append a raw picosecond value (codec path).
+    pub fn push_ps(&mut self, ps: i64) {
+        self.ps.push(ps);
+    }
+
+    /// Reserve room for at least `n` more timestamps.
+    pub fn reserve(&mut self, n: usize) {
+        self.ps.reserve(n);
+    }
+
+    /// Append raw picosecond values in bulk (codec path).
+    pub fn extend_from_ps(&mut self, ps: &[i64]) {
+        self.ps.extend_from_slice(ps);
+    }
+
+    /// Append timestamps decoded from a run of big-endian `i64` bytes —
+    /// the wire layout of a columnar block frame's timestamp segment.
+    /// `bytes.len()` must be a multiple of 8.
+    pub fn extend_from_be_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len() % 8, 0);
+        self.ps.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| i64::from_be_bytes(c.try_into().unwrap())),
+        );
+    }
+
+    /// Timestamp at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Time {
+        Time::from_ps(self.ps[i])
+    }
+
+    /// Overwrite the timestamp at `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, t: Time) {
+        self.ps[i] = t.as_ps();
+    }
+
+    /// The column as a dense picosecond slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.ps
+    }
+
+    /// The column as a mutable picosecond slice — the unit the pipeline's
+    /// tight loops (presync mapping, amortization) operate on.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        &mut self.ps
+    }
+
+    /// Are the timestamps non-decreasing?
+    pub fn is_monotone(&self) -> bool {
+        self.ps.windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+impl From<Vec<i64>> for TimeColumn {
+    fn from(ps: Vec<i64>) -> Self {
+        TimeColumn { ps }
+    }
+}
+
+impl FromIterator<Time> for TimeColumn {
+    fn from_iter<I: IntoIterator<Item = Time>>(iter: I) -> Self {
+        TimeColumn {
+            ps: iter.into_iter().map(Time::as_ps).collect(),
+        }
+    }
+}
+
+/// All timestamp columns of a trace: `cols[p][i]` is the time of event
+/// `(p, i)`, split away from the kind/args payload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceColumns {
+    cols: Vec<TimeColumn>,
+}
+
+impl TraceColumns {
+    /// Gather the timestamp column of every timeline in one pass.
+    pub fn gather(trace: &Trace) -> Self {
+        TraceColumns {
+            cols: trace
+                .procs
+                .iter()
+                .map(|p| p.events.iter().map(|e| e.time).collect())
+                .collect(),
+        }
+    }
+
+    /// Build directly from per-timeline columns (codec path).
+    pub fn from_columns(cols: Vec<TimeColumn>) -> Self {
+        TraceColumns { cols }
+    }
+
+    /// Scatter the columns back into the trace's event records.
+    ///
+    /// # Panics
+    /// Panics when the column shape does not match the trace (different
+    /// timeline count or lengths) — scattering a mismatched column set
+    /// would silently mis-time events.
+    pub fn scatter_into(&self, trace: &mut Trace) {
+        assert_eq!(
+            self.cols.len(),
+            trace.procs.len(),
+            "column/timeline count mismatch"
+        );
+        for (pt, col) in trace.procs.iter_mut().zip(&self.cols) {
+            assert_eq!(
+                pt.events.len(),
+                col.len(),
+                "column length mismatch on timeline {}",
+                pt.location
+            );
+            for (e, &ps) in pt.events.iter_mut().zip(col.as_slice()) {
+                e.time = Time::from_ps(ps);
+            }
+        }
+    }
+
+    /// Number of timelines.
+    pub fn n_procs(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total timestamps across all timelines.
+    pub fn n_events(&self) -> usize {
+        self.cols.iter().map(TimeColumn::len).sum()
+    }
+
+    /// The column of timeline `p`.
+    #[inline]
+    pub fn col(&self, p: usize) -> &TimeColumn {
+        &self.cols[p]
+    }
+
+    /// Mutable column of timeline `p`.
+    #[inline]
+    pub fn col_mut(&mut self, p: usize) -> &mut TimeColumn {
+        &mut self.cols[p]
+    }
+
+    /// Iterate the columns in timeline order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimeColumn> {
+        self.cols.iter()
+    }
+
+    /// Iterate the columns mutably, as `(proc index, &mut [i64])` — the
+    /// sharding unit of the parallel pipeline.
+    pub fn iter_mut_slices(&mut self) -> impl Iterator<Item = (usize, &mut [i64])> {
+        self.cols
+            .iter_mut()
+            .enumerate()
+            .map(|(p, c)| (p, c.as_mut_slice()))
+    }
+
+    /// Timestamp of event `id` (panics when out of range, like
+    /// [`Trace::time`]).
+    #[inline]
+    pub fn time(&self, id: EventId) -> Time {
+        self.cols[id.p()].get(id.i())
+    }
+
+    /// Overwrite the timestamp of event `id`.
+    #[inline]
+    pub fn set_time(&mut self, id: EventId, t: Time) {
+        self.cols[id.p()].set(id.i(), t);
+    }
+
+    /// Per-timeline snapshot as `Vec<Vec<Time>>` (the shape the CLC's
+    /// amortization kernels take their originals in).
+    pub fn to_time_vecs(&self) -> Vec<Vec<Time>> {
+        self.cols
+            .iter()
+            .map(|c| c.as_slice().iter().map(|&ps| Time::from_ps(ps)).collect())
+            .collect()
+    }
+
+    /// All columns locally monotone?
+    pub fn is_locally_monotone(&self) -> bool {
+        self.cols.iter().all(TimeColumn::is_monotone)
+    }
+}
+
+impl TimeSource for TraceColumns {
+    #[inline]
+    fn time_of(&self, id: EventId) -> Time {
+        self.time(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{Rank, RegionId, Tag};
+
+    fn sample() -> Trace {
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_us(1), EventKind::Enter { region: RegionId(1) });
+        t.procs[0].push(
+            Time::from_us(2),
+            EventKind::Send { to: Rank(1), tag: Tag(0), bytes: 8 },
+        );
+        t.procs[1].push(
+            Time::from_us(5),
+            EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 8 },
+        );
+        t
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut t = sample();
+        let mut cols = TraceColumns::gather(&t);
+        assert_eq!(cols.n_procs(), 2);
+        assert_eq!(cols.n_events(), 3);
+        assert_eq!(cols.time(EventId::new(1, 0)), Time::from_us(5));
+        // Mutate through the slice API, scatter back.
+        for (_, s) in cols.iter_mut_slices() {
+            for ps in s.iter_mut() {
+                *ps += Time::from_us(100).as_ps();
+            }
+        }
+        cols.scatter_into(&mut t);
+        assert_eq!(t.time(EventId::new(0, 0)), Time::from_us(101));
+        assert_eq!(t.time(EventId::new(1, 0)), Time::from_us(105));
+        // Kinds untouched.
+        assert_eq!(t.procs[0].events[0].kind, EventKind::Enter { region: RegionId(1) });
+    }
+
+    #[test]
+    fn time_source_agrees_across_layouts() {
+        let t = sample();
+        let cols = TraceColumns::gather(&t);
+        for (id, _) in t.iter_events() {
+            assert_eq!(TimeSource::time_of(&t, id), cols.time_of(id));
+        }
+    }
+
+    #[test]
+    fn column_accessors() {
+        let mut c = TimeColumn::with_capacity(4);
+        assert!(c.is_empty());
+        c.push(Time::from_us(3));
+        c.push_ps(Time::from_us(7).as_ps());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Time::from_us(7));
+        c.set(0, Time::from_us(9));
+        assert!(!c.is_monotone());
+        assert_eq!(c.as_slice(), &[Time::from_us(9).as_ps(), Time::from_us(7).as_ps()]);
+        let from_vec = TimeColumn::from(vec![1i64, 2]);
+        assert!(from_vec.is_monotone());
+    }
+
+    #[test]
+    fn set_time_and_snapshots() {
+        let t = sample();
+        let mut cols = TraceColumns::gather(&t);
+        cols.set_time(EventId::new(0, 1), Time::from_us(42));
+        assert_eq!(cols.time(EventId::new(0, 1)), Time::from_us(42));
+        let vecs = cols.to_time_vecs();
+        assert_eq!(vecs[0][1], Time::from_us(42));
+        assert!(cols.is_locally_monotone());
+        cols.set_time(EventId::new(0, 0), Time::from_us(999));
+        assert!(!cols.is_locally_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn scatter_shape_mismatch_panics() {
+        let mut t = sample();
+        let mut shorter = t.clone();
+        shorter.procs[0].events.pop();
+        let cols = TraceColumns::gather(&shorter);
+        cols.scatter_into(&mut t);
+    }
+}

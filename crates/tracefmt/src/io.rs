@@ -1,11 +1,19 @@
-//! Trace codecs: a human-readable text format and a compact binary format.
+//! Trace codecs: a human-readable text format and two binary formats.
 //!
 //! The text format writes one event per line (`rank:thread time_ps MNEMONIC
-//! args…`), convenient for diffing and debugging. The binary format is a
-//! simple length-prefixed record stream built on [`bytes`], an order of
-//! magnitude denser — what a tracing library would actually flush to disk
-//! (paper §III: buffers are flushed at termination or when full).
+//! args…`), convenient for diffing and debugging. Binary v1 ([`to_binary`] /
+//! [`from_binary`]) is a simple record stream built on [`bytes`], an order
+//! of magnitude denser — what a tracing library would actually flush to disk
+//! (paper §III: buffers are flushed at termination or when full). Binary v2
+//! ([`to_binary_columnar`] / [`StreamDecoder`]) frames the same events into
+//! length-prefixed per-timeline blocks whose timestamps are stored as a
+//! dense column segment, so a reader can ingest a trace chunk by chunk —
+//! decoding each block as soon as its bytes arrive, without materializing
+//! the whole record vector first — and hand the timestamp columns straight
+//! to the columnar synchronisation pipeline. See DESIGN.md for the exact
+//! frame layout.
 
+use crate::column::{TimeColumn, TraceColumns};
 use crate::event::{CollOp, EventKind, EventRecord};
 use crate::ids::{CommId, Location, Rank, RegionId, Tag, ThreadId};
 use crate::trace::{ProcessTrace, Trace};
@@ -38,15 +46,40 @@ impl std::error::Error for CodecError {}
 
 // ---------------------------------------------------------------- text ----
 
+/// Rough bytes-per-line estimate for sizing text output buffers: location,
+/// picosecond timestamp, mnemonic and a few numeric args land near 40–60
+/// characters per event in practice.
+const TEXT_BYTES_PER_EVENT: usize = 56;
+
 /// Encode a trace in the line-oriented text format.
+///
+/// The output buffer is preallocated from the event count so encoding a
+/// large trace does not repeatedly regrow one giant `String`.
 pub fn to_text(trace: &Trace) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(trace.n_events() * TEXT_BYTES_PER_EVENT);
     for pt in &trace.procs {
         for e in &pt.events {
             write_text_line(&mut out, pt.location, e);
         }
     }
     out
+}
+
+/// Stream the text format to any [`std::io::Write`] sink, line by line.
+///
+/// Unlike [`to_text`] this never holds more than one formatted line in
+/// memory, so arbitrarily large traces can be written to a file or pipe
+/// with constant overhead.
+pub fn to_text_writer<W: std::io::Write>(trace: &Trace, sink: &mut W) -> std::io::Result<()> {
+    let mut line = String::with_capacity(TEXT_BYTES_PER_EVENT * 2);
+    for pt in &trace.procs {
+        for e in &pt.events {
+            line.clear();
+            write_text_line(&mut line, pt.location, e);
+            sink.write_all(line.as_bytes())?;
+        }
+    }
+    Ok(())
 }
 
 fn write_text_line(out: &mut String, loc: Location, e: &EventRecord) {
@@ -208,6 +241,52 @@ fn kind_code(kind: &EventKind) -> u8 {
     }
 }
 
+/// Encoded size of `kind_code + args` for one event, excluding the
+/// timestamp — the per-record payload unit shared by both binary formats.
+fn kind_payload_len(kind: &EventKind) -> usize {
+    match kind {
+        EventKind::Enter { .. }
+        | EventKind::Exit { .. }
+        | EventKind::Fork { .. }
+        | EventKind::Join { .. }
+        | EventKind::BarrierEnter { .. }
+        | EventKind::BarrierExit { .. } => 1 + 4,
+        EventKind::Send { .. } | EventKind::Recv { .. } => 1 + 16,
+        EventKind::CollBegin { .. } | EventKind::CollEnd { .. } => 1 + 21,
+    }
+}
+
+/// Append `kind_code + args` (no timestamp) to `buf` — the record payload
+/// encoding shared by binary v1 and the columnar block payloads.
+fn encode_kind(buf: &mut BytesMut, kind: &EventKind) {
+    buf.put_u8(kind_code(kind));
+    match *kind {
+        EventKind::Enter { region }
+        | EventKind::Exit { region }
+        | EventKind::Fork { region }
+        | EventKind::Join { region }
+        | EventKind::BarrierEnter { region }
+        | EventKind::BarrierExit { region } => buf.put_u32(region.0),
+        EventKind::Send { to, tag, bytes } => {
+            buf.put_u32(to.0);
+            buf.put_u32(tag.0);
+            buf.put_u64(bytes);
+        }
+        EventKind::Recv { from, tag, bytes } => {
+            buf.put_u32(from.0);
+            buf.put_u32(tag.0);
+            buf.put_u64(bytes);
+        }
+        EventKind::CollBegin { op, comm, root, bytes }
+        | EventKind::CollEnd { op, comm, root, bytes } => {
+            buf.put_u8(coll_code(op));
+            buf.put_u32(comm.0);
+            buf.put_i64(root.map_or(-1, |r| r.0 as i64));
+            buf.put_u64(bytes);
+        }
+    }
+}
+
 /// Encode a trace in the compact binary format.
 pub fn to_binary(trace: &Trace) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + trace.n_events() * 24);
@@ -219,32 +298,7 @@ pub fn to_binary(trace: &Trace) -> Bytes {
         buf.put_u64(pt.events.len() as u64);
         for e in &pt.events {
             buf.put_i64(e.time.as_ps());
-            buf.put_u8(kind_code(&e.kind));
-            match e.kind {
-                EventKind::Enter { region }
-                | EventKind::Exit { region }
-                | EventKind::Fork { region }
-                | EventKind::Join { region }
-                | EventKind::BarrierEnter { region }
-                | EventKind::BarrierExit { region } => buf.put_u32(region.0),
-                EventKind::Send { to, tag, bytes } => {
-                    buf.put_u32(to.0);
-                    buf.put_u32(tag.0);
-                    buf.put_u64(bytes);
-                }
-                EventKind::Recv { from, tag, bytes } => {
-                    buf.put_u32(from.0);
-                    buf.put_u32(tag.0);
-                    buf.put_u64(bytes);
-                }
-                EventKind::CollBegin { op, comm, root, bytes }
-                | EventKind::CollEnd { op, comm, root, bytes } => {
-                    buf.put_u8(coll_code(op));
-                    buf.put_u32(comm.0);
-                    buf.put_i64(root.map_or(-1, |r| r.0 as i64));
-                    buf.put_u64(bytes);
-                }
-            }
+            encode_kind(&mut buf, &e.kind);
         }
     }
     buf.freeze()
@@ -321,6 +375,521 @@ pub fn from_binary(mut buf: Bytes) -> Result<Trace, CodecError> {
         trace.procs.push(pt);
     }
     Ok(trace)
+}
+
+// ------------------------------------------------- columnar binary v2 ----
+
+/// Magic of the columnar block-framed binary format ("DTC2").
+const MAGIC_COLUMNAR: u32 = 0x4454_4332;
+
+/// Default number of events per block frame written by
+/// [`to_binary_columnar`]. Large enough that the 16-byte frame header is
+/// noise, small enough that a frame (tens of KiB) is comfortably below a
+/// typical read-buffer chunk — a streaming reader then buffers at most a
+/// small partial frame per chunk boundary and scans the rest in place —
+/// and the decoder's working set stays in cache.
+pub const BLOCK_EVENTS: usize = 2048;
+
+/// One decoded block of the columnar format: a run of consecutive events
+/// from a single timeline, timestamps already split into a dense column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineBlock {
+    /// Which timeline the events belong to.
+    pub location: Location,
+    /// The timestamps, in picoseconds, one per event.
+    pub times: TimeColumn,
+    /// The kind/args payload, one per event, parallel to `times`.
+    pub kinds: Vec<EventKind>,
+}
+
+impl TimelineBlock {
+    /// Number of events in the block.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// True when the block holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// Encode a trace in the columnar block-framed binary format, splitting
+/// each timeline into blocks of at most [`BLOCK_EVENTS`] events.
+pub fn to_binary_columnar(trace: &Trace) -> Bytes {
+    to_binary_columnar_blocked(trace, BLOCK_EVENTS)
+}
+
+/// [`to_binary_columnar`] with an explicit block size (clamped to ≥ 1).
+/// Smaller blocks mean earlier data for a streaming reader at the cost of
+/// more frame headers.
+pub fn to_binary_columnar_blocked(trace: &Trace, block_events: usize) -> Bytes {
+    let block_events = block_events.max(1);
+    let mut buf = BytesMut::with_capacity(4 + trace.n_events() * 24);
+    buf.put_u32(MAGIC_COLUMNAR);
+    let mut blocks = 0u64;
+    for pt in &trace.procs {
+        if pt.events.is_empty() {
+            // Preserve empty timelines with a zero-event block.
+            put_block_header(&mut buf, pt.location, 0, 0);
+            blocks += 1;
+            continue;
+        }
+        for chunk in pt.events.chunks(block_events) {
+            let payload_len: usize = chunk.iter().map(|e| kind_payload_len(&e.kind)).sum();
+            put_block_header(&mut buf, pt.location, chunk.len(), payload_len);
+            blocks += 1;
+            for e in chunk {
+                buf.put_i64(e.time.as_ps());
+            }
+            for e in chunk {
+                encode_kind(&mut buf, &e.kind);
+            }
+        }
+    }
+    // End-of-stream trailer: a reserved frame header (rank = thread =
+    // u32::MAX) carrying the low 32 bits of the event and block counts.
+    // Without it a stream cut exactly between frames would read as a valid
+    // shorter trace; with it every proper prefix is detectably truncated.
+    buf.put_u32(u32::MAX);
+    buf.put_u32(u32::MAX);
+    buf.put_u32(trace.n_events() as u32);
+    buf.put_u32(blocks as u32);
+    buf.freeze()
+}
+
+fn put_block_header(buf: &mut BytesMut, loc: Location, n_events: usize, payload_len: usize) {
+    buf.put_u32(loc.rank.0);
+    buf.put_u32(loc.thread.0);
+    buf.put_u32(n_events as u32);
+    buf.put_u32(payload_len as u32);
+}
+
+#[inline]
+fn rd_u32(s: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes(s[at..at + 4].try_into().unwrap())
+}
+
+/// Where completed block frames go during a [`StreamDecoder`] scan:
+/// either materialized as [`TimelineBlock`]s, or decoded straight into a
+/// [`TraceBuilder`] without the intermediate per-block allocations.
+trait BlockSink {
+    /// One complete frame: `times_be` is the big-endian timestamp column
+    /// segment (`n_events * 8` bytes), `payload` the kind/args records.
+    fn frame(
+        &mut self,
+        location: Location,
+        times_be: &[u8],
+        payload: &[u8],
+        n_events: usize,
+    ) -> Result<(), CodecError>;
+}
+
+impl BlockSink for Vec<TimelineBlock> {
+    fn frame(
+        &mut self,
+        location: Location,
+        times_be: &[u8],
+        payload: &[u8],
+        n_events: usize,
+    ) -> Result<(), CodecError> {
+        let mut times = TimeColumn::with_capacity(n_events);
+        times.extend_from_be_bytes(times_be);
+        let kinds = decode_kind_payload(payload, n_events)?;
+        self.push(TimelineBlock { location, times, kinds });
+        Ok(())
+    }
+}
+
+impl BlockSink for TraceBuilder {
+    fn frame(
+        &mut self,
+        location: Location,
+        times_be: &[u8],
+        payload: &[u8],
+        n_events: usize,
+    ) -> Result<(), CodecError> {
+        self.push_frame(location, times_be, payload, n_events)
+    }
+}
+
+/// Decode one `kind_code + args` record from a block payload, advancing
+/// `at`. Each arm reads its whole fixed-size argument run through a
+/// single bounds check; the field splits below are on arrays of known
+/// length, so they compile to plain loads.
+#[inline]
+fn decode_one_kind(p: &[u8], at: &mut usize) -> Result<EventKind, CodecError> {
+    #[inline]
+    fn take<const N: usize>(p: &[u8], at: &mut usize) -> Result<[u8; N], CodecError> {
+        let s = p.get(*at..*at + N).ok_or(CodecError::Truncated)?;
+        *at += N;
+        Ok(s.try_into().unwrap())
+    }
+    #[inline]
+    fn be_u32<const AT: usize>(s: &[u8]) -> u32 {
+        u32::from_be_bytes(s[AT..AT + 4].try_into().unwrap())
+    }
+    #[inline]
+    fn be_u64<const AT: usize>(s: &[u8]) -> u64 {
+        u64::from_be_bytes(s[AT..AT + 8].try_into().unwrap())
+    }
+    let code = *p.get(*at).ok_or(CodecError::Truncated)?;
+    *at += 1;
+    Ok(match code {
+        0 | 1 | 6 | 7 | 8 | 9 => {
+            let region = RegionId(u32::from_be_bytes(take::<4>(p, at)?));
+            match code {
+                0 => EventKind::Enter { region },
+                1 => EventKind::Exit { region },
+                6 => EventKind::Fork { region },
+                7 => EventKind::Join { region },
+                8 => EventKind::BarrierEnter { region },
+                _ => EventKind::BarrierExit { region },
+            }
+        }
+        2 | 3 => {
+            let s = take::<16>(p, at)?;
+            let peer = Rank(be_u32::<0>(&s));
+            let tag = Tag(be_u32::<4>(&s));
+            let bytes = be_u64::<8>(&s);
+            if code == 2 {
+                EventKind::Send { to: peer, tag, bytes }
+            } else {
+                EventKind::Recv { from: peer, tag, bytes }
+            }
+        }
+        4 | 5 => {
+            let s = take::<21>(p, at)?;
+            let op = coll_from_code(s[0]).ok_or_else(|| CodecError::UnknownKind("collective".into()))?;
+            let comm = CommId(be_u32::<1>(&s));
+            let root_raw = i64::from_be_bytes(s[5..13].try_into().unwrap());
+            let root = (root_raw >= 0).then_some(Rank(root_raw as u32));
+            let bytes = be_u64::<13>(&s);
+            if code == 4 {
+                EventKind::CollBegin { op, comm, root, bytes }
+            } else {
+                EventKind::CollEnd { op, comm, root, bytes }
+            }
+        }
+        other => return Err(CodecError::UnknownKind(format!("code {other}"))),
+    })
+}
+
+/// Decode `n_events` records of `kind_code + args` from a block payload.
+/// The payload must be consumed exactly.
+fn decode_kind_payload(p: &[u8], n_events: usize) -> Result<Vec<EventKind>, CodecError> {
+    let mut kinds = Vec::with_capacity(n_events);
+    let mut at = 0usize;
+    for _ in 0..n_events {
+        kinds.push(decode_one_kind(p, &mut at)?);
+    }
+    if at != p.len() {
+        return Err(CodecError::BadField("block payload length".into()));
+    }
+    Ok(kinds)
+}
+
+/// Incremental decoder for the columnar format.
+///
+/// Feed byte chunks of any size as they arrive; each call returns the
+/// blocks completed by that chunk. Only the bytes of the one incomplete
+/// trailing frame are buffered, so memory stays bounded by the block size
+/// regardless of trace length:
+///
+/// ```
+/// use tracefmt::io::{to_binary_columnar, StreamDecoder, TraceBuilder};
+/// # use tracefmt::{Trace, EventKind, RegionId};
+/// # use simclock::Time;
+/// # let mut trace = Trace::for_ranks(1);
+/// # trace.procs[0].push(Time::from_us(1), EventKind::Enter { region: RegionId(0) });
+/// let encoded = to_binary_columnar(&trace);
+/// let mut dec = StreamDecoder::new();
+/// let mut builder = TraceBuilder::new();
+/// for chunk in encoded.chunks(64 * 1024) {
+///     dec.feed_into(chunk, &mut builder)?;
+/// }
+/// dec.finish()?;
+/// let (decoded, columns) = builder.finish_parts();
+/// # assert_eq!(decoded.n_events(), trace.n_events());
+/// # assert_eq!(columns.n_events(), 1);
+/// # Ok::<(), tracefmt::io::CodecError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    seen_magic: bool,
+    finished: bool,
+    events_seen: u64,
+    blocks_seen: u64,
+}
+
+impl StreamDecoder {
+    /// Fresh decoder expecting the stream magic first.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Bytes buffered but not yet decoded (the incomplete trailing frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Events decoded so far.
+    pub fn events_decoded(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Timeline blocks decoded so far.
+    pub fn blocks_decoded(&self) -> u64 {
+        self.blocks_seen
+    }
+
+    /// Has the end-of-stream trailer been seen?
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Feed the next chunk; returns every block frame completed by it.
+    ///
+    /// After an error the decoder is poisoned — the stream is corrupt and
+    /// further feeding is not meaningful.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<TimelineBlock>, CodecError> {
+        let mut out = Vec::new();
+        self.feed_sink(chunk, &mut out)?;
+        Ok(out)
+    }
+
+    /// Feed the next chunk, decoding completed frames straight into
+    /// `builder`. This is the fast ingest path: no intermediate
+    /// [`TimelineBlock`] is materialized, and a chunk that starts on a
+    /// frame boundary (the common case for any reasonable chunk size) is
+    /// scanned in place without being copied into the decoder's buffer.
+    pub fn feed_into(
+        &mut self,
+        chunk: &[u8],
+        builder: &mut TraceBuilder,
+    ) -> Result<(), CodecError> {
+        self.feed_sink(chunk, builder)
+    }
+
+    fn feed_sink<S: BlockSink>(&mut self, chunk: &[u8], sink: &mut S) -> Result<(), CodecError> {
+        let mut chunk = chunk;
+        // A partial frame is buffered: top the buffer up only to that
+        // frame's end (never the whole chunk), drain it, and leave the
+        // rest of the chunk for the in-place scan below. The buffer thus
+        // never holds more than one frame.
+        while self.buffered() > 0 && !chunk.is_empty() {
+            let need = self.wanted().saturating_sub(self.buffered()).max(1);
+            let take = need.min(chunk.len());
+            self.buf.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            // Take the buffer out so `scan` may borrow both it and `self`.
+            let data = std::mem::take(&mut self.buf);
+            let res = self.scan(&data[self.pos..], sink);
+            self.buf = data;
+            self.pos += res?;
+            if self.pos >= self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            }
+        }
+        if !chunk.is_empty() {
+            // Zero-copy path: the chunk starts on a frame boundary — scan
+            // it in place and buffer only the trailing partial frame.
+            debug_assert_eq!(self.buffered(), 0);
+            self.buf.clear();
+            self.pos = 0;
+            let consumed = self.scan(chunk, sink)?;
+            self.buf.extend_from_slice(&chunk[consumed..]);
+        }
+        Ok(())
+    }
+
+    /// Bytes that must be buffered (from the start of the buffered
+    /// region) before the next unit — magic, frame header, or the full
+    /// frame the present header announces — can be parsed.
+    fn wanted(&self) -> usize {
+        if !self.seen_magic {
+            return 4;
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 16 {
+            return 16;
+        }
+        if rd_u32(avail, 0) == u32::MAX && rd_u32(avail, 4) == u32::MAX {
+            return 16;
+        }
+        16 + rd_u32(avail, 8) as usize * 8 + rd_u32(avail, 12) as usize
+    }
+
+    /// Scan `data` for complete frames, handing each to `sink`. Returns
+    /// the number of bytes consumed — always a frame boundary; the caller
+    /// buffers the remainder until more bytes arrive.
+    fn scan<S: BlockSink>(&mut self, data: &[u8], sink: &mut S) -> Result<usize, CodecError> {
+        let mut pos = 0usize;
+        if !self.seen_magic {
+            if data.len() < 4 {
+                return Ok(0);
+            }
+            if rd_u32(data, 0) != MAGIC_COLUMNAR {
+                return Err(CodecError::BadField("magic".into()));
+            }
+            pos = 4;
+            self.seen_magic = true;
+        }
+        loop {
+            if self.finished {
+                if data.len() > pos {
+                    return Err(CodecError::BadField("data after end-of-stream trailer".into()));
+                }
+                break;
+            }
+            let avail = &data[pos..];
+            if avail.len() < 16 {
+                break;
+            }
+            let n_events = rd_u32(avail, 8) as usize;
+            let payload_len = rd_u32(avail, 12) as usize;
+            if rd_u32(avail, 0) == u32::MAX && rd_u32(avail, 4) == u32::MAX {
+                // End-of-stream trailer; counters must match what we saw.
+                if n_events as u32 != self.events_seen as u32
+                    || payload_len as u32 != self.blocks_seen as u32
+                {
+                    return Err(CodecError::BadField("end-of-stream counter mismatch".into()));
+                }
+                pos += 16;
+                self.finished = true;
+                continue;
+            }
+            let frame_len = 16 + n_events * 8 + payload_len;
+            if avail.len() < frame_len {
+                break;
+            }
+            let location = Location {
+                rank: Rank(rd_u32(avail, 0)),
+                thread: ThreadId(rd_u32(avail, 4)),
+            };
+            let times_end = 16 + n_events * 8;
+            sink.frame(
+                location,
+                &avail[16..times_end],
+                &avail[times_end..frame_len],
+                n_events,
+            )?;
+            self.events_seen += n_events as u64;
+            self.blocks_seen += 1;
+            pos += frame_len;
+        }
+        Ok(pos)
+    }
+
+    /// Declare end of stream. Errors with [`CodecError::Truncated`] unless
+    /// the end-of-stream trailer was decoded — any stream cut mid-frame,
+    /// between frames, or before the trailer is reported here.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.finished {
+            Ok(())
+        } else {
+            Err(CodecError::Truncated)
+        }
+    }
+}
+
+/// Accumulates [`TimelineBlock`]s into a trace (and its timestamp
+/// columns), merging blocks of the same location in arrival order — the
+/// inverse of the encoder's block split.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    cols: Vec<TimeColumn>,
+    index: std::collections::HashMap<Location, usize>,
+}
+
+impl TraceBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Index of the timeline for `location`, created on first sight
+    /// (timelines keep first-seen order).
+    fn timeline(&mut self, location: Location) -> usize {
+        *self.index.entry(location).or_insert_with(|| {
+            self.trace.procs.push(ProcessTrace::new(location));
+            self.cols.push(TimeColumn::new());
+            self.trace.procs.len() - 1
+        })
+    }
+
+    /// Append a decoded block to its timeline.
+    pub fn push_block(&mut self, block: TimelineBlock) {
+        let p = self.timeline(block.location);
+        let pt = &mut self.trace.procs[p];
+        pt.events.reserve(block.kinds.len());
+        for (&ps, kind) in block.times.as_slice().iter().zip(block.kinds) {
+            pt.events.push(EventRecord::new(Time::from_ps(ps), kind));
+        }
+        self.cols[p].extend_from_ps(block.times.as_slice());
+    }
+
+    /// Decode one block frame straight into its timeline — the zero-copy
+    /// ingest path behind [`StreamDecoder::feed_into`]. One pass builds
+    /// the event records and the timestamp column together; nothing is
+    /// allocated per block.
+    fn push_frame(
+        &mut self,
+        location: Location,
+        times_be: &[u8],
+        payload: &[u8],
+        n_events: usize,
+    ) -> Result<(), CodecError> {
+        let p = self.timeline(location);
+        let pt = &mut self.trace.procs[p];
+        pt.events.reserve(n_events);
+        let col = &mut self.cols[p];
+        // Bulk-decode the timestamp segment into the column, then build
+        // the interleaved records off the freshly decoded tail.
+        let start = col.len();
+        col.extend_from_be_bytes(times_be);
+        let times = &col.as_slice()[start..];
+        let mut at = 0usize;
+        for &ps in times {
+            let kind = decode_one_kind(payload, &mut at)?;
+            pt.events.push(EventRecord::new(Time::from_ps(ps), kind));
+        }
+        if at != payload.len() {
+            return Err(CodecError::BadField("block payload length".into()));
+        }
+        Ok(())
+    }
+
+    /// Events accumulated so far.
+    pub fn n_events(&self) -> usize {
+        self.trace.n_events()
+    }
+
+    /// Finish into a plain trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    /// Finish into the trace plus its gathered timestamp columns — the
+    /// ready-to-run input of the columnar pipeline, produced during decode
+    /// with no separate gather pass.
+    pub fn finish_parts(self) -> (Trace, TraceColumns) {
+        (self.trace, TraceColumns::from_columns(self.cols))
+    }
+}
+
+/// Decode the columnar format in one call (convenience wrapper around
+/// [`StreamDecoder`] + [`TraceBuilder`]).
+pub fn from_binary_columnar(buf: Bytes) -> Result<Trace, CodecError> {
+    let mut dec = StreamDecoder::new();
+    let mut builder = TraceBuilder::new();
+    dec.feed_into(&buf, &mut builder)?;
+    dec.finish()?;
+    Ok(builder.finish())
 }
 
 #[cfg(test)]
@@ -434,6 +1003,190 @@ mod tests {
     fn text_rejects_unknown_mnemonic() {
         assert!(matches!(
             from_text("0:0 100 BOGUS 1"),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn text_writer_matches_to_text() {
+        let t = sample_trace();
+        let mut sink = Vec::new();
+        to_text_writer(&t, &mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), to_text(&t));
+    }
+
+    #[test]
+    fn columnar_round_trip_various_block_sizes() {
+        let t = sample_trace();
+        for block in [1, 2, 3, 8192] {
+            let b = to_binary_columnar_blocked(&t, block);
+            let back = from_binary_columnar(b).unwrap();
+            assert!(traces_equal(&t, &back), "block size {block}");
+        }
+    }
+
+    #[test]
+    fn columnar_preserves_empty_timelines() {
+        let mut t = Trace::for_ranks(3);
+        t.procs[1].push(Time::from_ns(10), EventKind::Enter { region: RegionId(0) });
+        let back = from_binary_columnar(to_binary_columnar(&t)).unwrap();
+        assert!(traces_equal(&t, &back));
+    }
+
+    #[test]
+    fn streaming_decode_equals_full_decode_any_chunk_size() {
+        let t = sample_trace();
+        let b = to_binary_columnar_blocked(&t, 2);
+        for chunk_size in [1, 3, 7, 16, 64, b.len()] {
+            let mut dec = StreamDecoder::new();
+            let mut builder = TraceBuilder::new();
+            for chunk in b.chunks(chunk_size) {
+                for block in dec.feed(chunk).unwrap() {
+                    builder.push_block(block);
+                }
+            }
+            dec.finish().unwrap();
+            let (back, cols) = builder.finish_parts();
+            assert!(traces_equal(&t, &back), "chunk size {chunk_size}");
+            assert_eq!(cols.n_events(), t.n_events());
+            for (id, e) in t.iter_events() {
+                assert_eq!(cols.time(id), e.time);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_detects_truncation_at_every_boundary() {
+        let t = sample_trace();
+        let b = to_binary_columnar_blocked(&t, 2);
+        // Any proper prefix must fail with Truncated (never panic): either
+        // feed() trips over a broken frame or finish() reports the stub.
+        for cut in 0..b.len() {
+            let mut dec = StreamDecoder::new();
+            let outcome = dec
+                .feed(&b[..cut])
+                .map(drop)
+                .and_then(|()| dec.finish());
+            assert_eq!(
+                outcome,
+                Err(CodecError::Truncated),
+                "cut at {cut}/{} not detected",
+                b.len()
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xdeadbeef);
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(
+            dec.feed(&buf.freeze()),
+            Err(CodecError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn columnar_rejects_unknown_kind_code() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4332);
+        // One block, one event, payload = bogus kind code + 4 arg bytes.
+        buf.put_u32(0); // rank
+        buf.put_u32(0); // thread
+        buf.put_u32(1); // n_events
+        buf.put_u32(5); // payload_len
+        buf.put_i64(42); // timestamp column
+        buf.put_u8(200); // unknown kind code
+        buf.put_u32(0);
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(
+            dec.feed(&buf.freeze()),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn columnar_rejects_unknown_coll_code() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4332);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(1);
+        buf.put_u32(22); // CollBegin payload size
+        buf.put_i64(42);
+        buf.put_u8(4); // CollBegin
+        buf.put_u8(99); // unknown collective op
+        buf.put_u32(0);
+        buf.put_i64(-1);
+        buf.put_u64(8);
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(
+            dec.feed(&buf.freeze()),
+            Err(CodecError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn columnar_rejects_payload_length_mismatch() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4332);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(1);
+        buf.put_u32(7); // too long for one Enter record (5 bytes)
+        buf.put_i64(42);
+        buf.put_u8(0); // Enter
+        buf.put_u32(1); // region
+        buf.put_u8(0); // 2 bytes of trailing garbage
+        buf.put_u8(0);
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(
+            dec.feed(&buf.freeze()),
+            Err(CodecError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn v1_truncation_at_every_boundary_returns_truncated() {
+        let t = sample_trace();
+        let b = to_binary(&t);
+        for cut in 0..b.len() {
+            match from_binary(b.slice(..cut)) {
+                Err(CodecError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v1_rejects_unknown_kind_and_coll_codes() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4c31);
+        buf.put_u32(1);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(1);
+        buf.put_i64(42);
+        buf.put_u8(250); // unknown kind code
+        assert!(matches!(
+            from_binary(buf.freeze()),
+            Err(CodecError::UnknownKind(_))
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4c31);
+        buf.put_u32(1);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(1);
+        buf.put_i64(42);
+        buf.put_u8(5); // CollEnd
+        buf.put_u8(77); // unknown collective op
+        buf.put_u32(0);
+        buf.put_i64(-1);
+        buf.put_u64(8);
+        assert!(matches!(
+            from_binary(buf.freeze()),
             Err(CodecError::UnknownKind(_))
         ));
     }

@@ -19,6 +19,7 @@
 
 pub mod analysis;
 pub mod archive;
+pub mod column;
 pub mod diff;
 pub mod event;
 pub mod ids;
@@ -34,6 +35,7 @@ pub use analysis::{
     match_collectives, match_messages, match_parallel_regions, CollMember, CollectiveInstance,
     Matching, MessageMatch, ParallelRegion, RegionThread,
 };
+pub use column::{TimeColumn, TimeSource, TraceColumns};
 pub use event::{CollFlavor, CollOp, EventKind, EventRecord};
 pub use ids::{CommId, EventId, Location, Rank, RegionId, Tag, ThreadId};
 pub use profile::{profile, KindCounts, TraceProfile};
@@ -44,6 +46,7 @@ pub use render::{render_timeline, RenderOptions};
 pub use stats::{fit_line, percentile, LineFit, Summary};
 pub use trace::{ProcessTrace, Trace};
 pub use violation::{
-    check_collectives, check_p2p, check_p2p_messages, check_pomp, CollReport, LatencyTable,
-    MinLatency, P2pReport, PompReport, UniformLatency, ViolatedMessage,
+    check_collectives, check_collectives_at, check_p2p, check_p2p_messages,
+    check_p2p_messages_at, check_pomp, check_pomp_at, CollReport, LatencyTable, MinLatency,
+    P2pReport, PompReport, UniformLatency, ViolatedMessage,
 };

@@ -17,6 +17,7 @@
 //! percentages the paper plots.
 
 use crate::analysis::{CollectiveInstance, Matching, MessageMatch, ParallelRegion};
+use crate::column::TimeSource;
 use crate::event::CollFlavor;
 use crate::ids::{EventId, Rank};
 use crate::trace::Trace;
@@ -143,13 +144,25 @@ pub fn check_p2p_messages(
     messages: &[MessageMatch],
     lmin: &dyn MinLatency,
 ) -> P2pReport {
+    check_p2p_messages_at(trace, messages, lmin)
+}
+
+/// [`check_p2p_messages`] over any timestamp layout — the same census runs
+/// on an AoS [`Trace`] or a columnar
+/// [`TraceColumns`](crate::column::TraceColumns), producing bit-identical
+/// reports.
+pub fn check_p2p_messages_at<S: TimeSource + ?Sized>(
+    times: &S,
+    messages: &[MessageMatch],
+    lmin: &dyn MinLatency,
+) -> P2pReport {
     let mut report = P2pReport {
         total: messages.len(),
         ..P2pReport::default()
     };
     for m in messages {
-        let ts = trace.time(m.send);
-        let tr = trace.time(m.recv);
+        let ts = times.time_of(m.send);
+        let tr = times.time_of(m.recv);
         let bound = lmin.l_min(m.from, m.to);
         let transfer = tr - ts;
         if transfer < bound {
@@ -216,6 +229,16 @@ pub fn check_collectives(
     instances: &[CollectiveInstance],
     lmin: &dyn MinLatency,
 ) -> CollReport {
+    check_collectives_at(trace, instances, lmin)
+}
+
+/// [`check_collectives`] over any timestamp layout (AoS trace or columnar
+/// store) — bit-identical reports either way.
+pub fn check_collectives_at<S: TimeSource + ?Sized>(
+    times: &S,
+    instances: &[CollectiveInstance],
+    lmin: &dyn MinLatency,
+) -> CollReport {
     let mut report = CollReport {
         instances: instances.len(),
         ..CollReport::default()
@@ -237,30 +260,30 @@ pub fn check_collectives(
         match inst.op.flavor() {
             CollFlavor::OneToN => {
                 if let Some(root) = inst.root_member().copied() {
-                    let t_root = trace.time(root.begin);
+                    let t_root = times.time_of(root.begin);
                     for m in &inst.members {
                         if m.rank != root.rank {
-                            check(root.rank, t_root, m.rank, trace.time(m.end));
+                            check(root.rank, t_root, m.rank, times.time_of(m.end));
                         }
                     }
                 }
             }
             CollFlavor::NToOne => {
                 if let Some(root) = inst.root_member().copied() {
-                    let t_root_end = trace.time(root.end);
+                    let t_root_end = times.time_of(root.end);
                     for m in &inst.members {
                         if m.rank != root.rank {
-                            check(m.rank, trace.time(m.begin), root.rank, t_root_end);
+                            check(m.rank, times.time_of(m.begin), root.rank, t_root_end);
                         }
                     }
                 }
             }
             CollFlavor::NToN => {
                 for a in &inst.members {
-                    let t_a = trace.time(a.begin);
+                    let t_a = times.time_of(a.begin);
                     for b in &inst.members {
                         if a.rank != b.rank {
-                            check(a.rank, t_a, b.rank, trace.time(b.end));
+                            check(a.rank, t_a, b.rank, times.time_of(b.end));
                         }
                     }
                 }
@@ -270,9 +293,9 @@ pub fn check_collectives(
                 // flows up the prefix order). Member lists are in rank
                 // order by construction.
                 for (ai, a) in inst.members.iter().enumerate() {
-                    let t_a = trace.time(a.begin);
+                    let t_a = times.time_of(a.begin);
                     for b in inst.members.iter().skip(ai + 1) {
-                        check(a.rank, t_a, b.rank, trace.time(b.end));
+                        check(a.rank, t_a, b.rank, times.time_of(b.end));
                     }
                 }
             }
@@ -326,33 +349,39 @@ impl PompReport {
 /// all events of a region must be enclosed by its fork and join, and barrier
 /// executions of all threads must overlap.
 pub fn check_pomp(trace: &Trace, regions: &[ParallelRegion]) -> PompReport {
+    check_pomp_at(trace, regions)
+}
+
+/// [`check_pomp`] over any timestamp layout (AoS trace or columnar store)
+/// — bit-identical reports either way.
+pub fn check_pomp_at<S: TimeSource + ?Sized>(times: &S, regions: &[ParallelRegion]) -> PompReport {
     let mut report = PompReport {
         regions: regions.len(),
         ..PompReport::default()
     };
     for reg in regions {
-        let t_fork = trace.time(reg.fork);
-        let t_join = trace.time(reg.join);
+        let t_fork = times.time_of(reg.fork);
+        let t_join = times.time_of(reg.join);
         let mut entry = false;
         let mut exit = false;
         let mut bar_enter_max = None::<simclock::Time>;
         let mut bar_exit_min = None::<simclock::Time>;
         for th in &reg.threads {
-            let events = &trace.procs[th.proc].events;
-            for e in &events[th.first as usize..=th.last as usize] {
-                if e.time < t_fork {
+            for i in th.first as usize..=th.last as usize {
+                let t = times.time_of(EventId::new(th.proc, i));
+                if t < t_fork {
                     entry = true;
                 }
-                if e.time > t_join {
+                if t > t_join {
                     exit = true;
                 }
             }
             if let Some(be) = th.barrier_enter {
-                let t = trace.time(be);
+                let t = times.time_of(be);
                 bar_enter_max = Some(bar_enter_max.map_or(t, |m| m.max(t)));
             }
             if let Some(bx) = th.barrier_exit {
-                let t = trace.time(bx);
+                let t = times.time_of(bx);
                 bar_exit_min = Some(bar_exit_min.map_or(t, |m| m.min(t)));
             }
         }

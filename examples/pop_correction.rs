@@ -44,6 +44,7 @@ fn main() {
         presync: PreSync::Linear,
         clc: Some(ClcParams::default()),
         parallel: Some(drift_lab::clocksync::ParallelConfig::default()),
+        ..Default::default()
     };
     let report = drift_lab::clocksync::synchronize(
         &mut tr.trace,

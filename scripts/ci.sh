@@ -4,8 +4,11 @@
 #   ./scripts/ci.sh
 #
 # 1. tier-1 (ROADMAP): release build + full test suite
-# 2. ignored stress tests (~1M-event parallel pipeline run)
-# 3. bench harnesses in check mode (each bench body runs once)
+# 2. lint gate: clippy over the whole workspace, warnings are errors
+# 3. ignored stress tests (~1M-event parallel pipeline run)
+# 4. bench harnesses in check mode (each bench body runs once); the
+#    ingest smoke run also enforces the >=1.5x chunked-ingest speedup
+#    and refreshes BENCH_ingest.json at the repo root
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +18,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lint: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> stress: cargo test -q -- --ignored"
 cargo test -q -- --ignored
 
@@ -23,5 +29,8 @@ cargo bench -p bench --bench engine -- --test
 
 echo "==> bench check: cargo bench -p bench --bench pipeline_parallel -- --test"
 cargo bench -p bench --bench pipeline_parallel -- --test
+
+echo "==> bench check: cargo bench -p bench --bench ingest -- --test"
+cargo bench -p bench --bench ingest -- --test
 
 echo "==> all gates green"

@@ -1,0 +1,155 @@
+//! Differential guarantee of the columnar storage engine: for every drift
+//! model, pre-synchronisation variant and worker count, running
+//! [`synchronize`] with [`TimestampStorage::Columnar`] must produce
+//! **bit-identical** corrected timestamps and identical violation reports
+//! to the array-of-structs engine ([`TimestampStorage::Aos`]) — and the
+//! streaming-ingest entry point [`synchronize_stream`] must reproduce the
+//! same results again from the chunked binary encoding.
+
+mod common;
+
+use common::{assert_identical, drifted_trace};
+use drift_lab::clocksync::{
+    synchronize, synchronize_stream, ClcParams, ParallelConfig, PipelineConfig, PipelineError,
+    PreSync, TimestampStorage,
+};
+use drift_lab::tracefmt::io::to_binary_columnar_blocked;
+
+/// Comparable census totals without requiring PartialEq on reports.
+fn totals(r: &drift_lab::clocksync::StageReport) -> (usize, usize, usize) {
+    (
+        r.p2p.violations.len(),
+        r.p2p.reversed,
+        r.coll.logical_violated,
+    )
+}
+
+/// The full matrix: drift models × PreSync variants × worker counts. The
+/// AoS engine is the reference; the columnar engine must reproduce it bit
+/// for bit — corrected timestamps, violation lists and CLC jumps.
+#[test]
+fn columnar_is_bit_identical_across_the_config_matrix() {
+    let sizes: &[(usize, usize)] = &[(3, 60), (5, 400), (8, 1500)];
+    let models = ["constant", "sinusoid", "randomwalk"];
+    let presyncs = [PreSync::None, PreSync::AlignOnly, PreSync::Linear];
+    for (si, &(procs, msgs)) in sizes.iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            let seed = 9000 + (si * 10 + mi) as u64;
+            let (base, init, fin, lmin) = drifted_trace(procs, msgs, model, seed);
+            for presync in presyncs {
+                for workers in [None, Some(1usize), Some(2), Some(8)] {
+                    let ctx = format!(
+                        "{procs}p/{msgs}m {model} {presync:?} workers={workers:?}"
+                    );
+                    let parallel =
+                        workers.map(|w| ParallelConfig { workers: w, shard_size: 37 });
+                    let cfg_aos = PipelineConfig {
+                        presync,
+                        clc: Some(ClcParams::default()),
+                        parallel,
+                        storage: TimestampStorage::Aos,
+                    };
+                    let cfg_col = PipelineConfig {
+                        storage: TimestampStorage::Columnar,
+                        ..cfg_aos.clone()
+                    };
+                    let mut aos_trace = base.clone();
+                    let aos = synchronize(&mut aos_trace, &init, Some(&fin), &lmin, &cfg_aos)
+                        .unwrap_or_else(|e| panic!("{ctx}: AoS pipeline failed: {e}"));
+                    let mut col_trace = base.clone();
+                    let col = synchronize(&mut col_trace, &init, Some(&fin), &lmin, &cfg_col)
+                        .unwrap_or_else(|e| panic!("{ctx}: columnar pipeline failed: {e}"));
+
+                    assert_identical(&aos_trace, &col_trace, &ctx);
+                    assert_eq!(
+                        aos.raw.p2p.violations, col.raw.p2p.violations,
+                        "{ctx}: raw p2p violation lists diverge"
+                    );
+                    assert_eq!(
+                        totals(&aos.after_presync),
+                        totals(&col.after_presync),
+                        "{ctx}: presync census diverges"
+                    );
+                    assert_eq!(
+                        aos.after_clc.as_ref().map(totals),
+                        col.after_clc.as_ref().map(totals),
+                        "{ctx}: post-CLC census diverges"
+                    );
+                    assert_eq!(
+                        aos.clc.as_ref().map(|c| c.n_jumps()),
+                        col.clc.as_ref().map(|c| c.n_jumps()),
+                        "{ctx}: CLC jump counts diverge"
+                    );
+                    // The columnar engine reports its layout conversions.
+                    assert!(col.stats.stage("gather").is_some(), "{ctx}: no gather stage");
+                    assert!(col.stats.stage("scatter").is_some(), "{ctx}: no scatter stage");
+                    assert!(aos.stats.stage("gather").is_none(), "{ctx}: AoS gathered");
+                }
+            }
+        }
+    }
+}
+
+/// Streaming ingest end-to-end: encode the drifted trace into the blocked
+/// columnar binary format, feed it through [`synchronize_stream`] in small
+/// chunks, and require bit-identity with the in-memory pipeline run — plus
+/// an `"ingest"` stage (and no `"gather"` stage, since the decoder's
+/// columns feed the engine directly).
+#[test]
+fn streamed_ingest_matches_in_memory_pipeline() {
+    for (model, chunk) in [("constant", 7usize), ("sinusoid", 64), ("randomwalk", 4096)] {
+        let (base, init, fin, lmin) = drifted_trace(6, 900, model, 31337);
+        let cfg = PipelineConfig {
+            parallel: Some(ParallelConfig { workers: 4, shard_size: 128 }),
+            ..PipelineConfig::default()
+        };
+        let mut mem_trace = base.clone();
+        let mem = synchronize(&mut mem_trace, &init, Some(&fin), &lmin, &cfg)
+            .expect("in-memory pipeline runs");
+
+        let bytes = to_binary_columnar_blocked(&base, 256);
+        let (stream_trace, stream) = synchronize_stream(
+            bytes.chunks(chunk),
+            &init,
+            Some(&fin),
+            &lmin,
+            &cfg,
+        )
+        .expect("streamed pipeline runs");
+
+        let ctx = format!("{model} chunk={chunk}");
+        assert_identical(&mem_trace, &stream_trace, &ctx);
+        assert_eq!(
+            mem.after_clc.as_ref().map(totals),
+            stream.after_clc.as_ref().map(totals),
+            "{ctx}: post-CLC census diverges"
+        );
+        let ingest = stream.stats.stage("ingest").expect("ingest stage recorded");
+        assert_eq!(ingest.items, base.n_events(), "{ctx}: ingest event accounting");
+        assert!(ingest.shards > 0, "{ctx}: ingest block accounting");
+        assert!(
+            stream.stats.stage("gather").is_none(),
+            "{ctx}: decoder columns must skip the gather stage"
+        );
+    }
+}
+
+/// A truncated stream must surface as a codec error from the pipeline, not
+/// a panic or a silently shorter trace.
+#[test]
+fn streamed_ingest_rejects_truncated_input() {
+    let (base, init, fin, lmin) = drifted_trace(3, 100, "constant", 7);
+    let bytes = to_binary_columnar_blocked(&base, 64);
+    let cut = &bytes[..bytes.len() - 1];
+    let err = synchronize_stream(
+        cut.chunks(16),
+        &init,
+        Some(&fin),
+        &lmin,
+        &PipelineConfig::default(),
+    );
+    assert!(
+        matches!(err, Err(PipelineError::Codec(_))),
+        "expected a codec error, got {err:?}"
+    );
+}

@@ -99,7 +99,8 @@ fn full_pipeline_on_probed_measurements() {
             presync: PreSync::Linear,
             clc: Some(ClcParams::default()),
             parallel: None,
-        },
+            ..Default::default()
+},
     )
     .unwrap();
 

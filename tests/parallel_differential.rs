@@ -2,175 +2,14 @@
 //! drift model, pre-synchronisation variant and worker count, the parallel
 //! execution path of [`synchronize`] must produce **bit-identical**
 //! corrected timestamps and identical violation reports to the sequential
-//! path.
-//!
-//! The traces here are generated the way real violations arise: messages
-//! and barriers are laid out on a *true* timeline, then each process's
-//! recorded timestamps are corrupted by a simclock drift model (constant
-//! rate error, thermal sinusoid, or random-walk wander). Offset
-//! measurements handed to the pipeline carry a small asymmetric probe
-//! error, so interpolation stays imperfect and the CLC has real work to do.
+//! path. (The fixture generator lives in `tests/common/mod.rs`.)
 
+mod common;
+
+use common::{assert_identical, drifted_trace};
 use drift_lab::clocksync::{
-    synchronize, ClcParams, OffsetMeasurement, ParallelConfig, PipelineConfig, PreSync,
+    synchronize, ClcParams, ParallelConfig, PipelineConfig, PreSync,
 };
-use drift_lab::simclock::{
-    ConstantDrift, DriftModel, RandomWalkDrift, SinusoidalDrift,
-};
-use drift_lab::prelude::*;
-use drift_lab::tracefmt::{CollOp, CommId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-// ------------------------------------------------------------- generator --
-
-/// Per-process clock: a static offset plus an integrated drift error.
-struct ProcClock {
-    offset_us: i64,
-    drift: Option<Box<dyn DriftModel>>,
-}
-
-impl ProcClock {
-    /// Local clock reading at true time `true_us` (microseconds).
-    fn local_at(&self, true_us: i64) -> i64 {
-        let wander_us = match &self.drift {
-            None => 0,
-            Some(d) => (d.integrated(Time::from_us(true_us)) * 1e6).round() as i64,
-        };
-        true_us + self.offset_us + wander_us
-    }
-}
-
-/// Build one clock per process. Process 0 is the (perfect) master; workers
-/// get a static offset plus the requested drift model.
-fn clocks(procs: usize, model: &str, rng: &mut StdRng) -> Vec<ProcClock> {
-    (0..procs)
-        .map(|p| {
-            if p == 0 {
-                return ProcClock { offset_us: 0, drift: None };
-            }
-            let drift: Box<dyn DriftModel> = match model {
-                "constant" => Box::new(ConstantDrift::new(rng.gen_range(-40e-6..40e-6))),
-                "sinusoid" => Box::new(SinusoidalDrift::new(
-                    rng.gen_range(1e-6..20e-6),
-                    rng.gen_range(0.5..3.0),
-                    rng.gen_range(0.0..1.0),
-                )),
-                "randomwalk" => Box::new(RandomWalkDrift::generate(
-                    rng,
-                    15e-6,
-                    0.25,
-                    // Generous horizon: the true timelines here stay well
-                    // under two minutes.
-                    240.0,
-                )),
-                other => panic!("unknown drift model {other}"),
-            };
-            ProcClock {
-                offset_us: rng.gen_range(-800i64..800),
-                drift: Some(drift),
-            }
-        })
-        .collect()
-}
-
-/// A causally valid trace on a true timeline, recorded through drifting
-/// clocks, plus init/finalize offset measurements with probe error.
-fn drifted_trace(
-    procs: usize,
-    msgs: usize,
-    model: &str,
-    seed: u64,
-) -> (
-    Trace,
-    Vec<Option<OffsetMeasurement>>,
-    Vec<Option<OffsetMeasurement>>,
-    UniformLatency,
-) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let cl = clocks(procs, model, &mut rng);
-    let lmin_us = rng.gen_range(2i64..15);
-    let mut trace = Trace::for_ranks(procs);
-    let mut now = vec![0i64; procs]; // true time per process
-    for m in 0..msgs {
-        let from = rng.gen_range(0usize..procs);
-        let to = (from + rng.gen_range(1usize..procs)) % procs;
-        let send_true = now[from] + rng.gen_range(5i64..80);
-        now[from] = send_true;
-        let recv_true = send_true.max(now[to]) + lmin_us + rng.gen_range(0i64..40);
-        now[to] = recv_true;
-        trace.procs[from].push(
-            Time::from_us(cl[from].local_at(send_true)),
-            EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 64 },
-        );
-        trace.procs[to].push(
-            Time::from_us(cl[to].local_at(recv_true)),
-            EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 64 },
-        );
-        // A barrier every 64 messages exercises the collective census
-        // (and its logical-message constraints) in both execution paths.
-        if m % 64 == 63 {
-            let enter = *now.iter().max().expect("non-empty");
-            for (p, t) in now.iter_mut().enumerate() {
-                let my_enter = enter + rng.gen_range(0i64..10);
-                let exit = my_enter + 5 + rng.gen_range(0i64..5);
-                trace.procs[p].push(
-                    Time::from_us(cl[p].local_at(my_enter)),
-                    EventKind::CollBegin {
-                        op: CollOp::Barrier,
-                        comm: CommId(0),
-                        root: None,
-                        bytes: 0,
-                    },
-                );
-                trace.procs[p].push(
-                    Time::from_us(cl[p].local_at(exit)),
-                    EventKind::CollEnd {
-                        op: CollOp::Barrier,
-                        comm: CommId(0),
-                        root: None,
-                        bytes: 0,
-                    },
-                );
-                *t = exit;
-            }
-        }
-    }
-    let end = *now.iter().max().expect("non-empty") + 100;
-    // Offset probes at init and finalize: `offset` is master − worker at
-    // the probe instant, deliberately off by a few µs of asymmetry error.
-    let measure = |p: usize, true_us: i64, err_us: i64| -> Option<OffsetMeasurement> {
-        if p == 0 {
-            return None;
-        }
-        let local = cl[p].local_at(true_us);
-        Some(OffsetMeasurement {
-            worker_time: Time::from_us(local),
-            offset: Dur::from_us(true_us - local + err_us),
-            rtt: Dur::from_us(12),
-        })
-    };
-    let errs: Vec<i64> = (0..procs).map(|_| rng.gen_range(-6i64..6)).collect();
-    let init: Vec<_> = (0..procs).map(|p| measure(p, 0, errs[p])).collect();
-    let fin: Vec<_> = (0..procs).map(|p| measure(p, end, -errs[p])).collect();
-    (trace, init, fin, UniformLatency(Dur::from_us(lmin_us)))
-}
-
-// ------------------------------------------------------------ assertions --
-
-fn assert_identical(seq: &Trace, par: &Trace, ctx: &str) {
-    assert_eq!(seq.n_procs(), par.n_procs(), "{ctx}: proc count");
-    for (p, (a, b)) in seq.procs.iter().zip(&par.procs).enumerate() {
-        assert_eq!(a.events.len(), b.events.len(), "{ctx}: proc {p} length");
-        for (i, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
-            assert_eq!(
-                ea.time, eb.time,
-                "{ctx}: proc {p} event {i} timestamps diverge"
-            );
-            assert_eq!(ea.kind, eb.kind, "{ctx}: proc {p} event {i} kinds diverge");
-        }
-    }
-}
 
 // ----------------------------------------------------------------- tests --
 
@@ -191,6 +30,7 @@ fn parallel_is_bit_identical_across_the_config_matrix() {
                     presync,
                     clc: Some(ClcParams::default()),
                     parallel: None,
+                    ..Default::default()
                 };
                 let mut seq_trace = base.clone();
                 let seq = synchronize(&mut seq_trace, &init, Some(&fin), &lmin, &cfg_seq)
@@ -240,7 +80,7 @@ fn parallel_is_bit_identical_across_the_config_matrix() {
 fn parallel_is_bit_identical_without_clc_and_with_oversized_shards() {
     let (base, init, fin, lmin) = drifted_trace(6, 700, "sinusoid", 77);
     for presync in [PreSync::AlignOnly, PreSync::Linear] {
-        let cfg_seq = PipelineConfig { presync, clc: None, parallel: None };
+        let cfg_seq = PipelineConfig { presync, clc: None, parallel: None, ..Default::default() };
         let mut seq_trace = base.clone();
         let seq = synchronize(&mut seq_trace, &init, Some(&fin), &lmin, &cfg_seq)
             .expect("sequential pipeline runs");
@@ -280,6 +120,7 @@ fn stress_million_event_parallel_pipeline() {
         presync: PreSync::Linear,
         clc: Some(ClcParams::default()),
         parallel: Some(ParallelConfig { workers: 8, shard_size: 8192 }),
+        ..Default::default()
     };
     let rep = synchronize(&mut trace, &init, Some(&fin), &lmin, &cfg)
         .expect("stress pipeline runs");

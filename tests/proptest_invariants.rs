@@ -244,6 +244,7 @@ proptest! {
                 workers,
                 shard_size: 16,
             }),
+            ..Default::default()
         };
         let rep = drift_lab::clocksync::synchronize(
             &mut t, &vec![None; n], None, &UniformLatency(lmin), &cfg,
@@ -269,6 +270,7 @@ proptest! {
             presync: PreSync::None,
             clc: Some(ClcParams::default()),
             parallel: Some(drift_lab::clocksync::ParallelConfig::default()),
+            ..Default::default()
         };
         drift_lab::clocksync::synchronize(
             &mut t, &vec![None; n], None, &UniformLatency(Dur::from_us(lmin_us)), &cfg,
@@ -294,10 +296,11 @@ proptest! {
         let cfg = drift_lab::clocksync::PipelineConfig {
             presync: PreSync::None,
             clc: None,
-            parallel: (par_flag == 1).then(|| drift_lab::clocksync::ParallelConfig {
+            parallel: (par_flag == 1).then_some(drift_lab::clocksync::ParallelConfig {
                 workers: 3,
                 shard_size: 8,
             }),
+            ..Default::default()
         };
         let rep = drift_lab::clocksync::synchronize(
             &mut t, &vec![None; n], None, &UniformLatency(Dur::from_us(lmin_us)), &cfg,
