@@ -1,20 +1,31 @@
 //! Throughput of the synchronisation pipeline on a large trace (≥100k
 //! events): the per-stage-reanalysis baseline (what the pipeline did before
 //! analysis caching — matching recomputed for every census), the cached
-//! sequential path, and the sharded parallel path.
+//! sequential path, and the sharded parallel path (CSR-lowered analysis +
+//! batched ring replay), plus an engine-level serial-vs-replay CLC
+//! comparison on the same trace.
 //!
-//! ```sh
-//! cargo bench -p bench --bench pipeline_parallel
-//! ```
+//! Run with `cargo bench -p bench --bench pipeline_parallel` (add
+//! `-- --test` for the CI smoke run: fewer repetitions, same report).
+//! Either way the events/sec summary is written to `BENCH_pipeline.json`
+//! at the repository root.
+//!
+//! The CLC speedup gate is CPU-aware: the replay engine runs one worker
+//! per process timeline, so on a single-core host the workers only
+//! time-slice one core and wall-clock parallel speedup is physically
+//! impossible — the bench then only sanity-checks that the batched replay
+//! stays within a small constant factor of serial (and records the honest
+//! numbers plus the `cpus` count in the JSON for the CI gate to interpret).
 
 use clocksync::{
-    apply_maps, controlled_logical_clock, synchronize, ClcParams, LinearInterpolation,
-    OffsetMeasurement, ParallelConfig, PipelineConfig, PreSync, TimestampMap,
+    apply_maps, controlled_logical_clock, controlled_logical_clock_parallel, synchronize,
+    ClcParams, LinearInterpolation, OffsetMeasurement, ParallelConfig, PipelineConfig, PreSync,
+    TimestampMap,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simclock::{Dur, Time};
+use std::time::{Duration, Instant};
 use tracefmt::{
     check_collectives, check_p2p, match_collectives, match_messages, EventKind, Rank, Tag,
     Trace, UniformLatency,
@@ -109,33 +120,36 @@ fn seed_style_pipeline(
     total
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let (trace, init, fin, lmin) = big_trace(7);
-    let n_events = trace.n_events() as u64;
-    assert!(n_events >= 100_000, "bench trace too small: {n_events}");
-
-    {
+/// Best-of-N wall time of `f` run on a fresh clone of `trace` each
+/// iteration (the clone is excluded from the timing; the minimum is the
+/// least noisy estimator for a deterministic workload).
+fn best_of_cloned<R>(iters: usize, trace: &Trace, mut f: impl FnMut(&mut Trace) -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
         let mut t = trace.clone();
-        let cfg = PipelineConfig {
-            presync: PreSync::Linear,
-            clc: Some(ClcParams::default()),
-            parallel: None,
-            ..Default::default()
-        };
-        let rep = synchronize(&mut t, &init, Some(&fin), &lmin, &cfg).unwrap();
-        eprintln!("{}", rep.stats.render());
+        let t0 = Instant::now();
+        let out = f(&mut t);
+        let dt = t0.elapsed();
+        std::hint::black_box(out);
+        if dt < best {
+            best = dt;
+        }
     }
+    best
+}
 
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(n_events));
+fn events_per_sec(n_events: usize, took: Duration) -> f64 {
+    n_events as f64 / took.as_secs_f64()
+}
 
-    g.bench_function("sequential_reanalysis", |b| {
-        b.iter(|| {
-            let mut t = trace.clone();
-            seed_style_pipeline(&mut t, &init, &fin, &lmin)
-        })
-    });
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters = if test_mode { 3 } else { 10 };
+
+    let (trace, init, fin, lmin) = big_trace(7);
+    let n_events = trace.n_events();
+    assert!(n_events >= 100_000, "bench trace too small: {n_events}");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let seq_cfg = PipelineConfig {
         presync: PreSync::Linear,
@@ -143,33 +157,114 @@ fn bench_pipeline(c: &mut Criterion) {
         parallel: None,
         ..Default::default()
     };
-    g.bench_function("sequential_cached", |b| {
-        b.iter(|| {
-            let mut t = trace.clone();
-            synchronize(&mut t, &init, Some(&fin), &lmin, &seq_cfg)
-                .expect("pipeline runs")
-                .after_clc
-                .expect("CLC ran")
-                .total_violations()
-        })
-    });
-
     let par_cfg = PipelineConfig {
         parallel: Some(ParallelConfig::default()),
         ..seq_cfg.clone()
     };
-    g.bench_function("parallel_sharded", |b| {
-        b.iter(|| {
-            let mut t = trace.clone();
-            synchronize(&mut t, &init, Some(&fin), &lmin, &par_cfg)
-                .expect("pipeline runs")
-                .after_clc
-                .expect("CLC ran")
-                .total_violations()
-        })
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+    // Bit-identity first: the parallel path must reproduce the sequential
+    // one exactly before its throughput means anything.
+    {
+        let mut seq = trace.clone();
+        let mut par = trace.clone();
+        let rs = synchronize(&mut seq, &init, Some(&fin), &lmin, &seq_cfg).unwrap();
+        let rp = synchronize(&mut par, &init, Some(&fin), &lmin, &par_cfg).unwrap();
+        for p in 0..seq.n_procs() {
+            assert_eq!(
+                seq.procs[p].events, par.procs[p].events,
+                "parallel pipeline diverged from sequential on proc {p}"
+            );
+        }
+        assert_eq!(
+            rs.after_clc.map(|c| c.total_violations()),
+            rp.after_clc.map(|c| c.total_violations()),
+        );
+        eprintln!("{}", rp.stats.render());
+    }
+
+    // Full-pipeline engines.
+    let t_reanalysis =
+        best_of_cloned(iters, &trace, |t| seed_style_pipeline(t, &init, &fin, &lmin));
+    let t_seq = best_of_cloned(iters, &trace, |t| {
+        synchronize(t, &init, Some(&fin), &lmin, &seq_cfg).expect("pipeline runs")
+    });
+    let t_par = best_of_cloned(iters, &trace, |t| {
+        synchronize(t, &init, Some(&fin), &lmin, &par_cfg).expect("pipeline runs")
+    });
+
+    // Engine-level CLC comparison: serial map-based reference vs CSR
+    // batched-ring replay, on identical presynced input.
+    let presynced = {
+        let mut t = trace.clone();
+        let presync_only = PipelineConfig { clc: None, ..seq_cfg.clone() };
+        synchronize(&mut t, &init, Some(&fin), &lmin, &presync_only).expect("presync runs");
+        t
+    };
+    let params = ClcParams::default();
+    let t_clc_serial = best_of_cloned(iters, &presynced, |t| {
+        controlled_logical_clock(t, &lmin, &params).expect("serial CLC runs")
+    });
+    let t_clc_par = best_of_cloned(iters, &presynced, |t| {
+        controlled_logical_clock_parallel(t, &lmin, &params).expect("parallel CLC runs")
+    });
+
+    let eps_reanalysis = events_per_sec(n_events, t_reanalysis);
+    let eps_seq = events_per_sec(n_events, t_seq);
+    let eps_par = events_per_sec(n_events, t_par);
+    let eps_clc_serial = events_per_sec(n_events, t_clc_serial);
+    let eps_clc_par = events_per_sec(n_events, t_clc_par);
+    let pipeline_speedup = eps_par / eps_seq;
+    let clc_speedup = eps_clc_par / eps_clc_serial;
+
+    println!("pipeline: {n_events} events, {PROCS} procs, {cpus} cpu(s)");
+    println!("  seed_reanalysis  {eps_reanalysis:>12.0} events/s  ({t_reanalysis:?})");
+    println!("  sequential       {eps_seq:>12.0} events/s  ({t_seq:?})");
+    println!("  parallel         {eps_par:>12.0} events/s  ({t_par:?})");
+    println!("  clc_serial       {eps_clc_serial:>12.0} events/s  ({t_clc_serial:?})");
+    println!("  clc_parallel     {eps_clc_par:>12.0} events/s  ({t_clc_par:?})");
+    println!("  parallel/sequential pipeline speedup: {pipeline_speedup:.2}x");
+    println!("  parallel/serial CLC speedup: {clc_speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"n_events\": {n_events},\n  \"procs\": {PROCS},\n  \"cpus\": {cpus},\n  \
+         \"seed_reanalysis_events_per_sec\": {eps_reanalysis:.0},\n  \
+         \"sequential_events_per_sec\": {eps_seq:.0},\n  \
+         \"parallel_events_per_sec\": {eps_par:.0},\n  \
+         \"parallel_over_sequential_speedup\": {pipeline_speedup:.3},\n  \
+         \"clc_serial_events_per_sec\": {eps_clc_serial:.0},\n  \
+         \"clc_parallel_events_per_sec\": {eps_clc_par:.0},\n  \
+         \"clc_parallel_over_serial_speedup\": {clc_speedup:.3}\n}}\n",
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}");
+
+    // The cached pipeline must beat the reanalysis baseline outright —
+    // that regression gate is CPU-independent.
+    assert!(
+        eps_seq / eps_reanalysis >= 1.2,
+        "cached pipeline must be >= 1.2x the reanalysis baseline, got {:.2}x",
+        eps_seq / eps_reanalysis
+    );
+    // The CLC speedup gate depends on real parallelism being available.
+    if cpus >= 4 {
+        assert!(
+            clc_speedup >= 1.3,
+            "parallel CLC must be >= 1.3x serial on {cpus} cpus, got {clc_speedup:.2}x"
+        );
+    } else if cpus >= 2 {
+        assert!(
+            clc_speedup >= 0.95,
+            "parallel CLC must be >= 0.95x serial on {cpus} cpus, got {clc_speedup:.2}x"
+        );
+    } else {
+        println!(
+            "  (single-cpu host: wall-clock parallel speedup impossible; \
+             sanity floor only)"
+        );
+        assert!(
+            clc_speedup >= 0.25,
+            "batched replay fell more than 4x behind serial on one cpu: {clc_speedup:.2}x"
+        );
+    }
+}

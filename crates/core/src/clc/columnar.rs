@@ -1,135 +1,56 @@
-//! CLC kernels over columnar timestamp storage.
+//! CLC kernels over columnar timestamp storage and the CSR graph.
 //!
-//! These re-implement the serial forward/backward passes and the
-//! replay-based parallel forward pass of [`super`] and [`super::parallel`]
-//! as tight loops over dense `i64` picosecond columns
-//! ([`TraceColumns`]) instead of per-record struct walks. The arithmetic
-//! is copied statement for statement, and the one structural difference —
-//! the AoS passes dispatch on `EventKind` before consulting the dependency
-//! maps, the columnar passes consult the maps directly — cannot change
-//! behaviour: `Deps::send_of` only ever holds matched receive events and
-//! `Deps::end_info` only collective-end events, so a map hit implies
-//! exactly the kind the AoS match required, and a miss leaves the event
-//! unconstrained in both versions. Bit-identity is enforced by the
-//! differential test matrix in `tests/columnar_differential.rs`.
+//! These re-implement the serial forward/backward passes of [`super`] as
+//! tight loops over dense `i64` picosecond columns ([`TraceColumns`])
+//! driven by the flat [`DepGraph`] instead of per-record struct walks and
+//! hash-map probes. The arithmetic is copied statement for statement, and
+//! the structural differences cannot change behaviour:
+//!
+//! * the AoS passes dispatch on `EventKind` before consulting the
+//!   dependency maps; the CSR passes consult `in_of`/`out_of` directly.
+//!   Only matched receives and collective ends have in-edges, only matched
+//!   sends and collective begins out-edges, so a non-empty edge slice
+//!   implies exactly the kind the AoS match required and an empty one
+//!   leaves the event unconstrained in both versions;
+//! * the remote bound is a `max` over the same contribution set (edge
+//!   latencies are baked in at build, equal in both directions of every
+//!   edge), and `max` is order-independent — though the CSR in-edge order
+//!   equals the AoS dispatch order anyway, so even the round-robin blocking
+//!   schedule (break at the first pending producer) is preserved;
+//! * backward clamping takes a `min` over the same out-edge set against
+//!   the same post-forward snapshot.
+//!
+//! Bit-identity is enforced by this module's tests against the AoS
+//! reference and by the differential matrices in
+//! `tests/columnar_differential.rs` and `tests/csr_differential.rs`.
 
-use super::{ClcError, ClcParams, ClcReport, Deps, Jump};
-use crate::clc::parallel::CollCell;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use super::graph::DepGraph;
+use super::{ClcError, ClcParams, ClcReport, Jump};
 use simclock::{Dur, Time};
-use std::collections::HashMap;
-use tracefmt::{EventId, MinLatency, Rank, TraceColumns};
+use tracefmt::{EventId, TraceColumns};
 
-/// Serial CLC on timestamp columns: the columnar twin of
-/// [`super::controlled_logical_clock_with_deps`]. `ranks[p]` is the rank of
-/// timeline `p`.
-pub(crate) fn controlled_logical_clock_columnar_with_deps(
+/// Serial CLC on timestamp columns over the CSR graph: the columnar twin
+/// of [`super::controlled_logical_clock_with_deps`]. Latencies live on the
+/// graph edges, so no latency model is consulted here.
+pub(crate) fn controlled_logical_clock_columnar_csr(
     cols: &mut TraceColumns,
-    ranks: &[Rank],
-    deps: &Deps,
-    lmin: &(dyn MinLatency + Sync),
+    graph: &DepGraph,
     params: &ClcParams,
 ) -> Result<ClcReport, ClcError> {
     validate(params)?;
     let originals = cols.to_time_vecs();
-    let mut report = forward_pass_columnar(cols, ranks, &originals, deps, lmin, params.mu)?;
+    let mut report = forward_pass_csr(cols, graph, &originals, params.mu)?;
     if params.backward {
-        backward_amortization_columnar(cols, ranks, deps, lmin, params, &report.jumps, false);
+        backward_amortization_csr(cols, graph, params, &report.jumps, false);
         let post = cols.to_time_vecs();
-        let _ = forward_pass_columnar(cols, ranks, &post, deps, lmin, 1.0)?;
+        let _ = forward_pass_csr(cols, graph, &post, 1.0)?;
     }
     report.events_total = cols.n_events();
     report.events_moved = events_moved(cols, &originals);
     Ok(report)
 }
 
-/// Replay-based parallel CLC on timestamp columns: the columnar twin of
-/// [`super::parallel::controlled_logical_clock_parallel_with_deps`]. One
-/// worker per timeline; corrected send times flow over channels, collective
-/// begin times through shared gather cells.
-pub(crate) fn controlled_logical_clock_columnar_parallel_with_deps(
-    cols: &mut TraceColumns,
-    ranks: &[Rank],
-    deps: &Deps,
-    lmin: &(dyn MinLatency + Sync),
-    params: &ClcParams,
-) -> Result<ClcReport, ClcError> {
-    validate(params)?;
-    let n = cols.n_procs();
-
-    let mut senders: Vec<Sender<(EventId, Time)>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<(EventId, Time)>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (s, r) = unbounded();
-        senders.push(s);
-        receivers.push(Some(r));
-    }
-    let cells: Vec<CollCell> = deps
-        .insts
-        .iter()
-        .map(|i| CollCell::new(i.members.len()))
-        .collect();
-    let inst_ranks: Vec<Vec<Rank>> = deps
-        .insts
-        .iter()
-        .map(|i| i.members.iter().map(|m| m.0).collect())
-        .collect();
-
-    let originals = cols.to_time_vecs();
-
-    let mut all_jumps: Vec<Vec<Jump>> = Vec::new();
-    let cells_ref = &cells;
-    let inst_ranks_ref = &inst_ranks;
-    let originals_ref = &originals;
-    let senders_ref = &senders;
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (p, col) in cols.iter_mut_slices() {
-            let inbox = receivers[p].take().expect("inbox taken twice");
-            let my_rank = ranks[p];
-            let mu = params.mu;
-            handles.push(scope.spawn(move || {
-                replay_process_columnar(
-                    p,
-                    my_rank,
-                    col,
-                    &originals_ref[p],
-                    inbox,
-                    senders_ref,
-                    deps,
-                    cells_ref,
-                    inst_ranks_ref,
-                    lmin,
-                    mu,
-                )
-            }));
-        }
-        for h in handles {
-            all_jumps.push(h.join().expect("replay worker panicked"));
-        }
-    });
-    drop(senders);
-
-    let mut jumps: Vec<Jump> = all_jumps.into_iter().flatten().collect();
-    jumps.sort_by_key(|j| (j.event.proc, j.event.idx));
-    let max_jump = jumps.iter().map(|j| j.size).max().unwrap_or(Dur::ZERO);
-
-    if params.backward {
-        backward_amortization_columnar(cols, ranks, deps, lmin, params, &jumps, true);
-        let post = cols.to_time_vecs();
-        forward_pass_columnar(cols, ranks, &post, deps, lmin, 1.0)?;
-    }
-
-    Ok(ClcReport {
-        max_jump,
-        events_moved: events_moved(cols, &originals),
-        events_total: cols.n_events(),
-        jumps,
-    })
-}
-
-fn validate(params: &ClcParams) -> Result<(), ClcError> {
+pub(crate) fn validate(params: &ClcParams) -> Result<(), ClcError> {
     if !(params.mu > 0.0 && params.mu <= 1.0) {
         return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
     }
@@ -139,7 +60,7 @@ fn validate(params: &ClcParams) -> Result<(), ClcError> {
     Ok(())
 }
 
-fn events_moved(cols: &TraceColumns, originals: &[Vec<Time>]) -> usize {
+pub(crate) fn events_moved(cols: &TraceColumns, originals: &[Vec<Time>]) -> usize {
     cols.iter()
         .zip(originals)
         .map(|(col, orig)| {
@@ -152,15 +73,13 @@ fn events_moved(cols: &TraceColumns, originals: &[Vec<Time>]) -> usize {
         .sum()
 }
 
-/// The forward pass over columns: assign corrected times in dependency
-/// order, round-robin across timelines, exactly like
+/// The forward pass over columns and CSR in-edges: assign corrected times
+/// in dependency order, round-robin across timelines, exactly like
 /// [`super::forward_pass`].
-pub(crate) fn forward_pass_columnar(
+pub(crate) fn forward_pass_csr(
     cols: &mut TraceColumns,
-    ranks: &[Rank],
+    graph: &DepGraph,
     originals: &[Vec<Time>],
-    deps: &Deps,
-    lmin: &dyn MinLatency,
     mu: f64,
 ) -> Result<ClcReport, ClcError> {
     let n = cols.n_procs();
@@ -172,33 +91,23 @@ pub(crate) fn forward_pass_columnar(
     loop {
         let mut progressed = false;
         for p in 0..n {
+            let base = graph.base(p);
             'events: while pc[p] < cols.col(p).len() {
                 let i = pc[p];
-                let id = EventId::new(p, i);
                 let orig = originals[p][i];
-                let my_rank = ranks[p];
 
-                // Remote constraint, if any. A hit in `send_of` means this
-                // is a matched receive; a hit in `end_info` a collective
-                // end — the same dispatch the AoS pass derives from kinds.
+                // Remote constraint: max over in-edge producers, walked in
+                // dependency-dispatch order so the pass blocks on the same
+                // first pending producer as the AoS reference.
                 let mut remote: Option<Time> = None;
-                if let Some(&(send, from)) = deps.send_of.get(&id) {
-                    if send.i() >= pc[send.p()] {
-                        break 'events; // send not yet corrected
+                let (srcs, lats) = graph.in_of(base + i as u32);
+                for (&src, &lat) in srcs.iter().zip(lats) {
+                    let (q, j) = graph.locate(src);
+                    if j >= pc[q] {
+                        break 'events; // producer not yet corrected
                     }
-                    remote = Some(cols.time(send) + lmin.l_min(from, my_rank));
-                } else if let Some(&(inst_idx, pos)) = deps.end_info.get(&id) {
-                    let inst = &deps.insts[inst_idx];
-                    let mut bound: Option<Time> = None;
-                    for j in inst.deps_of_end(pos) {
-                        let (jrank, jbegin, _) = inst.members[j];
-                        if jbegin.i() >= pc[jbegin.p()] {
-                            break 'events; // dependency pending
-                        }
-                        let c = cols.time(jbegin) + lmin.l_min(jrank, my_rank);
-                        bound = Some(bound.map_or(c, |b: Time| b.max(c)));
-                    }
-                    remote = bound;
+                    let c = cols.col(q).get(j) + Dur::from_ps(lat);
+                    remote = Some(remote.map_or(c, |b: Time| b.max(c)));
                 }
 
                 // Amortized local candidate.
@@ -211,13 +120,13 @@ pub(crate) fn forward_pass_columnar(
                 let corrected = match remote {
                     Some(r) if r > candidate => {
                         let size = r - candidate;
-                        report.jumps.push(Jump { event: id, size });
+                        report.jumps.push(Jump { event: EventId::new(p, i), size });
                         report.max_jump = report.max_jump.max(size);
                         r
                     }
                     _ => candidate,
                 };
-                cols.set_time(id, corrected);
+                cols.col_mut(p).as_mut_slice()[i] = corrected.as_ps();
                 prev_orig[p] = orig;
                 prev_corr[p] = corrected;
                 pc[p] += 1;
@@ -233,21 +142,24 @@ pub(crate) fn forward_pass_columnar(
     }
 }
 
-/// Backward amortization over columns: smooth each jump over a window of
-/// preceding events, clamped against a snapshot — the columnar twin of the
-/// serial `backward_amortization` / `parallel_backward` pair. With
-/// `threaded` the per-timeline kernels run on scoped threads (timelines
-/// are independent here, so threading cannot change the result).
-fn backward_amortization_columnar(
+/// Backward amortization over columns and CSR out-edges: smooth each jump
+/// over a window of preceding events, clamped against a snapshot — the CSR
+/// twin of the serial `backward_amortization`. With `threaded` the
+/// per-timeline kernels run on scoped threads (timelines are independent
+/// here, so threading cannot change the result).
+pub(crate) fn backward_amortization_csr(
     cols: &mut TraceColumns,
-    ranks: &[Rank],
-    deps: &Deps,
-    lmin: &(dyn MinLatency + Sync),
+    graph: &DepGraph,
     params: &ClcParams,
     jumps: &[Jump],
     threaded: bool,
 ) {
-    let snapshot = cols.to_time_vecs();
+    // Flatten the snapshot by gid: backward clamping reads remote times by
+    // out-edge target, which is already a gid.
+    let mut snapshot: Vec<i64> = Vec::with_capacity(cols.n_events());
+    for col in cols.iter() {
+        snapshot.extend_from_slice(col.as_slice());
+    }
     let snapshot_ref = &snapshot;
     let mut per_proc: Vec<Vec<Jump>> = vec![Vec::new(); cols.n_procs()];
     for j in jumps {
@@ -263,43 +175,30 @@ fn backward_amortization_columnar(
                 if my_jumps.is_empty() {
                     continue;
                 }
-                let my_rank = ranks[p];
                 scope.spawn(move || {
-                    backward_pass_columnar(
-                        p, my_rank, col, &my_jumps, deps, lmin, params, snapshot_ref,
-                    );
+                    backward_pass_csr(p, col, &my_jumps, graph, params, snapshot_ref);
                 });
             }
         });
     } else {
         for (p, col) in cols.iter_mut_slices() {
-            backward_pass_columnar(
-                p,
-                ranks[p],
-                col,
-                &per_proc[p],
-                deps,
-                lmin,
-                params,
-                snapshot_ref,
-            );
+            backward_pass_csr(p, col, &per_proc[p], graph, params, snapshot_ref);
         }
     }
 }
 
-/// The per-timeline backward kernel over a raw picosecond slice — the
-/// columnar twin of [`super::backward_pass_proc`], statement for statement.
-#[allow(clippy::too_many_arguments)]
-fn backward_pass_columnar(
+/// The per-timeline backward kernel over a raw picosecond slice and CSR
+/// out-edges — the twin of [`super::backward_pass_proc`], statement for
+/// statement. `snapshot` is the post-forward trace flattened by gid.
+fn backward_pass_csr(
     p: usize,
-    my_rank: Rank,
     col: &mut [i64],
     jumps: &[Jump],
-    deps: &Deps,
-    lmin: &dyn MinLatency,
+    graph: &DepGraph,
     params: &ClcParams,
-    snapshot: &[Vec<Time>],
+    snapshot: &[i64],
 ) {
+    let base = graph.base(p);
     for jump in jumps {
         let k = jump.event.i();
         if k == 0 {
@@ -318,17 +217,10 @@ fn backward_pass_columnar(
             }
             let frac = (t_i - w_start).as_ps() as f64 / window.as_ps().max(1) as f64;
             let ramp = delta.scale(frac.clamp(0.0, 1.0));
-            let id = EventId::new(p, i);
             let mut cap = Dur::MAX;
-            if let Some(&(recv, to)) = deps.recv_of.get(&id) {
-                cap = cap.min(snapshot[recv.p()][recv.i()] - lmin.l_min(my_rank, to) - t_i);
-            }
-            if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
-                let inst = &deps.insts[inst_idx];
-                for j in inst.dependents_of_begin(pos) {
-                    let (jrank, _, jend) = inst.members[j];
-                    cap = cap.min(snapshot[jend.p()][jend.i()] - lmin.l_min(my_rank, jrank) - t_i);
-                }
+            let (dsts, lats) = graph.out_of(base + i as u32);
+            for (&dst, &lat) in dsts.iter().zip(lats) {
+                cap = cap.min(Time::from_ps(snapshot[dst as usize]) - Dur::from_ps(lat) - t_i);
             }
             let shift = ramp.min(cap).min(shift_above).max(Dur::ZERO);
             col[i] = (t_i + shift).as_ps();
@@ -340,165 +232,32 @@ fn backward_pass_columnar(
     }
 }
 
-/// The per-timeline replay worker over a raw picosecond slice — the
-/// columnar twin of `replay_process`, with dependency-map hits standing in
-/// for the kind dispatch.
-#[allow(clippy::too_many_arguments)]
-fn replay_process_columnar(
-    p: usize,
-    my_rank: Rank,
-    col: &mut [i64],
-    originals: &[Time],
-    inbox: Receiver<(EventId, Time)>,
-    senders: &[Sender<(EventId, Time)>],
-    deps: &Deps,
-    cells: &[CollCell],
-    inst_ranks: &[Vec<Rank>],
-    lmin: &(dyn MinLatency + Sync),
-    mu: f64,
-) -> Vec<Jump> {
-    let mut jumps = Vec::new();
-    let mut prev_orig = Time::MIN;
-    let mut prev_corr = Time::MIN;
-    let mut pending: HashMap<EventId, Time> = HashMap::new();
-
-    for i in 0..col.len() {
-        let id = EventId::new(p, i);
-        let orig = originals[i];
-        let mut remote: Option<Time> = None;
-        if let Some(&(_, from)) = deps.send_of.get(&id) {
-            // Wait for this recv's corrected send time.
-            let send_time = loop {
-                if let Some(t) = pending.remove(&id) {
-                    break t;
-                }
-                let (rid, t) = inbox.recv().expect("sender hung up early");
-                pending.insert(rid, t);
-            };
-            remote = Some(send_time + lmin.l_min(from, my_rank));
-        } else if let Some(&(inst_idx, pos)) = deps.end_info.get(&id) {
-            let needed: Vec<usize> = deps.insts[inst_idx].deps_of_end(pos).collect();
-            remote = cells[inst_idx].await_bound(&needed, &inst_ranks[inst_idx], my_rank, lmin);
-        }
-
-        let candidate = if i == 0 {
-            orig
-        } else {
-            let gap = (orig - prev_orig).max(Dur::ZERO);
-            orig.max(prev_corr + gap.scale(mu))
-        };
-        let corrected = match remote {
-            Some(r) if r > candidate => {
-                jumps.push(Jump { event: id, size: r - candidate });
-                r
-            }
-            _ => candidate,
-        };
-        col[i] = corrected.as_ps();
-        prev_orig = orig;
-        prev_corr = corrected;
-
-        // Publish the corrected time to whoever depends on it.
-        if let Some(&(recv, _)) = deps.recv_of.get(&id) {
-            senders[recv.p()]
-                .send((recv, corrected))
-                .expect("receiver hung up early");
-        }
-        if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
-            cells[inst_idx].deposit(pos, corrected);
-        }
-    }
-    jumps
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clc::{
-        controlled_logical_clock,
-        parallel::controlled_logical_clock_parallel_with_deps as aos_parallel, ClcParams,
-    };
-    use simclock::Time;
-    use tracefmt::{CollOp, CommId, EventKind, Tag, Trace, UniformLatency};
+    use crate::clc::{controlled_logical_clock, fixtures, ClcParams};
+    use tracefmt::{match_collectives, match_messages, Trace, UniformLatency};
 
     const LMIN: UniformLatency = UniformLatency(Dur::from_ps(4_000_000));
 
-    /// Mixed p2p + collective trace with injected skew (deterministic).
-    fn fixture(procs: usize, rounds: usize) -> Trace {
-        let mut t = Trace::for_ranks(procs);
-        let mut now = vec![0i64; procs];
-        for round in 0..rounds {
-            for (p, now_p) in now.iter_mut().enumerate() {
-                let next = (p + 1) % procs;
-                *now_p += 7 + ((round * 13 + p * 5) % 40) as i64;
-                let skew = ((p * 37) % 90) as i64 - 45;
-                t.procs[p].push(
-                    Time::from_us(*now_p + skew),
-                    EventKind::Send { to: Rank(next as u32), tag: Tag(round as u32), bytes: 8 },
-                );
-            }
-            for (p, now_p) in now.iter_mut().enumerate() {
-                let prev = (p + procs - 1) % procs;
-                *now_p += 6 + ((round * 11 + p * 3) % 30) as i64;
-                let skew = ((p * 37) % 90) as i64 - 45;
-                t.procs[p].push(
-                    Time::from_us(*now_p + skew),
-                    EventKind::Recv { from: Rank(prev as u32), tag: Tag(round as u32), bytes: 8 },
-                );
-            }
-            if round % 4 == 0 {
-                let base = *now.iter().max().unwrap();
-                for (p, now_p) in now.iter_mut().enumerate() {
-                    let skew = ((p * 37) % 90) as i64 - 45;
-                    *now_p = base + ((p * 3) % 10) as i64;
-                    t.procs[p].push(
-                        Time::from_us(*now_p + skew),
-                        EventKind::CollBegin {
-                            op: CollOp::Allreduce,
-                            comm: CommId::WORLD,
-                            root: None,
-                            bytes: 8,
-                        },
-                    );
-                    *now_p += 12 + ((p * 7) % 9) as i64;
-                    t.procs[p].push(
-                        Time::from_us(*now_p + skew),
-                        EventKind::CollEnd {
-                            op: CollOp::Allreduce,
-                            comm: CommId::WORLD,
-                            root: None,
-                            bytes: 8,
-                        },
-                    );
-                }
-            }
-        }
-        t
-    }
-
-    fn ranks_of(t: &Trace) -> Vec<Rank> {
-        t.procs.iter().map(|p| p.location.rank).collect()
+    fn graph_of(t: &Trace) -> DepGraph {
+        let matching = match_messages(t);
+        let insts = match_collectives(t).unwrap();
+        DepGraph::from_trace(t, &matching, &insts, &LMIN)
     }
 
     #[test]
-    fn columnar_serial_matches_aos_serial() {
+    fn columnar_csr_serial_matches_aos_serial() {
         for (procs, rounds) in [(2, 8), (5, 17), (8, 25)] {
-            let base = fixture(procs, rounds);
+            let base = fixtures::mixed_trace(procs, rounds);
             let params = ClcParams::default();
 
             let mut aos = base.clone();
             let ra = controlled_logical_clock(&mut aos, &LMIN, &params).unwrap();
 
-            let deps = crate::clc::extract_deps(&base).unwrap();
+            let graph = graph_of(&base);
             let mut cols = TraceColumns::gather(&base);
-            let rc = controlled_logical_clock_columnar_with_deps(
-                &mut cols,
-                &ranks_of(&base),
-                &deps,
-                &LMIN,
-                &params,
-            )
-            .unwrap();
+            let rc = controlled_logical_clock_columnar_csr(&mut cols, &graph, &params).unwrap();
 
             assert_eq!(ra.n_jumps(), rc.n_jumps());
             assert_eq!(ra.max_jump, rc.max_jump);
@@ -514,52 +273,16 @@ mod tests {
     }
 
     #[test]
-    fn columnar_parallel_matches_aos_parallel() {
-        let base = fixture(6, 20);
-        let params = ClcParams::default();
-        let deps = crate::clc::extract_deps(&base).unwrap();
-
-        let mut aos = base.clone();
-        let ra = aos_parallel(&mut aos, &deps, &LMIN, &params).unwrap();
-
-        let mut cols = TraceColumns::gather(&base);
-        let rc = controlled_logical_clock_columnar_parallel_with_deps(
-            &mut cols,
-            &ranks_of(&base),
-            &deps,
-            &LMIN,
-            &params,
-        )
-        .unwrap();
-
-        assert_eq!(ra.n_jumps(), rc.n_jumps());
-        for (ja, jc) in ra.jumps.iter().zip(&rc.jumps) {
-            assert_eq!(ja.event, jc.event);
-            assert_eq!(ja.size, jc.size);
-        }
-        for (id, e) in aos.iter_events() {
-            assert_eq!(cols.time(id), e.time);
-        }
-    }
-
-    #[test]
     fn forward_only_variants_match() {
-        let base = fixture(4, 12);
+        let base = fixtures::mixed_trace(4, 12);
         let params = ClcParams { backward: false, ..ClcParams::default() };
-        let deps = crate::clc::extract_deps(&base).unwrap();
 
         let mut aos = base.clone();
         controlled_logical_clock(&mut aos, &LMIN, &params).unwrap();
 
+        let graph = graph_of(&base);
         let mut cols = TraceColumns::gather(&base);
-        controlled_logical_clock_columnar_with_deps(
-            &mut cols,
-            &ranks_of(&base),
-            &deps,
-            &LMIN,
-            &params,
-        )
-        .unwrap();
+        controlled_logical_clock_columnar_csr(&mut cols, &graph, &params).unwrap();
 
         for (id, e) in aos.iter_events() {
             assert_eq!(cols.time(id), e.time);
@@ -567,15 +290,32 @@ mod tests {
     }
 
     #[test]
+    fn local_cycle_is_reported_not_looped() {
+        use simclock::Time;
+        use tracefmt::{EventKind, Rank, Tag};
+        let mut t = Trace::for_ranks(1);
+        t.procs[0].push(
+            Time::from_us(5),
+            EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 0 },
+        );
+        t.procs[0].push(
+            Time::from_us(10),
+            EventKind::Send { to: Rank(0), tag: Tag(0), bytes: 0 },
+        );
+        let graph = graph_of(&t);
+        let mut cols = TraceColumns::gather(&t);
+        let err = controlled_logical_clock_columnar_csr(&mut cols, &graph, &ClcParams::default());
+        assert!(matches!(err, Err(ClcError::CyclicTrace)));
+    }
+
+    #[test]
     fn bad_params_rejected() {
-        let base = fixture(2, 3);
-        let deps = crate::clc::extract_deps(&base).unwrap();
+        let base = fixtures::mixed_trace(2, 3);
+        let graph = graph_of(&base);
         let mut cols = TraceColumns::gather(&base);
-        let err = controlled_logical_clock_columnar_with_deps(
+        let err = controlled_logical_clock_columnar_csr(
             &mut cols,
-            &ranks_of(&base),
-            &deps,
-            &LMIN,
+            &graph,
             &ClcParams { mu: 0.0, ..ClcParams::default() },
         );
         assert!(matches!(err, Err(ClcError::BadParams(_))));

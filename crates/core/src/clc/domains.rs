@@ -15,9 +15,11 @@
 //! domain members move *together*; a final μ=1 forward sweep restores any
 //! constraint the broadcast disturbed.
 
-use super::{controlled_logical_clock, extract_deps, forward_pass, ClcError, ClcParams, ClcReport};
+use super::columnar::forward_pass_csr;
+use super::graph::DepGraph;
+use super::{controlled_logical_clock, ClcError, ClcParams, ClcReport};
 use simclock::{Dur, Time};
-use tracefmt::{MinLatency, Trace};
+use tracefmt::{match_collectives, match_messages, MinLatency, Trace, TraceColumns};
 
 /// A decaying shift contribution: `Δ` at local time `t0`, fading at rate
 /// `decay` per second of local time.
@@ -151,14 +153,15 @@ pub fn controlled_logical_clock_with_domains(
     }
 
     // Phase 3: the broadcast may have advanced send events past their
-    // receives — a μ=1 forward sweep restores every constraint.
-    let deps = extract_deps(trace)?;
-    let post: Vec<Vec<Time>> = trace
-        .procs
-        .iter()
-        .map(|p| p.events.iter().map(|e| e.time).collect())
-        .collect();
-    let fixup = forward_pass(trace, &post, &deps, lmin, 1.0)?;
+    // receives — a μ=1 forward sweep over the CSR graph restores every
+    // constraint.
+    let matching = match_messages(trace);
+    let insts = match_collectives(trace).map_err(ClcError::BadCollectives)?;
+    let graph = DepGraph::from_trace(trace, &matching, &insts, lmin);
+    let mut cols = TraceColumns::gather(trace);
+    let post = cols.to_time_vecs();
+    let fixup = forward_pass_csr(&mut cols, &graph, &post, 1.0)?;
+    cols.scatter_into(trace);
     report.jumps.extend(fixup.jumps);
     report.max_jump = report.max_jump.max(fixup.max_jump);
     report.events_moved = trace

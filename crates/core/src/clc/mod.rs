@@ -23,8 +23,10 @@
 
 pub(crate) mod columnar;
 pub mod domains;
+pub mod graph;
 pub mod parallel;
 pub mod pomp;
+pub(crate) mod replay;
 
 use simclock::{Dur, Time};
 use tracefmt::{
@@ -505,6 +507,68 @@ pub(crate) fn backward_pass_proc(
                 break;
             }
         }
+    }
+}
+
+/// Deterministic test traces shared by the CLC engine test suites.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use simclock::Time;
+    use tracefmt::{CollOp, CommId, EventKind, Rank, Tag, Trace};
+
+    /// Mixed p2p + collective ring trace with injected per-proc skew:
+    /// each round every proc sends to its right neighbour then receives
+    /// from its left one, and every fourth round ends in an Allreduce.
+    pub fn mixed_trace(procs: usize, rounds: usize) -> Trace {
+        let mut t = Trace::for_ranks(procs);
+        let mut now = vec![0i64; procs];
+        for round in 0..rounds {
+            for (p, now_p) in now.iter_mut().enumerate() {
+                let next = (p + 1) % procs;
+                *now_p += 7 + ((round * 13 + p * 5) % 40) as i64;
+                let skew = ((p * 37) % 90) as i64 - 45;
+                t.procs[p].push(
+                    Time::from_us(*now_p + skew),
+                    EventKind::Send { to: Rank(next as u32), tag: Tag(round as u32), bytes: 8 },
+                );
+            }
+            for (p, now_p) in now.iter_mut().enumerate() {
+                let prev = (p + procs - 1) % procs;
+                *now_p += 6 + ((round * 11 + p * 3) % 30) as i64;
+                let skew = ((p * 37) % 90) as i64 - 45;
+                t.procs[p].push(
+                    Time::from_us(*now_p + skew),
+                    EventKind::Recv { from: Rank(prev as u32), tag: Tag(round as u32), bytes: 8 },
+                );
+            }
+            if round % 4 == 0 {
+                let base = *now.iter().max().unwrap();
+                for (p, now_p) in now.iter_mut().enumerate() {
+                    let skew = ((p * 37) % 90) as i64 - 45;
+                    *now_p = base + ((p * 3) % 10) as i64;
+                    t.procs[p].push(
+                        Time::from_us(*now_p + skew),
+                        EventKind::CollBegin {
+                            op: CollOp::Allreduce,
+                            comm: CommId::WORLD,
+                            root: None,
+                            bytes: 8,
+                        },
+                    );
+                    *now_p += 12 + ((p * 7) % 9) as i64;
+                    t.procs[p].push(
+                        Time::from_us(*now_p + skew),
+                        EventKind::CollEnd {
+                            op: CollOp::Allreduce,
+                            comm: CommId::WORLD,
+                            root: None,
+                            bytes: 8,
+                        },
+                    );
+                }
+            }
+        }
+        t
     }
 }
 

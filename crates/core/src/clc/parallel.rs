@@ -4,71 +4,24 @@
 //! timeline depends on other processes only through the corrected *send*
 //! times of messages it receives and the corrected *begin* times of
 //! collectives it participates in. The parallel implementation therefore
-//! re-enacts the original communication: one worker thread per process,
-//! crossbeam channels standing in for the original messages, and shared
-//! gather cells standing in for the collectives. Every thread walks its own
-//! event vector exactly like the serial pass — the outcome is bit-identical
-//! (asserted by tests).
+//! re-enacts the original communication — but where the original used one
+//! channel message per event, this one lowers the whole dependency
+//! structure into the flat CSR [`DepGraph`] first and streams corrected
+//! timestamps between workers in batched lock-free rings
+//! ([`super::replay`]), one per timeline pair. Every worker walks its own
+//! timestamp column exactly like the serial pass; the outcome is
+//! bit-identical (asserted by tests and the differential matrices).
 //!
 //! Backward amortization then runs per process against an immutable
 //! snapshot of the forward result; clamping slacks read from the snapshot
 //! are conservative (other processes' receives can only move further
 //! forward afterwards), so the postcondition survives.
 
-use super::{extract_deps, ClcError, ClcParams, ClcReport, Deps, Jump};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use simclock::{Dur, Time};
-use std::collections::HashMap;
-use tracefmt::{EventId, EventKind, MinLatency, Rank, Trace};
-
-/// One collective instance's gather cell: member begin times filled in as
-/// threads reach them.
-pub(crate) struct CollCell {
-    state: Mutex<Vec<Option<Time>>>,
-    cond: Condvar,
-}
-
-impl CollCell {
-    pub(crate) fn new(n: usize) -> Self {
-        CollCell {
-            state: Mutex::new(vec![None; n]),
-            cond: Condvar::new(),
-        }
-    }
-
-    pub(crate) fn deposit(&self, pos: usize, t: Time) {
-        let mut s = self.state.lock();
-        s[pos] = Some(t);
-        self.cond.notify_all();
-    }
-
-    /// Wait until every position in `needed` is filled; return the max of
-    /// `filled[j] + lmin(rank_j, my_rank)`.
-    pub(crate) fn await_bound(
-        &self,
-        needed: &[usize],
-        ranks: &[Rank],
-        my_rank: Rank,
-        lmin: &(dyn MinLatency + Sync),
-    ) -> Option<Time> {
-        if needed.is_empty() {
-            return None;
-        }
-        let mut s = self.state.lock();
-        loop {
-            if needed.iter().all(|&j| s[j].is_some()) {
-                let mut bound: Option<Time> = None;
-                for &j in needed {
-                    let c = s[j].expect("just checked") + lmin.l_min(ranks[j], my_rank);
-                    bound = Some(bound.map_or(c, |b: Time| b.max(c)));
-                }
-                return bound;
-            }
-            self.cond.wait(&mut s);
-        }
-    }
-}
+use super::graph::DepGraph;
+use super::replay::controlled_logical_clock_replay_csr;
+use super::{ClcError, ClcParams, ClcReport};
+use std::time::Duration;
+use tracefmt::{match_collectives, match_messages, MinLatency, Trace, TraceColumns};
 
 /// Parallel forward pass + (serial-equivalent) backward amortization.
 ///
@@ -80,238 +33,26 @@ pub fn controlled_logical_clock_parallel(
     lmin: &(dyn MinLatency + Sync),
     params: &ClcParams,
 ) -> Result<ClcReport, ClcError> {
-    let deps = extract_deps(trace)?;
-    controlled_logical_clock_parallel_with_deps(trace, &deps, lmin, params)
+    let matching = match_messages(trace);
+    let insts = match_collectives(trace).map_err(ClcError::BadCollectives)?;
+    let graph = DepGraph::from_trace(trace, &matching, &insts, lmin);
+    let (report, _wait) = controlled_logical_clock_parallel_with_graph(trace, &graph, params)?;
+    Ok(report)
 }
 
-/// [`controlled_logical_clock_parallel`] on a pre-extracted dependency
-/// structure (the pipeline shares one analysis across every stage).
-pub(crate) fn controlled_logical_clock_parallel_with_deps(
+/// [`controlled_logical_clock_parallel`] on a pre-lowered CSR graph (the
+/// pipeline shares one analysis and one lowering across every stage).
+/// Also returns the summed worker stall time, which the pipeline reports
+/// as the CLC stage's merge-wait.
+pub(crate) fn controlled_logical_clock_parallel_with_graph(
     trace: &mut Trace,
-    deps: &Deps,
-    lmin: &(dyn MinLatency + Sync),
+    graph: &DepGraph,
     params: &ClcParams,
-) -> Result<ClcReport, ClcError> {
-    if !(params.mu > 0.0 && params.mu <= 1.0) {
-        return Err(ClcError::BadParams(format!("mu = {}", params.mu)));
-    }
-    if params.backward && params.backward_window_factor <= 0.0 {
-        return Err(ClcError::BadParams("non-positive backward window".into()));
-    }
-    let n = trace.n_procs();
-
-    // Per-process inboxes for corrected send times, addressed by recv id.
-    let mut senders: Vec<Sender<(EventId, Time)>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<(EventId, Time)>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (s, r) = unbounded();
-        senders.push(s);
-        receivers.push(Some(r));
-    }
-    let cells: Vec<CollCell> = deps
-        .insts
-        .iter()
-        .map(|i| CollCell::new(i.members.len()))
-        .collect();
-    let inst_ranks: Vec<Vec<Rank>> = deps
-        .insts
-        .iter()
-        .map(|i| i.members.iter().map(|m| m.0).collect())
-        .collect();
-
-    let originals: Vec<Vec<Time>> = trace
-        .procs
-        .iter()
-        .map(|p| p.events.iter().map(|e| e.time).collect())
-        .collect();
-
-    let mut all_jumps: Vec<Vec<Jump>> = Vec::new();
-    let deps_ref = deps;
-    let cells_ref = &cells;
-    let inst_ranks_ref = &inst_ranks;
-    let originals_ref = &originals;
-    let senders_ref = &senders;
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (p, pt) in trace.procs.iter_mut().enumerate() {
-            let inbox = receivers[p].take().expect("inbox taken twice");
-            let mu = params.mu;
-            handles.push(scope.spawn(move || {
-                replay_process(
-                    p,
-                    pt,
-                    &originals_ref[p],
-                    inbox,
-                    senders_ref,
-                    deps_ref,
-                    cells_ref,
-                    inst_ranks_ref,
-                    lmin,
-                    mu,
-                )
-            }));
-        }
-        for h in handles {
-            all_jumps.push(h.join().expect("replay worker panicked"));
-        }
-    });
-    drop(senders);
-
-    let mut jumps: Vec<Jump> = all_jumps.into_iter().flatten().collect();
-    jumps.sort_by_key(|j| (j.event.proc, j.event.idx));
-    let max_jump = jumps.iter().map(|j| j.size).max().unwrap_or(Dur::ZERO);
-
-    if params.backward {
-        parallel_backward(trace, deps, lmin, params, &jumps);
-        // Safety-net μ=1 sweep, identical to the serial implementation.
-        let post: Vec<Vec<Time>> = trace
-            .procs
-            .iter()
-            .map(|p| p.events.iter().map(|e| e.time).collect())
-            .collect();
-        super::forward_pass(trace, &post, deps, lmin, 1.0)?;
-    }
-
-    let events_moved = trace
-        .procs
-        .iter()
-        .zip(&originals)
-        .map(|(p, orig)| {
-            p.events
-                .iter()
-                .zip(orig)
-                .filter(|(e, &o)| e.time != o)
-                .count()
-        })
-        .sum();
-    Ok(ClcReport {
-        max_jump,
-        events_moved,
-        events_total: trace.n_events(),
-        jumps,
-    })
-}
-
-/// The per-process replay worker: identical arithmetic to the serial
-/// forward pass, with remote times arriving over channels/cells.
-#[allow(clippy::too_many_arguments)]
-fn replay_process(
-    p: usize,
-    pt: &mut tracefmt::ProcessTrace,
-    originals: &[Time],
-    inbox: Receiver<(EventId, Time)>,
-    senders: &[Sender<(EventId, Time)>],
-    deps: &Deps,
-    cells: &[CollCell],
-    inst_ranks: &[Vec<Rank>],
-    lmin: &(dyn MinLatency + Sync),
-    mu: f64,
-) -> Vec<Jump> {
-    let my_rank = pt.location.rank;
-    let mut jumps = Vec::new();
-    let mut prev_orig = Time::MIN;
-    let mut prev_corr = Time::MIN;
-    let mut pending: HashMap<EventId, Time> = HashMap::new();
-
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..pt.events.len() {
-        let id = EventId::new(p, i);
-        let orig = originals[i];
-        let mut remote: Option<Time> = None;
-        match pt.events[i].kind {
-            EventKind::Recv { .. } => {
-                if let Some(&(_, from)) = deps.send_of.get(&id) {
-                    // Wait for this recv's corrected send time.
-                    let send_time = loop {
-                        if let Some(t) = pending.remove(&id) {
-                            break t;
-                        }
-                        let (rid, t) = inbox.recv().expect("sender hung up early");
-                        pending.insert(rid, t);
-                    };
-                    remote = Some(send_time + lmin.l_min(from, my_rank));
-                }
-            }
-            EventKind::CollEnd { .. } => {
-                if let Some(&(inst_idx, pos)) = deps.end_info.get(&id) {
-                    let needed: Vec<usize> = deps.insts[inst_idx].deps_of_end(pos).collect();
-                    remote = cells[inst_idx].await_bound(
-                        &needed,
-                        &inst_ranks[inst_idx],
-                        my_rank,
-                        lmin,
-                    );
-                }
-            }
-            _ => {}
-        }
-
-        let candidate = if i == 0 {
-            orig
-        } else {
-            let gap = (orig - prev_orig).max(Dur::ZERO);
-            orig.max(prev_corr + gap.scale(mu))
-        };
-        let corrected = match remote {
-            Some(r) if r > candidate => {
-                jumps.push(Jump { event: id, size: r - candidate });
-                r
-            }
-            _ => candidate,
-        };
-        pt.events[i].time = corrected;
-        prev_orig = orig;
-        prev_corr = corrected;
-
-        // Publish the corrected time to whoever depends on it.
-        if let Some(&(recv, _)) = deps.recv_of.get(&id) {
-            senders[recv.p()]
-                .send((recv, corrected))
-                .expect("receiver hung up early");
-        }
-        if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
-            cells[inst_idx].deposit(pos, corrected);
-        }
-    }
-    jumps
-}
-
-/// Backward amortization per process against a snapshot (see module docs
-/// for why snapshot slacks are conservative). Shares the per-process
-/// kernel with the serial implementation, so results are identical.
-fn parallel_backward(
-    trace: &mut Trace,
-    deps: &Deps,
-    lmin: &(dyn MinLatency + Sync),
-    params: &ClcParams,
-    jumps: &[Jump],
-) {
-    let snapshot: Vec<Vec<Time>> = trace
-        .procs
-        .iter()
-        .map(|p| p.events.iter().map(|e| e.time).collect())
-        .collect();
-    let snapshot_ref = &snapshot;
-    let mut per_proc: Vec<Vec<Jump>> = vec![Vec::new(); trace.n_procs()];
-    for j in jumps {
-        per_proc[j.event.p()].push(*j);
-    }
-    for list in per_proc.iter_mut() {
-        list.sort_by_key(|j| j.event.i());
-    }
-
-    std::thread::scope(|scope| {
-        for (p, pt) in trace.procs.iter_mut().enumerate() {
-            let my_jumps = std::mem::take(&mut per_proc[p]);
-            if my_jumps.is_empty() {
-                continue;
-            }
-            scope.spawn(move || {
-                super::backward_pass_proc(p, pt, &my_jumps, deps, lmin, params, snapshot_ref);
-            });
-        }
-    });
+) -> Result<(ClcReport, Duration), ClcError> {
+    let mut cols = TraceColumns::gather(trace);
+    let (report, wait) = controlled_logical_clock_replay_csr(&mut cols, graph, params)?;
+    cols.scatter_into(trace);
+    Ok((report, wait))
 }
 
 #[cfg(test)]
@@ -320,8 +61,9 @@ mod tests {
     use crate::clc::{controlled_logical_clock, ClcParams};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use simclock::{Dur, Time};
     use tracefmt::{check_collectives, check_p2p, match_collectives, match_messages, CollOp,
-        CommId, Tag, UniformLatency};
+        CommId, EventKind, Rank, Tag, UniformLatency};
 
     const LMIN: UniformLatency = UniformLatency(Dur::from_ps(4_000_000));
 

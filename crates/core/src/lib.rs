@@ -35,6 +35,7 @@ pub mod vector;
 
 pub use baselines::{AffineMap, Corridor};
 pub use clc::domains::{controlled_logical_clock_with_domains, domain_misalignment};
+pub use clc::graph::DepGraph;
 pub use clc::parallel::controlled_logical_clock_parallel;
 pub use clc::pomp::{
     controlled_logical_clock_generic, controlled_logical_clock_pomp, pomp_constraints,

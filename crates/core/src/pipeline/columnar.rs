@@ -23,23 +23,25 @@ use super::{
     census_stage, parallel, PipelineConfig, PipelineError, PipelineStats, PresyncMap,
     StageOutcomes, StageStats, TraceAnalysis,
 };
+use crate::clc::graph::DepGraph;
 use std::time::{Duration, Instant};
-use tracefmt::{LatencyTable, Rank, Trace, TraceColumns};
+use tracefmt::{LatencyTable, Trace, TraceColumns};
 
 /// Run the timestamp stages on gathered columns.
 ///
 /// `pre_cols` carries columns produced by streaming ingest (already
 /// recorded as an `"ingest"` stage); when absent, a `"gather"` stage
-/// builds them from the trace. The trace's records are only touched again
-/// by the final `"scatter"` stage.
+/// builds them from the trace. `graph` is the pre-lowered CSR dependency
+/// graph (always present when `cfg.clc` is). The trace's records are only
+/// touched again by the final `"scatter"` stage.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run(
     trace: &mut Trace,
     pre_cols: Option<TraceColumns>,
     maps: Option<Vec<PresyncMap>>,
     analysis: &TraceAnalysis,
+    graph: Option<&DepGraph>,
     table: &LatencyTable,
-    ranks: &[Rank],
     cfg: &PipelineConfig,
     stats: &mut PipelineStats,
 ) -> Result<StageOutcomes, PipelineError> {
@@ -92,26 +94,27 @@ pub(super) fn run(
         None => (None, None),
         Some(params) => {
             let t0 = Instant::now();
-            let deps = crate::clc::deps_from_parts(&analysis.matching, &analysis.instances);
+            let graph = graph.expect("graph lowered whenever the columnar CLC runs");
             // Same replay policy as the AoS engine: one replay thread per
-            // timeline only pays off with a real worker pool.
+            // timeline only pays off with a real worker pool. The replay
+            // wait is the workers' summed stall time on remote bounds.
             let replay = par.is_some_and(|p| p.effective_workers() >= 2);
-            let rep = if replay {
-                crate::clc::columnar::controlled_logical_clock_columnar_parallel_with_deps(
-                    &mut cols, ranks, &deps, table, params,
-                )
+            let (rep, wait) = if replay {
+                crate::clc::replay::controlled_logical_clock_replay_csr(&mut cols, graph, params)
+                    .map_err(PipelineError::Clc)?
             } else {
-                crate::clc::columnar::controlled_logical_clock_columnar_with_deps(
-                    &mut cols, ranks, &deps, table, params,
+                let rep = crate::clc::columnar::controlled_logical_clock_columnar_csr(
+                    &mut cols, graph, params,
                 )
-            }
-            .map_err(PipelineError::Clc)?;
+                .map_err(PipelineError::Clc)?;
+                (rep, Duration::ZERO)
+            };
             stats.stages.push(StageStats::sharded(
                 "clc",
                 n_events,
                 t0.elapsed(),
                 if replay { n } else { 1 },
-                Duration::ZERO,
+                wait,
             ));
             let census = census_stage("census:clc", &cols, analysis, table, par, stats);
             (Some(census), Some(rep))

@@ -422,19 +422,57 @@ fn synchronize_impl(
     let table = LatencyTable::freeze(lmin, &ranks);
 
     // Reconstruct the communication structure once; every census reuses it
-    // (matching is order-based, so timestamp rewrites cannot invalidate it).
+    // (matching is order-based, so timestamp rewrites cannot invalidate
+    // it). With a real worker pool the per-rank scans shard over it.
     let t0 = Instant::now();
-    let analysis = TraceAnalysis::capture(trace).map_err(PipelineError::BadTrace)?;
-    stats
-        .stages
-        .push(StageStats::sequential("match", n_events, t0.elapsed()));
+    let sharded_match = par.is_some_and(|p| p.effective_workers() >= 2);
+    let analysis = if sharded_match {
+        let (analysis, shards, wait) =
+            parallel::capture_analysis_sharded(trace, par.expect("sharded implies parallel"))
+                .map_err(PipelineError::BadTrace)?;
+        stats
+            .stages
+            .push(StageStats::sharded("match", n_events, t0.elapsed(), shards, wait));
+        analysis
+    } else {
+        let analysis = TraceAnalysis::capture(trace).map_err(PipelineError::BadTrace)?;
+        stats
+            .stages
+            .push(StageStats::sequential("match", n_events, t0.elapsed()));
+        analysis
+    };
+
+    // Lower the analysis into the CSR dependency graph whenever a CLC
+    // engine that consumes it will run (the columnar kernels and the
+    // batched replay; the sequential AoS path keeps the map-based
+    // reference implementation).
+    let replay = sharded_match;
+    let graph = if cfg.clc.is_some()
+        && (cfg.storage == TimestampStorage::Columnar || replay)
+    {
+        let t0 = Instant::now();
+        let g = crate::clc::graph::DepGraph::from_trace(
+            trace,
+            &analysis.matching,
+            &analysis.instances,
+            &table,
+        );
+        stats
+            .stages
+            .push(StageStats::sequential("lower", n_events, t0.elapsed()));
+        Some(g)
+    } else {
+        None
+    };
 
     let maps = build_presync_maps(cfg.presync, init, fin)?;
 
     let (raw, after_presync, after_clc, clc) = match cfg.storage {
-        TimestampStorage::Aos => run_aos(trace, maps, &analysis, &table, cfg, &mut stats)?,
+        TimestampStorage::Aos => {
+            run_aos(trace, maps, &analysis, graph.as_ref(), &table, cfg, &mut stats)?
+        }
         TimestampStorage::Columnar => columnar::run(
-            trace, pre_cols, maps, &analysis, &table, &ranks, cfg, &mut stats,
+            trace, pre_cols, maps, &analysis, graph.as_ref(), &table, cfg, &mut stats,
         )?,
     };
 
@@ -449,11 +487,13 @@ fn synchronize_impl(
 }
 
 /// The array-of-structs engine: every timestamp-touching stage operates on
-/// the event records in place.
+/// the event records in place. `graph` is the pre-lowered CSR dependency
+/// graph, present whenever the replay CLC will need it.
 fn run_aos(
     trace: &mut Trace,
     maps: Option<Vec<PresyncMap>>,
     analysis: &TraceAnalysis,
+    graph: Option<&crate::clc::graph::DepGraph>,
     table: &LatencyTable,
     cfg: &PipelineConfig,
     stats: &mut PipelineStats,
@@ -492,29 +532,37 @@ fn run_aos(
         None => (None, None),
         Some(params) => {
             let t0 = Instant::now();
-            // Feed the cached analysis into the CLC instead of letting it
-            // re-match the trace (matching is order-based, so the presync
-            // timestamp rewrite cannot have invalidated it).
-            let deps = crate::clc::deps_from_parts(&analysis.matching, &analysis.instances);
             // The replay-based parallel CLC runs one worker per process
-            // timeline and is bit-identical to the serial one. With a
-            // single-worker pool the replay threads would only time-slice
-            // one core, so the serial CLC is used instead — same output.
+            // timeline over the pre-lowered CSR graph and is bit-identical
+            // to the serial one. With a single-worker pool the replay
+            // threads would only time-slice one core, so the serial
+            // map-based CLC (the reference implementation) runs instead —
+            // same output. The replay wait is the workers' summed stall
+            // time on remote dependencies.
             let replay = par.is_some_and(|p| p.effective_workers() >= 2);
-            let rep = if replay {
-                crate::clc::parallel::controlled_logical_clock_parallel_with_deps(
+            let (rep, wait) = if replay {
+                let graph = graph.expect("graph lowered whenever replay runs");
+                crate::clc::parallel::controlled_logical_clock_parallel_with_graph(
+                    trace, graph, params,
+                )
+                .map_err(PipelineError::Clc)?
+            } else {
+                // Feed the cached analysis into the CLC instead of letting
+                // it re-match the trace (matching is order-based, so the
+                // presync timestamp rewrite cannot have invalidated it).
+                let deps = crate::clc::deps_from_parts(&analysis.matching, &analysis.instances);
+                let rep = crate::clc::controlled_logical_clock_with_deps(
                     trace, &deps, table, params,
                 )
-            } else {
-                crate::clc::controlled_logical_clock_with_deps(trace, &deps, table, params)
-            }
-            .map_err(PipelineError::Clc)?;
+                .map_err(PipelineError::Clc)?;
+                (rep, Duration::ZERO)
+            };
             stats.stages.push(StageStats::sharded(
                 "clc",
                 n_events,
                 t0.elapsed(),
                 if replay { n } else { 1 },
-                Duration::ZERO,
+                wait,
             ));
             let census = census_stage("census:clc", &*trace, analysis, table, par, stats);
             (Some(census), Some(rep))
@@ -702,10 +750,19 @@ mod tests {
         assert_eq!(presync.items, n_events);
         // 40 events over 2 procs in shards of 4 → 10 shards.
         assert_eq!(presync.shards, 10);
-        assert!(rep.stats.stage("match").is_some());
+        // Sharded analysis: the match stage scans every event and reports
+        // the shard count of its parallel rounds.
+        let m = rep.stats.stage("match").unwrap();
+        assert_eq!(m.items, n_events);
+        assert!(m.shards >= 2, "sharded match ran {} shard(s)", m.shards);
+        // CSR lowering runs whenever the CLC does on this path.
+        assert_eq!(rep.stats.stage("lower").unwrap().items, n_events);
+        // Replay CLC: one worker per timeline, every event replayed once.
+        let clc = rep.stats.stage("clc").unwrap();
+        assert_eq!(clc.items, n_events);
+        assert_eq!(clc.shards, t.n_procs());
         assert!(rep.stats.stage("census:raw").is_some());
         assert!(rep.stats.stage("census:presync").is_some());
-        assert!(rep.stats.stage("clc").is_some());
         assert!(rep.stats.stage("census:clc").is_some());
     }
 

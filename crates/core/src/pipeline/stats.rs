@@ -8,17 +8,27 @@ use std::time::Duration;
 pub struct StageStats {
     /// Stage name (`"match"`, `"census:raw"`, `"presync"`, ...).
     pub name: &'static str,
-    /// Work items the stage processed — events for the mapping stages,
-    /// messages + logical messages for the censuses. For sharded stages
-    /// this is the *sum of per-shard counts*, so it doubles as the shard
-    /// accounting check: it must equal the sequential item count.
+    /// Work items the stage processed — events for the mapping stages
+    /// (`"match"`, `"lower"`, `"presync"`, `"clc"`, `"gather"`/`"ingest"`,
+    /// `"scatter"`), messages + logical messages for the censuses. For
+    /// sharded stages this is the *sum of per-shard counts*, so it doubles
+    /// as the shard accounting check: it must equal the sequential item
+    /// count. Streamed runs replace `"gather"` with the `"ingest"` stage
+    /// recorded during parsing; both count every event exactly once.
     pub items: usize,
     /// Wall-clock seconds the stage took.
     pub seconds: f64,
     /// Number of shards the work was split into (1 when run sequentially).
+    /// For the replay `"clc"` stage this is the worker count — one worker
+    /// per process timeline.
     pub shards: usize,
-    /// Seconds the merge side spent blocked waiting for shard results
-    /// (0 when run sequentially).
+    /// Seconds spent blocked on cross-shard coordination (0 when run
+    /// sequentially). For fork/join stages (`"match"`, `"presync"`, the
+    /// censuses) this is the time the merging thread waited on shard
+    /// results. For the replay `"clc"` stage it is the workers' *summed*
+    /// stall time waiting on remote bounds from peer timelines — summed
+    /// across concurrent workers, so it can legitimately exceed
+    /// [`seconds`](Self::seconds).
     pub merge_wait_seconds: f64,
 }
 

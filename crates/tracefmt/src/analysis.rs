@@ -12,7 +12,7 @@
 use crate::event::{CollOp, EventKind};
 use crate::ids::{CommId, EventId, Rank, RegionId};
 use crate::trace::Trace;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// A matched point-to-point message: its send and receive events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,61 +48,78 @@ impl Matching {
     }
 }
 
+/// The FIFO queue key of message matching: `(source, destination, tag)`.
+pub type SendKey = (Rank, Rank, u32);
+
+/// Pending-send queues per [`SendKey`], in program order — the state
+/// message matching threads from its send-collection pass to its
+/// receive-consumption pass.
+pub type PendingSends = HashMap<SendKey, VecDeque<(EventId, u64)>>;
+
+/// Collect the sends of timeline `p` in program order, as
+/// `(key, send event, bytes)` triples ready to be queued into a
+/// [`PendingSends`] map. One shard of [`match_messages`]'s first pass.
+pub fn collect_sends(trace: &Trace, p: usize) -> Vec<(SendKey, EventId, u64)> {
+    let pt = &trace.procs[p];
+    let from = pt.location.rank;
+    let mut out = Vec::new();
+    for (i, e) in pt.events.iter().enumerate() {
+        if let EventKind::Send { to, tag, bytes } = e.kind {
+            out.push(((from, to, tag.0), EventId::new(p, i), bytes));
+        }
+    }
+    out
+}
+
+/// Consume pending sends with the receives of timeline `p`, in program
+/// order: matches are appended to `out.messages`, receives with no pending
+/// send to `out.unmatched_recvs`. One shard of [`match_messages`]'s second
+/// pass — when ranks are unique, every `(from, to, tag)` queue is drained
+/// by exactly one timeline, so per-timeline consumption parallelises
+/// without reordering any queue.
+pub fn consume_recvs(trace: &Trace, p: usize, pending: &mut PendingSends, out: &mut Matching) {
+    let pt = &trace.procs[p];
+    let to = pt.location.rank;
+    for (i, e) in pt.events.iter().enumerate() {
+        if let EventKind::Recv { from, tag, .. } = e.kind {
+            let recv = EventId::new(p, i);
+            match pending.get_mut(&(from, to, tag.0)).and_then(|q| q.pop_front()) {
+                Some((send, bytes)) => out.messages.push(MessageMatch {
+                    send,
+                    recv,
+                    from,
+                    to,
+                    bytes,
+                }),
+                None => out.unmatched_recvs.push(recv),
+            }
+        }
+    }
+}
+
 /// Match sends to receives by (source, destination, tag) in FIFO order.
 ///
 /// The trace's timelines are indexed by rank position in `trace.procs`;
 /// ranks referenced by `Send`/`Recv` events are resolved through each
 /// timeline's location.
 pub fn match_messages(trace: &Trace) -> Matching {
-    // Map rank -> proc index so Send{to} can be resolved.
-    let mut proc_of_rank: HashMap<Rank, usize> = HashMap::with_capacity(trace.n_procs());
-    for (p, pt) in trace.procs.iter().enumerate() {
-        proc_of_rank.insert(pt.location.rank, p);
-    }
-
-    // FIFO queues of pending sends per (from, to, tag).
-    let mut pending: HashMap<(Rank, Rank, u32), std::collections::VecDeque<(EventId, u64)>> =
-        HashMap::new();
+    // FIFO queues of pending sends per (from, to, tag), collected in
+    // per-timeline order (which is program order, the order MPI's
+    // non-overtaking rule speaks about).
+    let mut pending: PendingSends = HashMap::new();
     let mut out = Matching::default();
-
-    // First pass: collect sends in per-timeline order (which is program
-    // order, the order MPI's non-overtaking rule speaks about).
-    for (p, pt) in trace.procs.iter().enumerate() {
-        let from = pt.location.rank;
-        for (i, e) in pt.events.iter().enumerate() {
-            if let EventKind::Send { to, tag, bytes } = e.kind {
-                pending
-                    .entry((from, to, tag.0))
-                    .or_default()
-                    .push_back((EventId::new(p, i), bytes));
-            }
+    for p in 0..trace.n_procs() {
+        for (key, id, bytes) in collect_sends(trace, p) {
+            pending.entry(key).or_default().push_back((id, bytes));
         }
     }
 
     // Second pass: receives consume sends FIFO.
-    for (p, pt) in trace.procs.iter().enumerate() {
-        let to = pt.location.rank;
-        for (i, e) in pt.events.iter().enumerate() {
-            if let EventKind::Recv { from, tag, .. } = e.kind {
-                let recv = EventId::new(p, i);
-                match pending
-                    .get_mut(&(from, to, tag.0))
-                    .and_then(|q| q.pop_front())
-                {
-                    Some((send, bytes)) => out.messages.push(MessageMatch {
-                        send,
-                        recv,
-                        from,
-                        to,
-                        bytes,
-                    }),
-                    None => out.unmatched_recvs.push(recv),
-                }
-            }
-        }
+    for p in 0..trace.n_procs() {
+        consume_recvs(trace, p, &mut pending, &mut out);
     }
 
-    for q in pending.values_mut() {
+    for q in pending.values() {
         out.unmatched_sends.extend(q.iter().map(|&(id, _)| id));
     }
     out.unmatched_sends.sort();
@@ -141,6 +158,116 @@ impl CollectiveInstance {
     }
 }
 
+/// One collective call of one timeline, in call order — the unit
+/// [`collect_collective_calls`] scans out and
+/// [`assemble_collective_instances`] zips into instances.
+#[derive(Debug, Clone, Copy)]
+pub struct CollCall {
+    /// Rank of the calling timeline.
+    pub rank: Rank,
+    /// The call's `CollBegin` event.
+    pub begin: EventId,
+    /// The call's `CollEnd` event (`None` for a truncated trace).
+    pub end: Option<EventId>,
+    /// Which operation the caller recorded.
+    pub op: CollOp,
+    /// Root rank for rooted flavours.
+    pub root: Option<Rank>,
+}
+
+/// Scan timeline `p` for collective calls, grouped per communicator in
+/// call order. One shard of [`match_collectives`]'s scan pass. Errors on a
+/// `CollEnd` with no open `CollBegin` on the same communicator.
+pub fn collect_collective_calls(
+    trace: &Trace,
+    p: usize,
+) -> Result<HashMap<CommId, Vec<CollCall>>, String> {
+    let pt = &trace.procs[p];
+    let rank = pt.location.rank;
+    let mut out: HashMap<CommId, Vec<CollCall>> = HashMap::new();
+    // comm -> open call stack position for this proc.
+    let mut open: HashMap<CommId, usize> = HashMap::new();
+    for (i, e) in pt.events.iter().enumerate() {
+        match e.kind {
+            EventKind::CollBegin { op, comm, root, .. } => {
+                let list = out.entry(comm).or_default();
+                open.insert(comm, list.len());
+                list.push(CollCall {
+                    rank,
+                    begin: EventId::new(p, i),
+                    end: None,
+                    op,
+                    root,
+                });
+            }
+            EventKind::CollEnd { comm, .. } => {
+                let idx = *open
+                    .get(&comm)
+                    .ok_or_else(|| format!("CollEnd without CollBegin at proc {p}"))?;
+                out.get_mut(&comm).expect("open implies list")[idx].end = Some(EventId::new(p, i));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Zip the per-timeline call lists of one communicator into instances:
+/// the k-th call of every participating timeline belongs to instance k.
+/// `lists[p]` is timeline `p`'s call list (empty for non-participants).
+/// One shard of [`match_collectives`]'s assembly pass — communicators are
+/// independent, so they parallelise freely.
+pub fn assemble_collective_instances(
+    comm: CommId,
+    lists: &[Vec<CollCall>],
+) -> Result<Vec<CollectiveInstance>, String> {
+    let participating: Vec<usize> = (0..lists.len()).filter(|&p| !lists[p].is_empty()).collect();
+    let n_calls = participating
+        .iter()
+        .map(|&p| lists[p].len())
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(n_calls);
+    for k in 0..n_calls {
+        let mut members = Vec::new();
+        let mut op: Option<CollOp> = None;
+        let mut root: Option<Rank> = None;
+        for &p in &participating {
+            let Some(call) = lists[p].get(k) else {
+                return Err(format!("rank at proc {p} missing collective #{k} on {comm}"));
+            };
+            match op {
+                None => {
+                    op = Some(call.op);
+                    root = call.root;
+                }
+                Some(o) if o != call.op => {
+                    return Err(format!(
+                        "collective #{k} on {comm}: op mismatch {o:?} vs {:?}",
+                        call.op
+                    ));
+                }
+                _ => {}
+            }
+            let end = call.end.ok_or_else(|| {
+                format!("collective #{k} on {comm}: missing CollEnd at proc {p}")
+            })?;
+            members.push(CollMember {
+                rank: call.rank,
+                begin: call.begin,
+                end,
+            });
+        }
+        out.push(CollectiveInstance {
+            op: op.expect("non-empty instance"),
+            comm,
+            root,
+            members,
+        });
+    }
+    Ok(out)
+}
+
 /// Reconstruct collective instances: within one communicator, the k-th
 /// collective call of every rank belongs to instance k (MPI requires all
 /// ranks of a communicator to issue collectives in the same order).
@@ -149,46 +276,13 @@ impl CollectiveInstance {
 /// differs across ranks indicate a malformed trace and are reported via
 /// `Err` with the instance index.
 pub fn match_collectives(trace: &Trace) -> Result<Vec<CollectiveInstance>, String> {
-    // comm -> per-proc list of (begin, end, op, root) in call order.
-    #[derive(Clone)]
-    struct Call {
-        rank: Rank,
-        begin: EventId,
-        end: Option<EventId>,
-        op: CollOp,
-        root: Option<Rank>,
-    }
-    let mut per_comm: HashMap<CommId, Vec<Vec<Call>>> = HashMap::new();
-
-    for (p, pt) in trace.procs.iter().enumerate() {
-        let rank = pt.location.rank;
-        // comm -> open call stack position for this proc.
-        let mut open: HashMap<CommId, usize> = HashMap::new();
-        for (i, e) in pt.events.iter().enumerate() {
-            match e.kind {
-                EventKind::CollBegin { op, comm, root, .. } => {
-                    let lists = per_comm.entry(comm).or_default();
-                    if lists.len() <= p {
-                        lists.resize_with(trace.n_procs(), Vec::new);
-                    }
-                    open.insert(comm, lists[p].len());
-                    lists[p].push(Call {
-                        rank,
-                        begin: EventId::new(p, i),
-                        end: None,
-                        op,
-                        root,
-                    });
-                }
-                EventKind::CollEnd { comm, .. } => {
-                    let idx = *open
-                        .get(&comm)
-                        .ok_or_else(|| format!("CollEnd without CollBegin at proc {p}"))?;
-                    let lists = per_comm.get_mut(&comm).unwrap();
-                    lists[p][idx].end = Some(EventId::new(p, i));
-                }
-                _ => {}
-            }
+    let mut per_comm: HashMap<CommId, Vec<Vec<CollCall>>> = HashMap::new();
+    for p in 0..trace.n_procs() {
+        for (comm, list) in collect_collective_calls(trace, p)? {
+            let lists = per_comm
+                .entry(comm)
+                .or_insert_with(|| vec![Vec::new(); trace.n_procs()]);
+            lists[p] = list;
         }
     }
 
@@ -196,54 +290,7 @@ pub fn match_collectives(trace: &Trace) -> Result<Vec<CollectiveInstance>, Strin
     comms.sort();
     let mut out = Vec::new();
     for comm in comms {
-        let lists = &per_comm[&comm];
-        let participating: Vec<usize> = (0..lists.len())
-            .filter(|&p| !lists[p].is_empty())
-            .collect();
-        let n_calls = participating
-            .iter()
-            .map(|&p| lists[p].len())
-            .max()
-            .unwrap_or(0);
-        for k in 0..n_calls {
-            let mut members = Vec::new();
-            let mut op: Option<CollOp> = None;
-            let mut root: Option<Rank> = None;
-            for &p in &participating {
-                let Some(call) = lists[p].get(k) else {
-                    return Err(format!(
-                        "rank at proc {p} missing collective #{k} on {comm}"
-                    ));
-                };
-                match op {
-                    None => {
-                        op = Some(call.op);
-                        root = call.root;
-                    }
-                    Some(o) if o != call.op => {
-                        return Err(format!(
-                            "collective #{k} on {comm}: op mismatch {o:?} vs {:?}",
-                            call.op
-                        ));
-                    }
-                    _ => {}
-                }
-                let end = call.end.ok_or_else(|| {
-                    format!("collective #{k} on {comm}: missing CollEnd at proc {p}")
-                })?;
-                members.push(CollMember {
-                    rank: call.rank,
-                    begin: call.begin,
-                    end,
-                });
-            }
-            out.push(CollectiveInstance {
-                op: op.expect("non-empty instance"),
-                comm,
-                root,
-                members,
-            });
-        }
+        out.extend(assemble_collective_instances(comm, &per_comm[&comm])?);
     }
     Ok(out)
 }

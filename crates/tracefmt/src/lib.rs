@@ -32,8 +32,10 @@ pub mod trace;
 pub mod violation;
 
 pub use analysis::{
-    match_collectives, match_messages, match_parallel_regions, CollMember, CollectiveInstance,
-    Matching, MessageMatch, ParallelRegion, RegionThread,
+    assemble_collective_instances, collect_collective_calls, collect_sends, consume_recvs,
+    match_collectives, match_messages, match_parallel_regions, CollCall, CollMember,
+    CollectiveInstance, Matching, MessageMatch, ParallelRegion, PendingSends, RegionThread,
+    SendKey,
 };
 pub use column::{TimeColumn, TimeSource, TraceColumns};
 pub use event::{CollFlavor, CollOp, EventKind, EventRecord};

@@ -164,3 +164,77 @@ pub fn assert_identical(seq: &Trace, par: &Trace, ctx: &str) {
         }
     }
 }
+
+// ---------------------------------------------------- CSR edge references --
+
+/// An event-dependency edge as a comparable tuple: (src proc, src idx,
+/// dst proc, dst idx, latency in ps).
+pub type Edge = (u32, u32, u32, u32, i64);
+
+/// The edge set a communication analysis implies, built *independently* of
+/// both the CSR lowering and the CLC's internal dependency maps, straight
+/// from the paper's collective semantics (§V data-flow flavours).
+pub fn reference_edges(
+    analysis: &drift_lab::clocksync::TraceAnalysis,
+    lmin: &dyn drift_lab::tracefmt::MinLatency,
+) -> std::collections::BTreeSet<Edge> {
+    use drift_lab::tracefmt::CollFlavor;
+    let mut edges = std::collections::BTreeSet::new();
+    for m in &analysis.matching.messages {
+        edges.insert((
+            m.send.proc,
+            m.send.idx,
+            m.recv.proc,
+            m.recv.idx,
+            lmin.l_min(m.from, m.to).as_ps(),
+        ));
+    }
+    for inst in &analysis.instances {
+        let root_pos = inst
+            .root
+            .and_then(|r| inst.members.iter().position(|m| m.rank == r));
+        for (pos, me) in inst.members.iter().enumerate() {
+            // Which members' *begin* events this member's *end* waits on.
+            let feeds_me = |j: usize| match inst.op.flavor() {
+                CollFlavor::OneToN => Some(pos) != root_pos && Some(j) == root_pos,
+                CollFlavor::NToOne => Some(pos) == root_pos && Some(j) != root_pos,
+                CollFlavor::NToN => j != pos,
+                CollFlavor::Prefix => j < pos,
+            };
+            for (j, other) in inst.members.iter().enumerate() {
+                if feeds_me(j) {
+                    edges.insert((
+                        other.begin.proc,
+                        other.begin.idx,
+                        me.end.proc,
+                        me.end.idx,
+                        lmin.l_min(other.rank, me.rank).as_ps(),
+                    ));
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Collect a CSR graph's edges through both of its public views (the
+/// in-edge and out-edge iterators must describe the same relation).
+pub fn graph_edges(
+    trace: &Trace,
+    graph: &drift_lab::clocksync::DepGraph,
+) -> (
+    std::collections::BTreeSet<Edge>,
+    std::collections::BTreeSet<Edge>,
+) {
+    let mut via_in = std::collections::BTreeSet::new();
+    let mut via_out = std::collections::BTreeSet::new();
+    for (id, _) in trace.iter_events() {
+        for (src, lat) in graph.in_deps(id) {
+            via_in.insert((src.proc, src.idx, id.proc, id.idx, lat.as_ps()));
+        }
+        for (dst, lat) in graph.out_deps(id) {
+            via_out.insert((id.proc, id.idx, dst.proc, dst.idx, lat.as_ps()));
+        }
+    }
+    (via_in, via_out)
+}
