@@ -20,8 +20,8 @@
 //! [`PresyncMap::map_col`]: super::PresyncMap::map_col
 
 use super::{
-    census_stage, parallel, PipelineConfig, PipelineError, PipelineStats, PresyncMap,
-    StageOutcomes, StageStats, TraceAnalysis,
+    census_stage, parallel, CancelToken, PipelineConfig, PipelineError, PipelineStats,
+    PresyncMap, StageOutcomes, StageStats, TraceAnalysis,
 };
 use crate::clc::graph::DepGraph;
 use std::time::{Duration, Instant};
@@ -43,6 +43,7 @@ pub(super) fn run(
     graph: Option<&DepGraph>,
     table: &LatencyTable,
     cfg: &PipelineConfig,
+    cancel: &CancelToken,
     stats: &mut PipelineStats,
 ) -> Result<StageOutcomes, PipelineError> {
     let par = cfg.parallel.as_ref();
@@ -67,6 +68,7 @@ pub(super) fn run(
     let after_presync = match maps {
         None => raw.clone(),
         Some(maps) => {
+            cancel.check()?;
             let t0 = Instant::now();
             match par {
                 None => {
@@ -93,6 +95,7 @@ pub(super) fn run(
     let (after_clc, clc) = match &cfg.clc {
         None => (None, None),
         Some(params) => {
+            cancel.check()?;
             let t0 = Instant::now();
             let graph = graph.expect("graph lowered whenever the columnar CLC runs");
             // Same replay policy as the AoS engine: one replay thread per

@@ -32,12 +32,14 @@ mod parallel;
 mod stats;
 
 pub use parallel::ParallelConfig;
-pub use stats::{PipelineStats, StageStats};
+pub use stats::{PipelineStats, StageStats, StageTotals};
 
 use crate::clc::{ClcError, ClcParams, ClcReport};
 use crate::interp::{LinearInterpolation, OffsetAlignment, TimestampMap};
 use crate::offset::OffsetMeasurement;
 use simclock::Time;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tracefmt::io::{CodecError, StreamDecoder, TraceBuilder};
 use tracefmt::{
@@ -231,6 +233,9 @@ pub enum PipelineError {
     Clc(ClcError),
     /// Streaming ingest could not decode the trace bytes.
     Codec(CodecError),
+    /// The run was cancelled (or its deadline passed) at a cooperative
+    /// checkpoint; the trace may be partially rewritten.
+    Cancelled,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -240,11 +245,67 @@ impl std::fmt::Display for PipelineError {
             PipelineError::BadTrace(s) => write!(f, "bad trace: {s}"),
             PipelineError::Clc(e) => write!(f, "CLC failed: {e}"),
             PipelineError::Codec(e) => write!(f, "trace ingest failed: {e}"),
+            PipelineError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+/// Cooperative cancellation for a pipeline run: an optional shared flag
+/// (set by whoever wants the run stopped) and an optional deadline.
+///
+/// The pipeline polls the token between stages — and, on the streaming
+/// path, between input chunks — and bails out with
+/// [`PipelineError::Cancelled`] at the next checkpoint after either trips.
+/// Stages themselves run to completion, so a run stops within one stage's
+/// latency of the request; nothing is rolled back (callers that need the
+/// original timestamps keep their own copy, as [`synchronize`] mutates the
+/// trace in place regardless).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (what the plain entry points use).
+    pub fn none() -> Self {
+        CancelToken::default()
+    }
+
+    /// Attach a shared cancel flag; setting it to `true` stops the run at
+    /// the next checkpoint.
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// Attach a deadline; the run stops at the first checkpoint after it.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Has the flag been raised or the deadline passed?
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(f) = &self.flag {
+            if f.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// One cooperative checkpoint.
+    pub(crate) fn check(&self) -> Result<(), PipelineError> {
+        if self.is_cancelled() {
+            Err(PipelineError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Build the per-process pre-synchronisation maps, or `None` for
 /// `PreSync::None`.
@@ -334,7 +395,21 @@ pub fn synchronize(
     lmin: &dyn MinLatency,
     cfg: &PipelineConfig,
 ) -> Result<PipelineReport, PipelineError> {
-    synchronize_impl(trace, None, init, fin, lmin, cfg)
+    synchronize_impl(trace, None, init, fin, lmin, cfg, &CancelToken::none())
+}
+
+/// [`synchronize`] with a cooperative [`CancelToken`], polled between
+/// stages. Long-running services use this to enforce per-job deadlines and
+/// user cancellation without tearing down the worker pool.
+pub fn synchronize_with_cancel(
+    trace: &mut Trace,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+    cancel: &CancelToken,
+) -> Result<PipelineReport, PipelineError> {
+    synchronize_impl(trace, None, init, fin, lmin, cfg, cancel)
 }
 
 /// Stream-decode a columnar binary trace (the `DTC2` format of
@@ -357,10 +432,24 @@ pub fn synchronize_stream<'a>(
     lmin: &dyn MinLatency,
     cfg: &PipelineConfig,
 ) -> Result<(Trace, PipelineReport), PipelineError> {
+    synchronize_stream_with_cancel(chunks, init, fin, lmin, cfg, &CancelToken::none())
+}
+
+/// [`synchronize_stream`] with a cooperative [`CancelToken`], polled
+/// between input chunks during ingest and between pipeline stages after.
+pub fn synchronize_stream_with_cancel<'a>(
+    chunks: impl IntoIterator<Item = &'a [u8]>,
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+    cancel: &CancelToken,
+) -> Result<(Trace, PipelineReport), PipelineError> {
     let t0 = Instant::now();
     let mut decoder = StreamDecoder::new();
     let mut builder = TraceBuilder::new();
     for chunk in chunks {
+        cancel.check()?;
         decoder
             .feed_into(chunk, &mut builder)
             .map_err(PipelineError::Codec)?;
@@ -369,7 +458,7 @@ pub fn synchronize_stream<'a>(
     decoder.finish().map_err(PipelineError::Codec)?;
     let (mut trace, cols) = builder.finish_parts();
     let ingest = StageStats::sharded("ingest", cols.n_events(), t0.elapsed(), blocks, Duration::ZERO);
-    let report = synchronize_impl(&mut trace, Some((cols, ingest)), init, fin, lmin, cfg)?;
+    let report = synchronize_impl(&mut trace, Some((cols, ingest)), init, fin, lmin, cfg, cancel)?;
     Ok((trace, report))
 }
 
@@ -377,6 +466,7 @@ pub fn synchronize_stream<'a>(
 /// validate, freeze the latency table, reconstruct the communication
 /// structure, then hand the timestamp-touching stages to the configured
 /// storage engine.
+#[allow(clippy::too_many_arguments)]
 fn synchronize_impl(
     trace: &mut Trace,
     ingested: Option<(TraceColumns, StageStats)>,
@@ -384,8 +474,10 @@ fn synchronize_impl(
     fin: Option<&[Option<OffsetMeasurement>]>,
     lmin: &dyn MinLatency,
     cfg: &PipelineConfig,
+    cancel: &CancelToken,
 ) -> Result<PipelineReport, PipelineError> {
     let t_total = Instant::now();
+    cancel.check()?;
     let n = trace.n_procs();
     if init.len() != n {
         return Err(PipelineError::BadMeasurements(format!(
@@ -424,6 +516,7 @@ fn synchronize_impl(
     // Reconstruct the communication structure once; every census reuses it
     // (matching is order-based, so timestamp rewrites cannot invalidate
     // it). With a real worker pool the per-rank scans shard over it.
+    cancel.check()?;
     let t0 = Instant::now();
     let sharded_match = par.is_some_and(|p| p.effective_workers() >= 2);
     let analysis = if sharded_match {
@@ -466,13 +559,14 @@ fn synchronize_impl(
     };
 
     let maps = build_presync_maps(cfg.presync, init, fin)?;
+    cancel.check()?;
 
     let (raw, after_presync, after_clc, clc) = match cfg.storage {
-        TimestampStorage::Aos => {
-            run_aos(trace, maps, &analysis, graph.as_ref(), &table, cfg, &mut stats)?
-        }
+        TimestampStorage::Aos => run_aos(
+            trace, maps, &analysis, graph.as_ref(), &table, cfg, cancel, &mut stats,
+        )?,
         TimestampStorage::Columnar => columnar::run(
-            trace, pre_cols, maps, &analysis, graph.as_ref(), &table, cfg, &mut stats,
+            trace, pre_cols, maps, &analysis, graph.as_ref(), &table, cfg, cancel, &mut stats,
         )?,
     };
 
@@ -489,6 +583,7 @@ fn synchronize_impl(
 /// The array-of-structs engine: every timestamp-touching stage operates on
 /// the event records in place. `graph` is the pre-lowered CSR dependency
 /// graph, present whenever the replay CLC will need it.
+#[allow(clippy::too_many_arguments)]
 fn run_aos(
     trace: &mut Trace,
     maps: Option<Vec<PresyncMap>>,
@@ -496,6 +591,7 @@ fn run_aos(
     graph: Option<&crate::clc::graph::DepGraph>,
     table: &LatencyTable,
     cfg: &PipelineConfig,
+    cancel: &CancelToken,
     stats: &mut PipelineStats,
 ) -> Result<StageOutcomes, PipelineError> {
     let par = cfg.parallel.as_ref();
@@ -508,6 +604,7 @@ fn run_aos(
     let after_presync = match maps {
         None => raw.clone(),
         Some(maps) => {
+            cancel.check()?;
             let t0 = Instant::now();
             match par {
                 None => {
@@ -531,6 +628,7 @@ fn run_aos(
     let (after_clc, clc) = match &cfg.clc {
         None => (None, None),
         Some(params) => {
+            cancel.check()?;
             let t0 = Instant::now();
             // The replay-based parallel CLC runs one worker per process
             // timeline over the pre-lowered CSR graph and is bit-identical
@@ -764,6 +862,68 @@ mod tests {
         assert!(rep.stats.stage("census:raw").is_some());
         assert!(rep.stats.stage("census:presync").is_some());
         assert!(rep.stats.stage("census:clc").is_some());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run_immediately() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let fin = vec![None, measurements(-500, 10_000)];
+        let flag = Arc::new(AtomicBool::new(true));
+        let before: Vec<i64> = t.procs[1].events.iter().map(|e| e.time.as_ps()).collect();
+        let err = synchronize_with_cancel(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+            &CancelToken::none().with_flag(flag),
+        );
+        assert!(matches!(err, Err(PipelineError::Cancelled)));
+        // Cancelled at the entry checkpoint: nothing was rewritten yet.
+        let after: Vec<i64> = t.procs[1].events.iter().map(|e| e.time.as_ps()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_both_storage_engines() {
+        for storage in [TimestampStorage::Aos, TimestampStorage::Columnar] {
+            let mut t = skewed_trace();
+            let init = vec![None, measurements(-500, 0)];
+            let fin = vec![None, measurements(-500, 10_000)];
+            let cfg = PipelineConfig { storage, ..PipelineConfig::default() };
+            let err = synchronize_with_cancel(
+                &mut t,
+                &init,
+                Some(&fin),
+                &LMIN,
+                &cfg,
+                &CancelToken::none().with_deadline(Instant::now() - Duration::from_millis(1)),
+            );
+            assert!(
+                matches!(err, Err(PipelineError::Cancelled)),
+                "{storage:?}: expected Cancelled, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unarmed_token_never_cancels() {
+        let token = CancelToken::none();
+        assert!(!token.is_cancelled());
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-500, 0)];
+        let fin = vec![None, measurements(-500, 10_000)];
+        let rep = synchronize_with_cancel(
+            &mut t,
+            &init,
+            Some(&fin),
+            &LMIN,
+            &PipelineConfig::default(),
+            &token,
+        )
+        .unwrap();
+        assert_eq!(rep.after_clc.unwrap().total_violations(), 0);
     }
 
     #[test]

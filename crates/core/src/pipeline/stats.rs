@@ -1,6 +1,7 @@
 //! Pipeline instrumentation: per-stage throughput, shard accounting, and
 //! merge wait times.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Instrumentation of one pipeline stage.
@@ -70,6 +71,27 @@ impl StageStats {
     }
 }
 
+/// Cumulative item/time totals of one stage across many pipeline runs
+/// (see [`PipelineStats::fold_stage_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTotals {
+    /// Items processed across all folded runs.
+    pub items: u64,
+    /// Wall-clock seconds across all folded runs.
+    pub seconds: f64,
+}
+
+impl StageTotals {
+    /// Aggregate throughput in items per second (0 when no time accrued).
+    pub fn items_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.items as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Instrumentation of a whole [`synchronize`](crate::synchronize) run.
 ///
 /// Collected on both the sequential and the parallel path, so the two can
@@ -94,6 +116,18 @@ impl PipelineStats {
     /// Total shards across all stages.
     pub fn total_shards(&self) -> usize {
         self.stages.iter().map(|s| s.shards).sum()
+    }
+
+    /// Fold this run's stages into cumulative per-stage totals, keyed by
+    /// stage name. A long-running service calls this once per completed
+    /// job to maintain aggregate per-stage throughput (events/sec over the
+    /// service's lifetime) without retaining every report.
+    pub fn fold_stage_totals(&self, totals: &mut BTreeMap<&'static str, StageTotals>) {
+        for s in &self.stages {
+            let t = totals.entry(s.name).or_default();
+            t.items += s.items as u64;
+            t.seconds += s.seconds;
+        }
     }
 
     /// Render a compact per-stage table (used by the experiments binary).

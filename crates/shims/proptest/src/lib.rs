@@ -104,6 +104,8 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Deterministic per-test RNG: FNV-1a over the test name, so every property
 /// gets an independent, stable stream.

@@ -1,0 +1,217 @@
+//! Admission control: memory-cost estimation and the bounded priority
+//! queue.
+//!
+//! Cost estimation is deliberately cheap. For an in-memory trace the
+//! event count is already known; for a DTC2 stream the estimator runs
+//! [`estimate_columnar_stream`] — a header-only scan that reads 16 bytes
+//! per block and skips every payload — so admission never decodes (or
+//! allocates for) a stream it is about to reject.
+
+use crate::job::{JobInput, Priority};
+use std::collections::VecDeque;
+use tracefmt::io::estimate_columnar_stream;
+use tracefmt::EventRecord;
+
+/// Working-set estimate of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCost {
+    /// Estimated peak bytes the job will pin while running.
+    pub bytes: u64,
+    /// Events the estimate is based on.
+    pub events: u64,
+    /// Whether the estimate saw the whole input (a truncated stream scan
+    /// yields a lower bound; the run itself will then fail typed).
+    pub complete: bool,
+}
+
+/// Per-event working-set charge: the decoded record itself plus the
+/// columnar timestamp copy, replay scratch, and matching entries the
+/// pipeline allocates per event.
+const PER_EVENT_OVERHEAD: u64 = 32;
+
+/// Flat charge per job (queue entry, report, per-proc maps).
+const PER_JOB_BASE: u64 = 16 * 1024;
+
+/// Estimate what admitting `input` will cost, without decoding it.
+pub fn estimate_job_cost(input: &JobInput) -> JobCost {
+    let record = std::mem::size_of::<EventRecord>() as u64 + PER_EVENT_OVERHEAD;
+    match input {
+        JobInput::Trace(trace) => {
+            let events = trace.n_events() as u64;
+            JobCost {
+                bytes: PER_JOB_BASE + events * record,
+                events,
+                complete: true,
+            }
+        }
+        JobInput::Stream(chunks) => {
+            let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
+            // A stream whose headers were unreadable still occupies its
+            // own bytes; floor the event estimate on the encoded size so
+            // garbage input cannot claim to be free.
+            let events = est.events.max(est.bytes / 24);
+            JobCost {
+                bytes: PER_JOB_BASE + est.bytes + events * record,
+                events,
+                complete: est.complete,
+            }
+        }
+    }
+}
+
+/// One queued entry: the job plus its admission cost (generic so the
+/// queue is testable without a full service around it).
+#[derive(Debug)]
+pub(crate) struct Queued<T> {
+    pub(crate) job: T,
+    pub(crate) cost: u64,
+}
+
+/// A bounded, strict-priority, FIFO-within-class queue.
+///
+/// Not internally synchronized — the service wraps it in its state mutex,
+/// which it needs anyway for the condition variable.
+#[derive(Debug)]
+pub(crate) struct PriorityQueue<T> {
+    classes: [VecDeque<Queued<T>>; Priority::COUNT],
+    len: usize,
+    capacity: usize,
+}
+
+impl<T> PriorityQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        PriorityQueue {
+            classes: std::array::from_fn(|_| VecDeque::new()),
+            len: 0,
+            capacity,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Push at the back of `priority`'s class. The caller must have
+    /// checked `is_full` under the same lock.
+    pub(crate) fn push(&mut self, priority: Priority, entry: Queued<T>) {
+        debug_assert!(self.len < self.capacity);
+        self.classes[priority.index()].push_back(entry);
+        self.len += 1;
+    }
+
+    /// Pop the oldest entry of the highest non-empty class.
+    pub(crate) fn pop(&mut self) -> Option<Queued<T>> {
+        for class in self.classes.iter_mut() {
+            if let Some(entry) = class.pop_front() {
+                self.len -= 1;
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Drain everything (used at shutdown to fail queued jobs typed).
+    pub(crate) fn drain(&mut self) -> Vec<Queued<T>> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(entry) = self.pop() {
+            out.push(entry);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Time;
+    use tracefmt::io::to_binary_columnar_blocked;
+    use tracefmt::{EventKind, RegionId, Trace};
+
+    fn tiny_trace(events_per_proc: usize) -> Trace {
+        let mut t = Trace::for_ranks(2);
+        for r in 0..2 {
+            for i in 0..events_per_proc {
+                t.procs[r].push(
+                    Time::from_ps((i as i64 + 1) * 1000),
+                    EventKind::Enter { region: RegionId(1) },
+                );
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn trace_cost_scales_with_events() {
+        let small = estimate_job_cost(&JobInput::Trace(tiny_trace(10)));
+        let large = estimate_job_cost(&JobInput::Trace(tiny_trace(1000)));
+        assert_eq!(small.events, 20);
+        assert_eq!(large.events, 2000);
+        assert!(large.bytes > small.bytes);
+        assert!(small.complete && large.complete);
+    }
+
+    #[test]
+    fn stream_cost_comes_from_headers_and_flags_truncation() {
+        let trace = tiny_trace(64);
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let whole = estimate_job_cost(&JobInput::Stream(vec![bytes.to_vec()]));
+        assert_eq!(whole.events, 128);
+        assert!(whole.complete);
+
+        let cut = bytes.len() / 2;
+        let truncated = estimate_job_cost(&JobInput::Stream(vec![bytes[..cut].to_vec()]));
+        assert!(!truncated.complete);
+        assert!(truncated.bytes > 0);
+    }
+
+    #[test]
+    fn garbage_streams_are_never_free() {
+        let garbage = vec![vec![0xAB; 4096]];
+        let cost = estimate_job_cost(&JobInput::Stream(garbage));
+        assert!(!cost.complete);
+        assert!(cost.events >= 4096 / 24);
+        assert!(cost.bytes > 4096);
+    }
+
+    #[test]
+    fn pop_order_is_strict_priority_then_fifo() {
+        let mut q: PriorityQueue<u32> = PriorityQueue::new(8);
+        q.push(Priority::Low, Queued { job: 1, cost: 0 });
+        q.push(Priority::Normal, Queued { job: 2, cost: 0 });
+        q.push(Priority::High, Queued { job: 3, cost: 0 });
+        q.push(Priority::Normal, Queued { job: 4, cost: 0 });
+        q.push(Priority::High, Queued { job: 5, cost: 0 });
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.job)).collect();
+        assert_eq!(order, vec![3, 5, 2, 4, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_tracked_across_push_and_pop() {
+        let mut q: PriorityQueue<u32> = PriorityQueue::new(2);
+        assert!(!q.is_full());
+        q.push(Priority::Normal, Queued { job: 1, cost: 0 });
+        q.push(Priority::Low, Queued { job: 2, cost: 0 });
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.capacity(), 2);
+        q.pop();
+        assert!(!q.is_full());
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! # syncd — a multi-tenant trace-synchronization service
+//!
+//! Everything below this crate is a *library*: you hand
+//! [`clocksync::synchronize`] one trace and get one corrected trace back.
+//! `syncd` turns that library into a long-running **service** that many
+//! tenants share:
+//!
+//! * **Admission control** — submissions pass a bounded queue and a
+//!   memory budget before anything is decoded. A streamed DTC2 job's cost
+//!   is estimated from its block headers alone
+//!   ([`tracefmt::io::estimate_columnar_stream`]), so an over-budget
+//!   stream is bounced in microseconds without allocating for it.
+//! * **Scheduling** — three strict [`Priority`] classes, FIFO within a
+//!   class, dispatched to a fixed pool of executor threads. Each job's
+//!   requested pipeline worker count is clamped to its fair share of the
+//!   pool (`pool_workers / executors`), so a saturated service never
+//!   oversubscribes the machine — and since the pipeline is bit-identical
+//!   for every worker count, the clamp never changes results.
+//! * **Fault isolation** — every attempt runs under `catch_unwind`; a
+//!   poisoned input fails *typed* ([`JobError`]), is retried with
+//!   exponential backoff up to a budget, and cannot take down an executor
+//!   or another tenant's job. [`FaultInjector`] produces such inputs
+//!   deterministically for tests.
+//! * **Cancellation and deadlines** — cooperative, via the pipeline's
+//!   [`clocksync::CancelToken`]: [`JobHandle::cancel`] or an expired
+//!   per-job deadline stops the run at its next stage or chunk boundary.
+//! * **Metrics** — a lock-cheap [`MetricsRegistry`] (atomic counters and
+//!   gauges, log₂ latency histograms, per-stage throughput folded from
+//!   every job's [`clocksync::PipelineStats`]) exported as a cloneable
+//!   [`MetricsSnapshot`] or classic exporter text.
+//!
+//! The service adds *no* arithmetic of its own: a job's corrected trace
+//! is bit-identical to calling the pipeline directly with the same
+//! configuration (the differential suite in `tests/syncd_differential.rs`
+//! pins this).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use syncd::{JobInput, JobSpec, SyncService};
+//! use tracefmt::UniformLatency;
+//! use simclock::Dur;
+//!
+//! let service = SyncService::start_default();
+//! let trace = tracefmt::Trace::for_ranks(2);
+//! // An empty trace with no offset measurements: run the censuses only.
+//! let cfg = clocksync::PipelineConfig {
+//!     presync: clocksync::PreSync::None,
+//!     clc: None,
+//!     ..clocksync::PipelineConfig::default()
+//! };
+//! let spec = JobSpec::new(
+//!     JobInput::Trace(trace),
+//!     vec![None, None],
+//!     None,
+//!     Arc::new(UniformLatency(Dur::from_us(1))),
+//!     cfg,
+//! );
+//! let handle = service.submit(spec).unwrap();
+//! let outcome = handle.wait();
+//! assert!(outcome.is_ok());
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod fault;
+pub mod job;
+pub mod metrics;
+pub mod service;
+
+pub use admission::{estimate_job_cost, JobCost};
+pub use fault::{chunked, Fault, FaultInjector};
+pub use job::{
+    JobError, JobFailure, JobHandle, JobId, JobInput, JobOutcome, JobSpec, JobSuccess,
+    Priority, SubmitError,
+};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use service::{ServiceConfig, SyncService};

@@ -1,0 +1,729 @@
+//! The service: a fixed executor pool multiplexing the synchronization
+//! pipeline across admitted jobs.
+//!
+//! # Fault and tenant isolation
+//!
+//! Each job attempt runs under `catch_unwind`, so a poisoned input that
+//! panics deep in decoding or synchronization fails *that attempt* with a
+//! typed [`JobError`] — the executor thread, the queue, and every other
+//! tenant's job survive. Attempts that fail with a retryable error are
+//! re-run with exponential backoff up to the retry budget. The
+//! `syncd_service_crashes_total` counter only moves if a panic escapes
+//! this isolation, which the CI smoke test asserts never happens.
+//!
+//! # Determinism
+//!
+//! The service never alters the pipeline's arithmetic — it only clamps a
+//! job's *worker count* to its fair share of the pool, and the pipeline
+//! guarantees bit-identical results for every worker count. A job run
+//! through the service therefore produces exactly the bytes a direct
+//! [`clocksync::synchronize`] call would.
+
+use crate::admission::{estimate_job_cost, PriorityQueue, Queued};
+use crate::job::{
+    JobError, JobFailure, JobHandle, JobId, JobOutcome, JobSpec, JobState, JobSuccess,
+    SubmitError,
+};
+use crate::metrics::{Counter, MetricsRegistry, MetricsSnapshot};
+use clocksync::{
+    synchronize_stream_with_cancel, synchronize_with_cancel, CancelToken, PipelineError,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Executor threads — the number of jobs that run concurrently.
+    pub executors: usize,
+    /// Total pipeline worker threads the service may hand out. Each
+    /// running job gets `max(1, pool_workers / executors)` as its worker
+    /// ceiling, so a full service never oversubscribes the machine.
+    pub pool_workers: usize,
+    /// Bounded submission-queue capacity (jobs, across all classes).
+    pub queue_capacity: usize,
+    /// Memory budget in bytes; admission rejects jobs whose estimated
+    /// working set would push the admitted total past it.
+    pub memory_budget_bytes: u64,
+    /// Default retry budget (attempts = retries + 1).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `retry_backoff * 2^(n-1)`.
+    pub retry_backoff: Duration,
+    /// Deadline applied to jobs that don't set their own (None = none).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+        ServiceConfig {
+            executors: cpus.min(4),
+            pool_workers: cpus,
+            queue_capacity: 64,
+            memory_budget_bytes: 512 << 20,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(2),
+            default_deadline: None,
+        }
+    }
+}
+
+/// One admitted job waiting for (or holding) an executor.
+struct Ticket {
+    spec: JobSpec,
+    state: Arc<JobState>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+struct QueueInner {
+    queue: PriorityQueue<Ticket>,
+    /// Bytes currently charged against the memory budget.
+    admitted: u64,
+    shutdown: bool,
+    /// When true, queued-but-unstarted jobs are failed instead of run.
+    abandon_queue: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    metrics: Arc<MetricsRegistry>,
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Decrements a gauge (and optionally bumps the crash counter) on drop,
+/// so accounting survives a panic escaping the guarded region.
+struct CrashGuard<'a> {
+    metrics: &'a MetricsRegistry,
+}
+
+impl Drop for CrashGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.metrics.inc(Counter::ServiceCrashes);
+        }
+    }
+}
+
+/// The multi-tenant synchronization service. See the [crate docs](crate)
+/// for the architecture.
+pub struct SyncService {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl SyncService {
+    /// Start a service with the given configuration.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let executors = cfg.executors.max(1);
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(QueueInner {
+                queue: PriorityQueue::new(cfg.queue_capacity.max(1)),
+                admitted: 0,
+                shutdown: false,
+                abandon_queue: false,
+            }),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            metrics: Arc::new(MetricsRegistry::new()),
+            cfg,
+        });
+        let threads = (0..executors)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("syncd-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor thread")
+            })
+            .collect();
+        SyncService { shared, threads }
+    }
+
+    /// Start with default configuration.
+    pub fn start_default() -> Self {
+        SyncService::start(ServiceConfig::default())
+    }
+
+    /// Submit a job. Admission control runs synchronously: the call
+    /// returns a handle only if the job fits the queue and the memory
+    /// budget, and a typed [`SubmitError`] otherwise.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let metrics = &self.shared.metrics;
+        let cost = estimate_job_cost(&spec.input).bytes;
+        let budget = self.shared.cfg.memory_budget_bytes;
+        let mut inner = self.shared.lock();
+        if inner.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        if inner.queue.is_full() {
+            metrics.inc(Counter::RejectedQueueFull);
+            return Err(SubmitError::QueueFull {
+                capacity: inner.queue.capacity(),
+            });
+        }
+        if inner.admitted.saturating_add(cost) > budget {
+            metrics.inc(Counter::RejectedOverBudget);
+            return Err(SubmitError::OverBudget {
+                estimated: cost,
+                available: budget.saturating_sub(inner.admitted),
+            });
+        }
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(JobState::new(id));
+        let now = Instant::now();
+        let deadline = spec
+            .deadline
+            .or(self.shared.cfg.default_deadline)
+            .map(|d| now + d);
+        let priority = spec.priority;
+        inner.admitted += cost;
+        inner.queue.push(
+            priority,
+            Queued {
+                job: Ticket {
+                    spec,
+                    state: Arc::clone(&state),
+                    submitted: now,
+                    deadline,
+                },
+                cost,
+            },
+        );
+        drop(inner);
+        metrics.inc(Counter::Accepted);
+        metrics.queue_depth_add(1);
+        metrics.admitted_bytes_add(cost as i64);
+        self.shared.cv.notify_one();
+        Ok(JobHandle { state })
+    }
+
+    /// A point-in-time copy of every service metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop accepting jobs, let the executors *drain* the queue, and join
+    /// them. Every already-admitted job runs to completion.
+    pub fn shutdown(self) {
+        self.stop(false);
+    }
+
+    /// Stop accepting jobs and fail everything still queued with
+    /// [`JobError::Shutdown`]; only jobs already executing finish.
+    pub fn shutdown_now(self) {
+        self.stop(true);
+    }
+
+    fn stop(mut self, abandon_queue: bool) {
+        {
+            let mut inner = self.shared.lock();
+            inner.shutdown = true;
+            inner.abandon_queue = abandon_queue;
+        }
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SyncService {
+    fn drop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        {
+            let mut inner = self.shared.lock();
+            inner.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let entry = {
+            let mut inner = shared.lock();
+            loop {
+                if inner.shutdown && (inner.abandon_queue || inner.queue.is_empty()) {
+                    break None;
+                }
+                if let Some(entry) = inner.queue.pop() {
+                    break Some(entry);
+                }
+                inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(Queued { job: ticket, cost }) = entry else {
+            // Shutdown. Under abandon_queue one executor drains the rest
+            // and fails them typed; under graceful drain there is nothing
+            // left to fail.
+            let drained = shared.lock().queue.drain();
+            for Queued { job, cost } in drained {
+                shared.metrics.queue_depth_add(-1);
+                release(shared, cost);
+                job.state.finish(Err(JobFailure {
+                    error: JobError::Shutdown,
+                    attempts: 0,
+                }));
+                shared.metrics.inc(Counter::Failed);
+            }
+            return;
+        };
+        shared.metrics.queue_depth_add(-1);
+        let guard = CrashGuard {
+            metrics: &shared.metrics,
+        };
+        let outcome = run_job(shared, &ticket);
+        drop(guard);
+        release(shared, cost);
+        match &outcome {
+            Ok(_) => shared.metrics.inc(Counter::Completed),
+            Err(f) => {
+                match f.error {
+                    JobError::Cancelled => shared.metrics.inc(Counter::Cancelled),
+                    JobError::DeadlineExceeded => {
+                        shared.metrics.inc(Counter::DeadlineExceeded)
+                    }
+                    _ => {}
+                }
+                shared.metrics.inc(Counter::Failed);
+            }
+        }
+        ticket.state.finish(outcome);
+    }
+}
+
+fn release(shared: &Shared, cost: u64) {
+    shared.lock().admitted -= cost;
+    shared.metrics.admitted_bytes_add(-(cost as i64));
+}
+
+/// A job's terminal state after one attempt, or a decision to retry.
+enum AttemptOutcome {
+    Done(Box<JobSuccess>),
+    Terminal(JobError),
+    Retryable(JobError),
+}
+
+fn run_job(shared: &Shared, ticket: &Ticket) -> JobOutcome {
+    let metrics = &shared.metrics;
+    let spec = &ticket.spec;
+    let queue_wait = ticket.submitted.elapsed();
+    metrics.observe_queue_wait(queue_wait);
+    metrics.running_add(1);
+
+    let max_attempts = spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
+    // A job's fair share of the worker pool; the requested count is only
+    // ever clamped down to it, never raised.
+    let fair_share = (shared.cfg.pool_workers / shared.cfg.executors.max(1)).max(1);
+    let mut pipeline = spec.pipeline.clone();
+    if let Some(par) = pipeline.parallel.as_mut() {
+        par.workers = par.workers.clamp(1, fair_share);
+    }
+    let mut cancel = CancelToken::none().with_flag(Arc::clone(&ticket.state.cancel));
+    if let Some(deadline) = ticket.deadline {
+        cancel = cancel.with_deadline(deadline);
+    }
+
+    let mut attempts = 0u32;
+    let outcome = loop {
+        if ticket.state.cancel.load(Ordering::Relaxed) {
+            break Err(JobError::Cancelled);
+        }
+        if ticket.deadline.is_some_and(|d| Instant::now() >= d) {
+            break Err(JobError::DeadlineExceeded);
+        }
+        attempts += 1;
+        match attempt(shared, ticket, &pipeline, &cancel, attempts, queue_wait) {
+            AttemptOutcome::Done(success) => break Ok(*success),
+            AttemptOutcome::Terminal(err) => break Err(err),
+            AttemptOutcome::Retryable(err) => {
+                if attempts >= max_attempts {
+                    break Err(err);
+                }
+                metrics.inc(Counter::Retried);
+                let backoff = shared.cfg.retry_backoff * 2u32.saturating_pow(attempts - 1);
+                std::thread::sleep(backoff);
+            }
+        }
+    };
+
+    metrics.running_add(-1);
+    match outcome {
+        Ok(success) => {
+            metrics.observe_job_latency(ticket.submitted.elapsed());
+            metrics.fold_pipeline_stats(&success.report.stats);
+            Ok(success)
+        }
+        Err(error) => Err(JobFailure { error, attempts }),
+    }
+}
+
+fn attempt(
+    shared: &Shared,
+    ticket: &Ticket,
+    pipeline: &clocksync::PipelineConfig,
+    cancel: &CancelToken,
+    attempt_no: u32,
+    queue_wait: Duration,
+) -> AttemptOutcome {
+    let spec = &ticket.spec;
+    let t0 = Instant::now();
+    let fin = spec.fin.as_deref();
+    let lmin = &*spec.lmin;
+    // Each attempt works on a fresh copy of the input, so a failed or
+    // half-rewritten attempt never leaks into the retry.
+    let result = catch_unwind(AssertUnwindSafe(|| match &spec.input {
+        crate::job::JobInput::Trace(trace) => {
+            let mut work = trace.clone();
+            synchronize_with_cancel(&mut work, &spec.init, fin, lmin, pipeline, cancel)
+                .map(|report| (work, report))
+        }
+        crate::job::JobInput::Stream(chunks) => synchronize_stream_with_cancel(
+            chunks.iter().map(|c| c.as_slice()),
+            &spec.init,
+            fin,
+            lmin,
+            pipeline,
+            cancel,
+        ),
+    }));
+    match result {
+        Ok(Ok((trace, report))) => AttemptOutcome::Done(Box::new(JobSuccess {
+            trace,
+            report,
+            attempts: attempt_no,
+            queue_wait,
+            run_time: t0.elapsed(),
+        })),
+        Ok(Err(PipelineError::Cancelled)) => {
+            // Disambiguate: an armed flag means the submitter cancelled;
+            // otherwise the deadline tripped the token.
+            if ticket.state.cancel.load(Ordering::Relaxed) {
+                AttemptOutcome::Terminal(JobError::Cancelled)
+            } else {
+                AttemptOutcome::Terminal(JobError::DeadlineExceeded)
+            }
+        }
+        Ok(Err(err)) => AttemptOutcome::Retryable(JobError::Pipeline(err)),
+        Err(payload) => {
+            shared.metrics.inc(Counter::JobPanics);
+            let msg = panic_message(payload.as_ref());
+            AttemptOutcome::Retryable(JobError::Panicked(msg))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{chunked, Fault, FaultInjector};
+    use crate::job::{JobInput, Priority};
+    use clocksync::{synchronize, OffsetMeasurement, PipelineConfig};
+    use simclock::{Dur, Time};
+    use std::sync::Arc;
+    use tracefmt::io::to_binary_columnar_blocked;
+    use tracefmt::{EventKind, Tag, Trace, UniformLatency};
+
+    /// A 2-rank trace with messages 0 → 1, rank 1's clock skewed by
+    /// +500 µs, plus the matching init/finalize measurements.
+    fn fixture(
+        msgs: usize,
+    ) -> (
+        Trace,
+        Vec<Option<OffsetMeasurement>>,
+        Vec<Option<OffsetMeasurement>>,
+    ) {
+        let skew = 500i64;
+        let mut t = Trace::for_ranks(2);
+        for i in 0..msgs {
+            let send_us = 10 * i as i64 + 1;
+            let recv_us = send_us + 5;
+            t.procs[0].push(
+                Time::from_us(send_us),
+                EventKind::Send { to: tracefmt::Rank(1), tag: Tag(0), bytes: 8 },
+            );
+            t.procs[1].push(
+                Time::from_us(recv_us + skew),
+                EventKind::Recv { from: tracefmt::Rank(0), tag: Tag(0), bytes: 8 },
+            );
+        }
+        let meas = |at: i64| OffsetMeasurement {
+            worker_time: Time::from_us(at + skew),
+            offset: Dur::from_us(-skew),
+            rtt: Dur::from_us(4),
+        };
+        let init = vec![None, Some(meas(0))];
+        let fin = vec![None, Some(meas(10 * msgs as i64 + 10))];
+        (t, init, fin)
+    }
+
+    fn lmin() -> Arc<dyn tracefmt::MinLatency + Send + Sync> {
+        Arc::new(UniformLatency(Dur::from_us(1)))
+    }
+
+    fn spec(input: JobInput) -> JobSpec {
+        let (_, init, fin) = fixture(0);
+        JobSpec::new(input, init, Some(fin), lmin(), PipelineConfig::default())
+    }
+
+    #[test]
+    fn trace_job_matches_the_direct_pipeline_call() {
+        let (trace, init, fin) = fixture(40);
+        let mut direct = trace.clone();
+        synchronize(
+            &mut direct,
+            &init,
+            Some(&fin),
+            &UniformLatency(Dur::from_us(1)),
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+
+        let service = SyncService::start_default();
+        let handle = service
+            .submit(JobSpec::new(
+                JobInput::Trace(trace),
+                init,
+                Some(fin),
+                lmin(),
+                PipelineConfig::default(),
+            ))
+            .unwrap();
+        let success = handle.wait().expect("job succeeds");
+        assert_eq!(success.attempts, 1);
+        for (p, (got, want)) in success.trace.procs.iter().zip(&direct.procs).enumerate() {
+            for (i, (g, w)) in got.events.iter().zip(&want.events).enumerate() {
+                assert_eq!(g.time, w.time, "proc {p} event {i}");
+            }
+        }
+        let m = service.metrics();
+        assert_eq!(m.counter(Counter::Completed), 1);
+        assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn poisoned_stream_fails_typed_after_retries() {
+        let (trace, ..) = fixture(40);
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let poisoned = FaultInjector::new()
+            .with(Fault::Truncate { at: bytes.len() / 2 })
+            .apply(&chunked(&bytes, 64));
+
+        let service = SyncService::start(ServiceConfig {
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let handle = service.submit(spec(JobInput::Stream(poisoned))).unwrap();
+        let failure = handle.wait().expect_err("poisoned job must fail");
+        assert_eq!(failure.attempts, 3);
+        assert!(
+            matches!(failure.error, JobError::Pipeline(_)),
+            "want typed pipeline error, got {:?}",
+            failure.error
+        );
+        let m = service.metrics();
+        assert_eq!(m.counter(Counter::Retried), 2);
+        assert_eq!(m.counter(Counter::Failed), 1);
+        assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+        // The budget charge is released once the job is done.
+        assert_eq!(m.admitted_bytes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_job_reports_deadline_exceeded() {
+        let (trace, init, fin) = fixture(10);
+        let service = SyncService::start_default();
+        let handle = service
+            .submit(
+                JobSpec::new(
+                    JobInput::Trace(trace),
+                    init,
+                    Some(fin),
+                    lmin(),
+                    PipelineConfig::default(),
+                )
+                .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let failure = handle.wait().expect_err("deadline must trip");
+        assert!(matches!(failure.error, JobError::DeadlineExceeded));
+        assert_eq!(service.metrics().counter(Counter::DeadlineExceeded), 1);
+        service.shutdown();
+    }
+
+    /// A service whose single executor is pinned down for ~200 ms by a
+    /// poisoned job in its retry backoff — long enough to make queue
+    /// interactions deterministic.
+    fn busy_service(queue_capacity: usize) -> (SyncService, JobHandle) {
+        let service = SyncService::start(ServiceConfig {
+            executors: 1,
+            pool_workers: 1,
+            queue_capacity,
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(200),
+            ..ServiceConfig::default()
+        });
+        let (trace, ..) = fixture(4);
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let poisoned = FaultInjector::new()
+            .with(Fault::Truncate { at: bytes.len() - 3 })
+            .apply(&chunked(&bytes, 64));
+        let busy = service.submit(spec(JobInput::Stream(poisoned))).unwrap();
+        // Wait until the executor has actually taken the job off the queue.
+        while service.metrics().queue_depth > 0 {
+            std::thread::yield_now();
+        }
+        (service, busy)
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_runs() {
+        let (service, busy) = busy_service(8);
+        let (trace, init, fin) = fixture(10);
+        let handle = service
+            .submit(JobSpec::new(
+                JobInput::Trace(trace),
+                init,
+                Some(fin),
+                lmin(),
+                PipelineConfig::default(),
+            ))
+            .unwrap();
+        handle.cancel();
+        let failure = handle.wait().expect_err("cancelled job must fail");
+        assert!(matches!(failure.error, JobError::Cancelled));
+        assert_eq!(failure.attempts, 0);
+        assert_eq!(service.metrics().counter(Counter::Cancelled), 1);
+        let _ = busy.wait();
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_and_tiny_budget_reject_typed() {
+        let (service, busy) = busy_service(1);
+        // One job fits the queue...
+        let q1 = service.submit(spec(JobInput::Trace(fixture(2).0))).unwrap();
+        // ...the next bounces.
+        match service.submit(spec(JobInput::Trace(fixture(2).0))) {
+            Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("want QueueFull, got {:?}", other.err()),
+        }
+        assert_eq!(service.metrics().counter(Counter::RejectedQueueFull), 1);
+        let _ = busy.wait();
+        let _ = q1.wait();
+        service.shutdown();
+
+        let tiny = SyncService::start(ServiceConfig {
+            memory_budget_bytes: 1,
+            ..ServiceConfig::default()
+        });
+        match tiny.submit(spec(JobInput::Trace(fixture(2).0))) {
+            Err(SubmitError::OverBudget { estimated, available }) => {
+                assert!(estimated > 1);
+                assert_eq!(available, 1);
+            }
+            other => panic!("want OverBudget, got {:?}", other.err()),
+        }
+        assert_eq!(tiny.metrics().counter(Counter::RejectedOverBudget), 1);
+        tiny.shutdown();
+    }
+
+    #[test]
+    fn shutdown_now_fails_queued_jobs_typed() {
+        let (service, busy) = busy_service(8);
+        let queued = service.submit(spec(JobInput::Trace(fixture(2).0))).unwrap();
+        service.shutdown_now();
+        let failure = queued.wait().expect_err("queued job must be failed");
+        assert!(matches!(failure.error, JobError::Shutdown));
+        let _ = busy.wait();
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let (service, busy) = busy_service(8);
+        let low = service
+            .submit(spec(JobInput::Trace(fixture(2).0)).with_priority(Priority::Low))
+            .unwrap();
+        let high = service
+            .submit(spec(JobInput::Trace(fixture(2).0)).with_priority(Priority::High))
+            .unwrap();
+        let _ = busy.wait();
+        let high_out = high.wait().expect("high-priority job succeeds");
+        let low_out = low.wait().expect("low-priority job succeeds");
+        // Single executor: the high job must have been picked first, i.e.
+        // it waited strictly less than the later-submitted low job.
+        assert!(high_out.queue_wait <= low_out.queue_wait);
+        service.shutdown();
+    }
+
+    #[test]
+    fn worker_clamp_keeps_results_bit_identical() {
+        let (trace, init, fin) = fixture(60);
+        let mut direct = trace.clone();
+        // Ask for absurd parallelism; the service clamps it to the pool.
+        let cfg = PipelineConfig {
+            parallel: Some(clocksync::ParallelConfig { workers: 64, shard_size: 16 }),
+            ..PipelineConfig::default()
+        };
+        synchronize(
+            &mut direct,
+            &init,
+            Some(&fin),
+            &UniformLatency(Dur::from_us(1)),
+            &cfg,
+        )
+        .unwrap();
+
+        let service = SyncService::start(ServiceConfig {
+            executors: 2,
+            pool_workers: 2,
+            ..ServiceConfig::default()
+        });
+        let handle = service
+            .submit(JobSpec::new(
+                JobInput::Trace(trace),
+                init,
+                Some(fin),
+                lmin(),
+                cfg,
+            ))
+            .unwrap();
+        let success = handle.wait().expect("job succeeds");
+        for (got, want) in success.trace.procs.iter().zip(&direct.procs) {
+            for (g, w) in got.events.iter().zip(&want.events) {
+                assert_eq!(g.time, w.time);
+            }
+        }
+        service.shutdown();
+    }
+}

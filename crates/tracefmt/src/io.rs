@@ -324,6 +324,14 @@ pub fn from_binary(mut buf: Bytes) -> Result<Trace, CodecError> {
         let rank = Rank(buf.get_u32());
         let thread = ThreadId(buf.get_u32());
         let n_events = buf.get_u64() as usize;
+        // Every encoded event is at least 9 bytes (timestamp + kind code),
+        // so an event count the remaining input cannot possibly hold is a
+        // truncated/corrupt stream. Checking *before* reserving also keeps
+        // a hostile header from forcing a multi-gigabyte allocation (or a
+        // capacity-overflow panic) out of a few bytes of input.
+        if buf.remaining() < n_events.saturating_mul(9) {
+            return Err(CodecError::Truncated);
+        }
         let mut pt = ProcessTrace::new(Location { rank, thread });
         pt.events.reserve_exact(n_events);
         for _ in 0..n_events {
@@ -390,6 +398,37 @@ const MAGIC_COLUMNAR: u32 = 0x4454_4332;
 /// and the decoder's working set stays in cache.
 pub const BLOCK_EVENTS: usize = 2048;
 
+/// Hard ceiling on the per-block event count a decoder will accept (and an
+/// encoder will emit). A corrupted or hostile frame header claiming billions
+/// of events would otherwise make a streaming reader buffer gigabytes
+/// waiting for a frame that can never complete; with the ceiling the header
+/// is rejected as [`CodecError::BadField`] the moment it is parsed.
+pub const MAX_BLOCK_EVENTS: usize = 1 << 20;
+
+/// Largest kind/args record the encoder produces (a collective record).
+const MAX_KIND_PAYLOAD: usize = 22;
+
+/// Ceiling on a block's payload length, implied by [`MAX_BLOCK_EVENTS`].
+pub const MAX_BLOCK_PAYLOAD: usize = MAX_BLOCK_EVENTS * MAX_KIND_PAYLOAD;
+
+/// Validate a parsed (non-trailer) frame header against the format's
+/// sanity ceilings.
+fn check_block_header(n_events: usize, payload_len: usize) -> Result<(), CodecError> {
+    if n_events > MAX_BLOCK_EVENTS || payload_len > MAX_BLOCK_PAYLOAD {
+        return Err(CodecError::BadField(format!(
+            "oversized block header: {n_events} events, {payload_len} payload bytes"
+        )));
+    }
+    // Every record is at least 5 bytes (kind code + one u32 arg), so a
+    // payload shorter than that cannot possibly hold n_events records.
+    if payload_len < n_events * 5 {
+        return Err(CodecError::BadField(format!(
+            "block header inconsistent: {n_events} events in {payload_len} payload bytes"
+        )));
+    }
+    Ok(())
+}
+
 /// One decoded block of the columnar format: a run of consecutive events
 /// from a single timeline, timestamps already split into a dense column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -424,7 +463,7 @@ pub fn to_binary_columnar(trace: &Trace) -> Bytes {
 /// Smaller blocks mean earlier data for a streaming reader at the cost of
 /// more frame headers.
 pub fn to_binary_columnar_blocked(trace: &Trace, block_events: usize) -> Bytes {
-    let block_events = block_events.max(1);
+    let block_events = block_events.clamp(1, MAX_BLOCK_EVENTS);
     let mut buf = BytesMut::with_capacity(4 + trace.n_events() * 24);
     buf.put_u32(MAGIC_COLUMNAR);
     let mut blocks = 0u64;
@@ -762,6 +801,7 @@ impl StreamDecoder {
                 self.finished = true;
                 continue;
             }
+            check_block_header(n_events, payload_len)?;
             let frame_len = 16 + n_events * 8 + payload_len;
             if avail.len() < frame_len {
                 break;
@@ -880,6 +920,93 @@ impl TraceBuilder {
     pub fn finish_parts(self) -> (Trace, TraceColumns) {
         (self.trace, TraceColumns::from_columns(self.cols))
     }
+}
+
+/// What a header-only scan of a `DTC2` chunk stream saw — the basis for
+/// admission-control cost estimates in services that must bound a job's
+/// memory *before* decoding it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamEstimate {
+    /// Events announced by the block headers scanned so far.
+    pub events: u64,
+    /// Block frames whose headers were scanned.
+    pub blocks: u64,
+    /// Total bytes in the input chunks.
+    pub bytes: u64,
+    /// Whether the end-of-stream trailer was reached. A `false` here means
+    /// the stream is truncated (or a header was implausible and the scan
+    /// stopped early) — the estimate is then a lower bound.
+    pub complete: bool,
+}
+
+/// Scan a `DTC2` chunk stream's *frame headers only*, without decoding any
+/// payload, and report the event/block totals the headers announce.
+///
+/// The scan never allocates more than a 16-byte carry buffer and never
+/// touches timestamp or kind bytes, so it is O(#blocks) no matter how large
+/// the trace is. It is deliberately tolerant: a truncated stream, a bad
+/// magic, or an implausible header ends the scan with `complete = false`
+/// and whatever totals were accumulated — admission control wants a cheap
+/// estimate, not a verdict (the decoder proper delivers the typed error).
+pub fn estimate_columnar_stream<'a>(
+    chunks: impl IntoIterator<Item = &'a [u8]>,
+) -> StreamEstimate {
+    let mut est = StreamEstimate::default();
+    // Carry buffer for a header (or the magic) split across chunks.
+    let mut carry = [0u8; 16];
+    let mut carried = 0usize;
+    let mut need = 4usize; // magic first
+    let mut seen_magic = false;
+    // Scan hit a bad magic or implausible header; keep counting bytes only.
+    let mut aborted = false;
+    // Payload bytes of the current frame still to skip.
+    let mut skip = 0u64;
+    for chunk in chunks {
+        est.bytes += chunk.len() as u64;
+        if est.complete || aborted {
+            continue; // count trailing bytes, scan is done
+        }
+        let mut at = 0usize;
+        while at < chunk.len() {
+            if skip > 0 {
+                let s = skip.min((chunk.len() - at) as u64);
+                at += s as usize;
+                skip -= s;
+                continue;
+            }
+            let take = (need - carried).min(chunk.len() - at);
+            carry[carried..carried + take].copy_from_slice(&chunk[at..at + take]);
+            carried += take;
+            at += take;
+            if carried < need {
+                break; // chunk exhausted mid-header
+            }
+            carried = 0;
+            if !seen_magic {
+                if rd_u32(&carry, 0) != MAGIC_COLUMNAR {
+                    aborted = true;
+                    break;
+                }
+                seen_magic = true;
+                need = 16;
+                continue;
+            }
+            let n_events = rd_u32(&carry, 8) as usize;
+            let payload_len = rd_u32(&carry, 12) as usize;
+            if rd_u32(&carry, 0) == u32::MAX && rd_u32(&carry, 4) == u32::MAX {
+                est.complete = true;
+                break;
+            }
+            if check_block_header(n_events, payload_len).is_err() {
+                aborted = true;
+                break;
+            }
+            est.events += n_events as u64;
+            est.blocks += 1;
+            skip = n_events as u64 * 8 + payload_len as u64;
+        }
+    }
+    est
 }
 
 /// Decode the columnar format in one call (convenience wrapper around
@@ -1189,6 +1316,77 @@ mod tests {
             from_binary(buf.freeze()),
             Err(CodecError::UnknownKind(_))
         ));
+    }
+
+    #[test]
+    fn v1_rejects_absurd_event_count_without_allocating() {
+        // A header announcing ~u64::MAX events must be rejected as
+        // Truncated before any allocation is attempted.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4c31);
+        buf.put_u32(1); // one proc
+        buf.put_u32(0); // rank
+        buf.put_u32(0); // thread
+        buf.put_u64(u64::MAX); // absurd event count
+        buf.put_i64(42);
+        assert!(matches!(
+            from_binary(buf.freeze()),
+            Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn columnar_rejects_oversized_block_header() {
+        // A frame header claiming 2^31 events would make a naive reader
+        // wait for ~16 GiB; the decoder must reject it immediately.
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4332);
+        buf.put_u32(0); // rank
+        buf.put_u32(0); // thread
+        buf.put_u32(1 << 31); // n_events far beyond MAX_BLOCK_EVENTS
+        buf.put_u32(64); // payload_len
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(dec.feed(&buf.freeze()), Err(CodecError::BadField(_))));
+    }
+
+    #[test]
+    fn columnar_rejects_inconsistent_block_header() {
+        // 8 events cannot fit in a 10-byte payload (records are >= 5 bytes).
+        let mut buf = BytesMut::new();
+        buf.put_u32(0x4454_4332);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u32(8);
+        buf.put_u32(10);
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(dec.feed(&buf.freeze()), Err(CodecError::BadField(_))));
+    }
+
+    #[test]
+    fn stream_estimate_matches_encoder_totals() {
+        let t = sample_trace();
+        let b = to_binary_columnar_blocked(&t, 2);
+        for chunk_size in [1, 3, 7, 64, b.len()] {
+            let est = estimate_columnar_stream(b.chunks(chunk_size));
+            assert_eq!(est.events, t.n_events() as u64, "chunks of {chunk_size}");
+            assert!(est.complete, "chunks of {chunk_size}");
+            assert_eq!(est.bytes, b.len() as u64);
+            assert!(est.blocks >= 4, "blocks of 2 events over 8 events");
+        }
+    }
+
+    #[test]
+    fn stream_estimate_tolerates_truncation_and_garbage() {
+        let t = sample_trace();
+        let b = to_binary_columnar_blocked(&t, 2);
+        // Truncated stream: a lower bound, flagged incomplete.
+        let est = estimate_columnar_stream(std::iter::once(&b[..b.len() / 2]));
+        assert!(!est.complete);
+        assert!(est.events <= t.n_events() as u64);
+        // Garbage: no panic, nothing counted past the bad magic.
+        let est = estimate_columnar_stream(std::iter::once(&[0xde, 0xad, 0xbe, 0xef][..]));
+        assert!(!est.complete);
+        assert_eq!(est.events, 0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 #    ingest smoke run also enforces the >=1.5x chunked-ingest speedup
 #    and refreshes BENCH_ingest.json, the pipeline smoke run refreshes
 #    BENCH_pipeline.json and the perf gate below fails the script if the
-#    parallel-CLC speedup over serial regresses
+#    parallel-CLC speedup over serial regresses; the syncd smoke run
+#    refreshes BENCH_syncd.json and a sanity gate checks its report
+# 5. service smoke: the sync_service example runs headless and must show
+#    >=1 retried job and 0 service crashes in its metrics exporter
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +43,9 @@ cargo bench -p bench --bench pipeline_parallel -- --test
 echo "==> bench check: cargo bench -p bench --bench ingest -- --test"
 cargo bench -p bench --bench ingest -- --test
 
+echo "==> bench check: cargo bench -p bench --bench syncd_throughput -- --test"
+cargo bench -p bench --bench syncd_throughput -- --test
+
 # Perf smoke gate: the replay CLC must not fall behind serial where real
 # cores exist. One worker runs per process timeline, so on a single-core
 # host the workers only time-slice — wall-clock speedup is impossible
@@ -60,6 +66,36 @@ if [[ "$cpus" -ge 2 ]]; then
     fi
 else
     echo "    (single cpu: wall-clock gate not applicable, bench sanity floor applies)"
+fi
+
+# Sanity gate over the syncd bench report. The CPU-aware throughput gate
+# lives inside the bench itself; here we only check the report is sane.
+echo "==> perf gate: syncd service report from BENCH_syncd.json"
+svc_jps=$(sed -n 's/.*"service_jobs_per_sec": \([0-9.]*\).*/\1/p' BENCH_syncd.json)
+p50=$(sed -n 's/.*"job_latency_p50_seconds": \([0-9.]*\).*/\1/p' BENCH_syncd.json)
+p99=$(sed -n 's/.*"job_latency_p99_seconds": \([0-9.]*\).*/\1/p' BENCH_syncd.json)
+if [[ -z "$svc_jps" || -z "$p50" || -z "$p99" ]]; then
+    echo "perf gate: could not read syncd fields from BENCH_syncd.json" >&2
+    exit 1
+fi
+echo "    service ${svc_jps} jobs/s, latency p50 ${p50}s p99 ${p99}s"
+if ! awk -v j="$svc_jps" -v a="$p50" -v b="$p99" \
+        'BEGIN { exit !(j > 0 && a <= b && b > 0) }'; then
+    echo "perf gate: implausible syncd report (jobs/s ${svc_jps}, p50 ${p50}, p99 ${p99})" >&2
+    exit 1
+fi
+
+# Service smoke: the multi-tenant example must survive a poisoned stream —
+# at least one retry recorded, zero panics escaping an executor.
+echo "==> service smoke: cargo run --release --example sync_service"
+smoke_out=$(cargo run --release --example sync_service)
+retried=$(sed -n 's/^syncd_jobs_retried_total \([0-9]*\)$/\1/p' <<<"$smoke_out")
+crashes=$(sed -n 's/^syncd_service_crashes_total \([0-9]*\)$/\1/p' <<<"$smoke_out")
+echo "    retried=${retried:-?} crashes=${crashes:-?}"
+if [[ -z "$retried" || -z "$crashes" || "$retried" -lt 1 || "$crashes" -ne 0 ]]; then
+    echo "service smoke: expected >=1 retried job and 0 service crashes" >&2
+    printf '%s\n' "$smoke_out" >&2
+    exit 1
 fi
 
 echo "==> all gates green"

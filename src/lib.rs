@@ -18,7 +18,10 @@
 //!   classic baselines;
 //! * [`workloads`] — POP-like, SMG2000-like, ping-pong and OpenMP workload
 //!   generators;
-//! * [`experiments`] — regenerates every table and figure of the paper.
+//! * [`experiments`] — regenerates every table and figure of the paper;
+//! * [`syncd`] — a multi-tenant synchronization *service* over the
+//!   pipeline: admission control, priority scheduling, fault-isolated
+//!   retried jobs, and a metrics registry.
 //!
 //! The [`prelude`] re-exports the types most programs need:
 //!
@@ -64,6 +67,7 @@ pub use experiments;
 pub use mpisim;
 pub use netsim;
 pub use simclock;
+pub use syncd;
 pub use tracefmt;
 pub use workloads;
 

@@ -1,0 +1,143 @@
+//! Robustness of the streaming ingest path against hostile bytes.
+//!
+//! The `syncd` service's isolation story starts one layer down: whatever a
+//! tenant feeds [`synchronize_stream`], the pipeline must come back with
+//! `Ok` or a *typed* error — never a panic, never an absurd allocation.
+//! These properties drive mutated DTC2 streams (bit flips, truncations,
+//! dropped chunks, injected garbage, and pure garbage) through the full
+//! pipeline under random chunkings, and also pin down that the header-only
+//! cost estimator used by admission control never overstates a valid
+//! stream and never panics on a corrupt one.
+
+mod common;
+
+use common::{assert_identical, drifted_trace};
+use drift_lab::clocksync::{synchronize, synchronize_stream, PipelineConfig};
+use drift_lab::syncd::{chunked, Fault, FaultInjector};
+use drift_lab::tracefmt::io::{estimate_columnar_stream, to_binary_columnar_blocked};
+use proptest::prelude::*;
+
+/// Feed a (possibly corrupt) chunked stream through the whole pipeline.
+/// The property under test is simply that this returns — `Ok` for intact
+/// streams, a typed error for broken ones.
+fn run_stream(chunks: &[Vec<u8>], seed: u64) {
+    // Measurements from the *same* generator seed intentionally may not
+    // match the corrupted stream's process count — that mismatch is one
+    // of the typed-error paths under test.
+    let (_, init, fin, lmin) = drifted_trace(4, 8, "constant", seed);
+    let result = synchronize_stream(
+        chunks.iter().map(|c| c.as_slice()),
+        &init,
+        Some(&fin),
+        &lmin,
+        &PipelineConfig::default(),
+    );
+    // Either outcome is fine; reaching here without a panic is the test.
+    let _ = result.map(|(t, _)| t.n_events());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-fault streams: one flip, one truncation, or one dropped
+    /// chunk anywhere in a valid stream must fail typed or still decode.
+    #[test]
+    fn single_fault_streams_never_panic(
+        seed in 0u64..1000,
+        msgs in 8usize..120,
+        block in 4usize..64,
+        chunk in 8usize..256,
+        at_per_mille in 0u32..1000,
+        xor in 1u8..255,
+        which in 0usize..3,
+    ) {
+        let (trace, ..) = drifted_trace(4, msgs, "sinusoid", seed);
+        let bytes = to_binary_columnar_blocked(&trace, block);
+        let at = (bytes.len() as u64 * at_per_mille as u64 / 1000) as usize;
+        let chunks = chunked(&bytes, chunk);
+        let fault = match which {
+            0 => Fault::FlipByte { at, xor },
+            1 => Fault::Truncate { at },
+            _ => Fault::DropChunk { index: at / chunk.max(1) },
+        };
+        let mutated = FaultInjector::new().with(fault).apply(&chunks);
+        run_stream(&mutated, seed);
+        // The admission estimator must also survive the same bytes.
+        let est = estimate_columnar_stream(mutated.iter().map(|c| c.as_slice()));
+        prop_assert!(est.bytes <= bytes.len() as u64);
+    }
+
+    /// Stacked faults plus injected garbage chunks: still no panic.
+    #[test]
+    fn stacked_faults_and_garbage_never_panic(
+        seed in 0u64..1000,
+        msgs in 8usize..80,
+        chunk in 8usize..128,
+        flips in prop::collection::vec((0usize..6000, 1u8..255), 0..6),
+        cut_per_mille in 0u32..1001,
+        garbage in prop::collection::vec(0u8..255, 0..200),
+        garbage_pos in 0usize..8,
+    ) {
+        let (trace, ..) = drifted_trace(3, msgs, "randomwalk", seed);
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let mut inj = FaultInjector::new();
+        for (at, xor) in flips {
+            inj = inj.with(Fault::FlipByte { at, xor });
+        }
+        let cut = (bytes.len() as u64 * cut_per_mille as u64 / 1000) as usize;
+        inj = inj.with(Fault::Truncate { at: cut });
+        let mut mutated = inj.apply(&chunked(&bytes, chunk));
+        if !garbage.is_empty() {
+            let pos = garbage_pos.min(mutated.len());
+            mutated.insert(pos, garbage);
+        }
+        run_stream(&mutated, seed);
+    }
+
+    /// Pure garbage — no magic, no structure — fails typed at any
+    /// chunking, and its admission estimate is never zero-cost.
+    #[test]
+    fn pure_garbage_fails_typed(
+        garbage in prop::collection::vec(0u8..255, 1..2048),
+        chunk in 1usize..257,
+    ) {
+        let chunks = chunked(&garbage, chunk);
+        run_stream(&chunks, 7);
+        let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
+        prop_assert_eq!(est.bytes, garbage.len() as u64);
+    }
+
+    /// Control: the untouched stream still decodes and synchronizes to
+    /// exactly what the in-memory path produces, and the estimator sees
+    /// its true event count — mutation hardening must not tax the happy
+    /// path.
+    #[test]
+    fn intact_streams_still_match_the_direct_path(
+        seed in 0u64..1000,
+        msgs in 8usize..80,
+        block in 4usize..64,
+        chunk in 8usize..256,
+    ) {
+        let (trace, init, fin, lmin) = drifted_trace(4, msgs, "constant", seed);
+        let bytes = to_binary_columnar_blocked(&trace, block);
+        let cfg = PipelineConfig::default();
+
+        let mut direct = trace.clone();
+        synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct path");
+
+        let chunks = chunked(&bytes, chunk);
+        let (streamed, _) = synchronize_stream(
+            chunks.iter().map(|c| c.as_slice()),
+            &init,
+            Some(&fin),
+            &lmin,
+            &cfg,
+        )
+        .expect("intact stream synchronizes");
+        assert_identical(&direct, &streamed, "stream vs direct");
+
+        let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
+        prop_assert!(est.complete);
+        prop_assert_eq!(est.events, trace.n_events() as u64);
+    }
+}

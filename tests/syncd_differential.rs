@@ -1,0 +1,246 @@
+//! Differential guarantees for the `syncd` service: a job run through the
+//! service — any storage engine, any worker count, any presync, trace or
+//! stream input, alone or in a contended mixed batch with a poisoned
+//! neighbour — produces **bit-identical** timestamps to calling
+//! `clocksync::synchronize` directly with the same configuration.
+
+mod common;
+
+use common::{assert_identical, drifted_trace};
+use drift_lab::clocksync::{
+    synchronize, ParallelConfig, PipelineConfig, PreSync, TimestampStorage,
+};
+use drift_lab::syncd::{
+    chunked, Counter, Fault, FaultInjector, JobError, JobInput, JobSpec, Priority,
+    ServiceConfig, SyncService,
+};
+use drift_lab::tracefmt::io::to_binary_columnar_blocked;
+use drift_lab::tracefmt::{MinLatency, Trace, UniformLatency};
+use std::sync::Arc;
+
+fn configs() -> Vec<(String, PipelineConfig)> {
+    let mut out = Vec::new();
+    for storage in [TimestampStorage::Aos, TimestampStorage::Columnar] {
+        for workers in [1usize, 2, 4] {
+            for presync in [PreSync::AlignOnly, PreSync::Linear] {
+                let cfg = PipelineConfig {
+                    presync,
+                    parallel: (workers > 1)
+                        .then_some(ParallelConfig { workers, shard_size: 64 }),
+                    storage,
+                    ..PipelineConfig::default()
+                };
+                out.push((
+                    format!("{storage:?}/w{workers}/{presync:?}"),
+                    cfg,
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn submit(
+    service: &SyncService,
+    input: JobInput,
+    init: &[Option<drift_lab::clocksync::OffsetMeasurement>],
+    fin: &[Option<drift_lab::clocksync::OffsetMeasurement>],
+    lmin: UniformLatency,
+    cfg: PipelineConfig,
+) -> drift_lab::syncd::JobHandle {
+    let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(lmin);
+    service
+        .submit(JobSpec::new(
+            input,
+            init.to_vec(),
+            Some(fin.to_vec()),
+            lmin,
+            cfg,
+        ))
+        .expect("admission accepts the job")
+}
+
+/// Every storage × workers × presync combination, both input kinds, one
+/// shared service: each job's output must equal its direct-call twin.
+#[test]
+fn service_matches_direct_across_the_config_grid() {
+    let (trace, init, fin, lmin) = drifted_trace(4, 300, "sinusoid", 42);
+    let bytes = to_binary_columnar_blocked(&trace, 32);
+    let service = SyncService::start(ServiceConfig {
+        executors: 2,
+        pool_workers: 8,
+        ..ServiceConfig::default()
+    });
+
+    // Submit everything up front so jobs genuinely contend for executors.
+    let mut jobs = Vec::new();
+    for (label, cfg) in configs() {
+        let mut direct = trace.clone();
+        synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg)
+            .unwrap_or_else(|e| panic!("{label}: direct run failed: {e}"));
+        let h_trace = submit(
+            &service,
+            JobInput::Trace(trace.clone()),
+            &init,
+            &fin,
+            lmin,
+            cfg.clone(),
+        );
+        let h_stream = submit(
+            &service,
+            JobInput::Stream(chunked(&bytes, 128)),
+            &init,
+            &fin,
+            lmin,
+            cfg,
+        );
+        jobs.push((label, direct, h_trace, h_stream));
+    }
+
+    for (label, direct, h_trace, h_stream) in jobs {
+        let via_trace = h_trace
+            .wait()
+            .unwrap_or_else(|f| panic!("{label}: trace job failed: {}", f.error));
+        assert_identical(&direct, &via_trace.trace, &format!("{label} (trace job)"));
+        let via_stream = h_stream
+            .wait()
+            .unwrap_or_else(|f| panic!("{label}: stream job failed: {}", f.error));
+        assert_identical(&direct, &via_stream.trace, &format!("{label} (stream job)"));
+    }
+
+    let m = service.metrics();
+    // 2 storage × 3 worker counts × 2 presyncs, each as trace + stream.
+    assert_eq!(m.counter(Counter::Completed), 12 * 2);
+    assert_eq!(m.counter(Counter::Failed), 0);
+    assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+    service.shutdown();
+}
+
+/// A mixed batch: healthy jobs interleaved with one poisoned stream. The
+/// poisoned job retries, fails typed, and affects nothing else.
+#[test]
+fn poisoned_neighbour_cannot_corrupt_healthy_jobs() {
+    let (trace, init, fin, lmin) = drifted_trace(3, 200, "randomwalk", 7);
+    let cfg = PipelineConfig::default();
+    let mut direct = trace.clone();
+    synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct run");
+
+    let bytes = to_binary_columnar_blocked(&trace, 16);
+    let poisoned = FaultInjector::new()
+        .with(Fault::FlipByte { at: bytes.len() / 3, xor: 0x40 })
+        .with(Fault::Truncate { at: bytes.len() - 7 })
+        .apply(&chunked(&bytes, 96));
+
+    let service = SyncService::start(ServiceConfig {
+        executors: 2,
+        max_retries: 2,
+        retry_backoff: std::time::Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+
+    // Interleave: healthy, healthy, poisoned, healthy, healthy.
+    let h1 = submit(&service, JobInput::Trace(trace.clone()), &init, &fin, lmin, cfg.clone());
+    let h2 = submit(&service, JobInput::Stream(chunked(&bytes, 96)), &init, &fin, lmin, cfg.clone());
+    let bad = submit(&service, JobInput::Stream(poisoned), &init, &fin, lmin, cfg.clone());
+    let h3 = submit(&service, JobInput::Trace(trace.clone()), &init, &fin, lmin, cfg.clone());
+    let h4 = submit(&service, JobInput::Stream(chunked(&bytes, 32)), &init, &fin, lmin, cfg);
+
+    let failure = bad.wait().expect_err("poisoned job must fail");
+    assert!(
+        matches!(failure.error, JobError::Pipeline(_) | JobError::Panicked(_)),
+        "poisoned job must fail typed, got {:?}",
+        failure.error
+    );
+    assert_eq!(failure.attempts, 3, "retry budget of 2 means 3 attempts");
+
+    for (i, h) in [h1, h2, h3, h4].into_iter().enumerate() {
+        let ok = h.wait().unwrap_or_else(|f| {
+            panic!("healthy job {i} failed next to a poisoned one: {}", f.error)
+        });
+        assert_identical(&direct, &ok.trace, &format!("healthy job {i}"));
+    }
+
+    let m = service.metrics();
+    assert_eq!(m.counter(Counter::Completed), 4);
+    assert_eq!(m.counter(Counter::Failed), 1);
+    assert!(m.counter(Counter::Retried) >= 2);
+    assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+    assert_eq!(m.admitted_bytes, 0, "all budget charges released");
+    service.shutdown();
+}
+
+/// Priorities only reorder execution — they never change results, even on
+/// an empty-measurement census-only job mixed with full pipeline runs.
+#[test]
+fn priorities_and_contention_do_not_change_bits() {
+    let (trace, init, fin, lmin) = drifted_trace(4, 150, "constant", 99);
+    let cfg = PipelineConfig {
+        parallel: Some(ParallelConfig { workers: 4, shard_size: 32 }),
+        ..PipelineConfig::default()
+    };
+    let mut direct = trace.clone();
+    synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct run");
+
+    let service = SyncService::start(ServiceConfig {
+        executors: 1, // force strict queueing so priority order matters
+        pool_workers: 4,
+        ..ServiceConfig::default()
+    });
+    let mut handles = Vec::new();
+    for (i, prio) in [Priority::Low, Priority::High, Priority::Normal, Priority::High]
+        .into_iter()
+        .enumerate()
+    {
+        let lmin_arc: Arc<dyn MinLatency + Send + Sync> = Arc::new(lmin);
+        let h = service
+            .submit(
+                JobSpec::new(
+                    JobInput::Trace(trace.clone()),
+                    init.clone(),
+                    Some(fin.clone()),
+                    lmin_arc,
+                    cfg.clone(),
+                )
+                .with_priority(prio),
+            )
+            .expect("admitted");
+        handles.push((i, h));
+    }
+    for (i, h) in handles {
+        let ok = h.wait().unwrap_or_else(|f| panic!("job {i} failed: {}", f.error));
+        assert_identical(&direct, &ok.trace, &format!("job {i}"));
+    }
+    let m = service.metrics();
+    assert_eq!(m.counter(Counter::Completed), 4);
+    assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+    // Stage totals folded from all four runs account for every event the
+    // jobs processed (presync runs once per job on every timeline).
+    let presync = m.stages.get("presync").expect("presync stage folded");
+    assert_eq!(presync.items, 4 * trace.n_events() as u64);
+    service.shutdown();
+}
+
+/// An all-empty trace through the service, as a degenerate-input control.
+#[test]
+fn empty_trace_job_completes() {
+    let cfg = PipelineConfig {
+        presync: PreSync::None,
+        clc: None,
+        ..PipelineConfig::default()
+    };
+    let service = SyncService::start_default();
+    let lmin: Arc<dyn MinLatency + Send + Sync> =
+        Arc::new(UniformLatency(drift_lab::simclock::Dur::from_us(1)));
+    let h = service
+        .submit(JobSpec::new(
+            JobInput::Trace(Trace::for_ranks(3)),
+            vec![None, None, None],
+            None,
+            lmin,
+            cfg,
+        ))
+        .expect("admitted");
+    let ok = h.wait().expect("empty job completes");
+    assert_eq!(ok.trace.n_events(), 0);
+    service.shutdown();
+}
