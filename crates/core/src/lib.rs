@@ -51,7 +51,8 @@ pub use lamport::{lamport_timestamps, satisfies_lamport_condition};
 pub use offset::{estimate_offset, error_bound, OffsetMeasurement, ProbeSample};
 pub use pipeline::{
     synchronize, synchronize_stream, synchronize_stream_with_cancel, synchronize_with_cancel,
-    CancelToken, ParallelConfig, PipelineConfig, PipelineError, PipelineReport, PipelineStats,
+    CancelProbe, CancelToken, ParallelConfig, PipelineConfig, PipelineError, PipelineReport,
+    PipelineStats,
     PreSync, StageReport, StageStats, StageTotals, TimestampStorage, TraceAnalysis,
 };
 pub use predict::{normal_cdf, safe_run_length, violation_probability, WanderModel};

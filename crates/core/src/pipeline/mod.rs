@@ -252,20 +252,40 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// An external cancellation source polled at every cooperative checkpoint:
+/// return `true` to stop the run there. Services use probes for clock
+/// seams (a deadline measured on a virtual clock) and simulation harnesses
+/// use them as *yield points* — every probe call marks a schedule decision
+/// where a fault (cancellation, injected panic, clock jump) can land
+/// deterministically.
+pub type CancelProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
 /// Cooperative cancellation for a pipeline run: an optional shared flag
-/// (set by whoever wants the run stopped) and an optional deadline.
+/// (set by whoever wants the run stopped), an optional deadline, and any
+/// number of [`CancelProbe`]s.
 ///
 /// The pipeline polls the token between stages — and, on the streaming
 /// path, between input chunks — and bails out with
-/// [`PipelineError::Cancelled`] at the next checkpoint after either trips.
-/// Stages themselves run to completion, so a run stops within one stage's
-/// latency of the request; nothing is rolled back (callers that need the
-/// original timestamps keep their own copy, as [`synchronize`] mutates the
-/// trace in place regardless).
-#[derive(Debug, Clone, Default)]
+/// [`PipelineError::Cancelled`] at the next checkpoint after any source
+/// trips. Stages themselves run to completion, so a run stops within one
+/// stage's latency of the request; nothing is rolled back (callers that
+/// need the original timestamps keep their own copy, as [`synchronize`]
+/// mutates the trace in place regardless).
+#[derive(Clone, Default)]
 pub struct CancelToken {
     flag: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
+    probes: Vec<CancelProbe>,
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("flag", &self.flag)
+            .field("deadline", &self.deadline)
+            .field("probes", &self.probes.len())
+            .finish()
+    }
 }
 
 impl CancelToken {
@@ -287,14 +307,24 @@ impl CancelToken {
         self
     }
 
-    /// Has the flag been raised or the deadline passed?
+    /// Attach one more [`CancelProbe`]; probes are polled (in attachment
+    /// order) at every checkpoint, after the flag and the deadline.
+    pub fn with_probe(mut self, probe: CancelProbe) -> Self {
+        self.probes.push(probe);
+        self
+    }
+
+    /// Has the flag been raised, the deadline passed, or a probe tripped?
     pub fn is_cancelled(&self) -> bool {
         if let Some(f) = &self.flag {
             if f.load(Ordering::Relaxed) {
                 return true;
             }
         }
-        matches!(self.deadline, Some(d) if Instant::now() >= d)
+        if matches!(self.deadline, Some(d) if Instant::now() >= d) {
+            return true;
+        }
+        self.probes.iter().any(|p| p())
     }
 
     /// One cooperative checkpoint.
@@ -510,7 +540,19 @@ fn synchronize_impl(
     let n_events = trace.n_events();
 
     // Freeze the latency model into a dense table, shared by every stage.
+    // The table is quadratic in the largest rank id, so bound it first:
+    // decoders already reject absurd header ids, but a trace built in
+    // memory can carry any `Rank`, and a sparse id orders of magnitude
+    // beyond the process count is corruption, not topology.
     let ranks: Vec<Rank> = trace.procs.iter().map(|p| p.location.rank).collect();
+    let max_rank = ranks.iter().map(|r| r.idx()).max().unwrap_or(0);
+    let rank_ceiling = trace.procs.len().saturating_mul(8).max(1 << 12);
+    if max_rank >= rank_ceiling {
+        return Err(PipelineError::BadTrace(format!(
+            "rank id {max_rank} out of range for a {}-process trace",
+            trace.procs.len()
+        )));
+    }
     let table = LatencyTable::freeze(lmin, &ranks);
 
     // Reconstruct the communication structure once; every census reuses it

@@ -36,6 +36,7 @@ pub mod ntp;
 pub mod platform;
 pub mod stability;
 pub mod time;
+pub mod virt;
 
 pub use aging::{AgingDrift, SteppedClock};
 pub use clock::{SimClock, TimerKind};
@@ -49,3 +50,4 @@ pub use ntp::NtpDiscipline;
 pub use platform::{ClockProfile, Platform};
 pub use stability::{adev_curve, allan_deviation, sample_phase};
 pub use time::{Dur, Time};
+pub use virt::VirtualClock;

@@ -1,0 +1,288 @@
+//! The decision trace: every choice a simulated schedule makes, as data.
+//!
+//! A campaign run *records* each scheduling decision the seeded PRNG
+//! makes; the resulting [`Decision`] list, together with the seed (which
+//! fixes the workload), reproduces the run exactly. Shrinking exploits
+//! the same property in the other direction: replaying a *prefix* of a
+//! failing trace and letting the deterministic drain finish the run is
+//! itself a valid schedule, so the minimal failing prefix is found by
+//! replaying shorter and shorter prefixes.
+//!
+//! Traces serialize to a small tagged binary format (`SIMT`) so a failing
+//! schedule can be written next to the campaign output and replayed from
+//! the command line. Decoding is strict: truncation, unknown tags, and
+//! trailing bytes are typed errors, never panics — a shrinker must be
+//! able to feed the codec garbage safely.
+
+/// What an injected fault does when its pipeline checkpoint arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Arm the job's cancel flag (a submitter cancelling mid-attempt).
+    Cancel,
+    /// Panic at the checkpoint (a worker crash mid-replay; the service's
+    /// `catch_unwind` isolation must contain it).
+    Crash,
+    /// Advance the virtual clock by `ns` (a stall that may trip the
+    /// job's deadline mid-attempt).
+    Jump {
+        /// Nanoseconds to advance.
+        ns: u64,
+    },
+}
+
+/// One scheduling decision of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Submit the next not-yet-submitted workload job.
+    Submit,
+    /// Step executor `exec` with no fault armed.
+    Exec {
+        /// Executor index.
+        exec: u8,
+    },
+    /// Step executor `exec` with a one-shot fault armed: skip `skip`
+    /// pipeline checkpoints, then apply `op`.
+    ExecFault {
+        /// Executor index.
+        exec: u8,
+        /// Checkpoints to let pass before the fault fires.
+        skip: u8,
+        /// The fault to apply.
+        op: FaultOp,
+    },
+    /// Cancel the `nth` (0-based, submission order) still-unresolved job
+    /// from outside — the submitter giving up on a queued or running job.
+    Cancel {
+        /// Index into the submitted-and-unresolved set.
+        nth: u16,
+    },
+    /// Advance the virtual clock by `ns`.
+    Advance {
+        /// Nanoseconds to advance.
+        ns: u64,
+    },
+    /// Begin service shutdown (drain if `abandon` is false, abandon the
+    /// queue if true).
+    Shutdown {
+        /// Fail queued jobs instead of draining them.
+        abandon: bool,
+    },
+}
+
+const MAGIC: &[u8; 4] = b"SIMT";
+const VERSION: u8 = 1;
+
+const TAG_SUBMIT: u8 = 0;
+const TAG_EXEC: u8 = 1;
+const TAG_EXEC_FAULT: u8 = 2;
+const TAG_CANCEL: u8 = 3;
+const TAG_ADVANCE: u8 = 4;
+const TAG_SHUTDOWN: u8 = 5;
+
+const OP_CANCEL: u8 = 0;
+const OP_CRASH: u8 = 1;
+const OP_JUMP: u8 = 2;
+
+/// Why a trace failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer does not start with `SIMT`.
+    BadMagic,
+    /// A format version this build does not understand.
+    BadVersion(u8),
+    /// The buffer ended mid-field (truncated trace).
+    UnexpectedEof,
+    /// An unknown decision or fault-op tag.
+    UnknownTag(u8),
+    /// Well-formed decisions followed by leftover bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a SIMT decision trace"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::UnexpectedEof => write!(f, "trace truncated mid-field"),
+            TraceError::UnknownTag(t) => write!(f, "unknown tag {t:#04x}"),
+            TraceError::TrailingBytes(n) => write!(f, "{n} trailing bytes after trace"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialize a seed + decision list to the `SIMT` binary format.
+pub fn encode_trace(seed: u64, decisions: &[Decision]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17 + decisions.len() * 4);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&(decisions.len() as u32).to_le_bytes());
+    for d in decisions {
+        match *d {
+            Decision::Submit => out.push(TAG_SUBMIT),
+            Decision::Exec { exec } => {
+                out.push(TAG_EXEC);
+                out.push(exec);
+            }
+            Decision::ExecFault { exec, skip, op } => {
+                out.push(TAG_EXEC_FAULT);
+                out.push(exec);
+                out.push(skip);
+                match op {
+                    FaultOp::Cancel => out.push(OP_CANCEL),
+                    FaultOp::Crash => out.push(OP_CRASH),
+                    FaultOp::Jump { ns } => {
+                        out.push(OP_JUMP);
+                        out.extend_from_slice(&ns.to_le_bytes());
+                    }
+                }
+            }
+            Decision::Cancel { nth } => {
+                out.push(TAG_CANCEL);
+                out.extend_from_slice(&nth.to_le_bytes());
+            }
+            Decision::Advance { ns } => {
+                out.push(TAG_ADVANCE);
+                out.extend_from_slice(&ns.to_le_bytes());
+            }
+            Decision::Shutdown { abandon } => {
+                out.push(TAG_SHUTDOWN);
+                out.push(abandon as u8);
+            }
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::UnexpectedEof)?;
+        if end > self.buf.len() {
+            return Err(TraceError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Parse a `SIMT` buffer back into its seed and decision list.
+pub fn decode_trace(bytes: &[u8]) -> Result<(u64, Vec<Decision>), TraceError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let seed = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut decisions = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let d = match r.u8()? {
+            TAG_SUBMIT => Decision::Submit,
+            TAG_EXEC => Decision::Exec { exec: r.u8()? },
+            TAG_EXEC_FAULT => {
+                let exec = r.u8()?;
+                let skip = r.u8()?;
+                let op = match r.u8()? {
+                    OP_CANCEL => FaultOp::Cancel,
+                    OP_CRASH => FaultOp::Crash,
+                    OP_JUMP => FaultOp::Jump { ns: r.u64()? },
+                    t => return Err(TraceError::UnknownTag(t)),
+                };
+                Decision::ExecFault { exec, skip, op }
+            }
+            TAG_CANCEL => Decision::Cancel { nth: r.u16()? },
+            TAG_ADVANCE => Decision::Advance { ns: r.u64()? },
+            TAG_SHUTDOWN => Decision::Shutdown {
+                abandon: r.u8()? != 0,
+            },
+            t => return Err(TraceError::UnknownTag(t)),
+        };
+        decisions.push(d);
+    }
+    if r.pos != bytes.len() {
+        return Err(TraceError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok((seed, decisions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Decision> {
+        vec![
+            Decision::Submit,
+            Decision::Exec { exec: 2 },
+            Decision::ExecFault { exec: 0, skip: 3, op: FaultOp::Crash },
+            Decision::ExecFault { exec: 1, skip: 0, op: FaultOp::Jump { ns: 1_000_000 } },
+            Decision::Cancel { nth: 7 },
+            Decision::Advance { ns: 42 },
+            Decision::Shutdown { abandon: true },
+        ]
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let encoded = encode_trace(0xDEAD_BEEF, &sample());
+        let (seed, decoded) = decode_trace(&encoded).unwrap();
+        assert_eq!(seed, 0xDEAD_BEEF);
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let encoded = encode_trace(1, &sample());
+        for cut in 0..encoded.len() {
+            let err = decode_trace(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::UnexpectedEof | TraceError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_tag_and_trailing_are_rejected() {
+        assert_eq!(decode_trace(b"NOPE\x01").unwrap_err(), TraceError::BadMagic);
+
+        let mut v = encode_trace(1, &[]);
+        v[4] = 9;
+        assert_eq!(decode_trace(&v).unwrap_err(), TraceError::BadVersion(9));
+
+        let mut v = encode_trace(1, &[Decision::Submit]);
+        let tag_at = v.len() - 1;
+        v[tag_at] = 0xFF;
+        assert_eq!(decode_trace(&v).unwrap_err(), TraceError::UnknownTag(0xFF));
+
+        let mut v = encode_trace(1, &[Decision::Submit]);
+        v.push(0);
+        assert_eq!(decode_trace(&v).unwrap_err(), TraceError::TrailingBytes(1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Shrinking: reduce a failing schedule to a minimal decision prefix.
+//!
+//! Replaying any *prefix* of a recorded trace is a valid run — the
+//! deterministic drain finishes whatever the prefix started — so
+//! shrinking is pure prefix search: first truncate to the decisions the
+//! failing run actually consumed, then shorten geometrically while the
+//! failure reproduces, then polish linearly. The result is the shortest
+//! prefix whose replay still breaks an invariant (not necessarily the
+//! same invariant — any failure is a bug worth keeping).
+
+use crate::decision::Decision;
+use crate::harness::{replay, SimConfig, SimReport};
+
+/// Outcome of shrinking one failing run.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimal failing prefix.
+    pub decisions: Vec<Decision>,
+    /// The report of replaying that prefix.
+    pub report: SimReport,
+    /// Replays spent searching.
+    pub replays: usize,
+}
+
+/// Shrink `decisions` (a schedule that breaks an invariant for `seed`)
+/// to a minimal failing prefix. Returns `None` if the full replay
+/// unexpectedly passes (a nondeterminism bug in the harness itself —
+/// callers should treat that as its own failure).
+pub fn shrink_prefix(seed: u64, cfg: &SimConfig, decisions: &[Decision]) -> Option<Shrunk> {
+    let mut replays = 0;
+    let mut check = |prefix: &[Decision]| -> Option<SimReport> {
+        replays += 1;
+        let rep = replay(seed, cfg, prefix);
+        rep.violation.is_some().then_some(rep)
+    };
+
+    let mut best = check(decisions)?;
+    // A violation mid-replay means later decisions were never applied;
+    // `best.decisions` is already the consumed prefix.
+    let mut len = best.decisions.len();
+
+    // Geometric: halve while the failure survives.
+    while len > 0 {
+        let half = len / 2;
+        match check(&best.decisions[..half]) {
+            Some(rep) => {
+                len = rep.decisions.len().min(half);
+                best = rep;
+            }
+            None => break,
+        }
+    }
+    // Linear polish from the short end.
+    while len > 0 {
+        match check(&best.decisions[..len - 1]) {
+            Some(rep) => {
+                len = rep.decisions.len().min(len - 1);
+                best = rep;
+            }
+            None => break,
+        }
+    }
+    let mut decisions = best.decisions.clone();
+    decisions.truncate(len);
+    Some(Shrunk {
+        decisions,
+        report: best,
+        replays,
+    })
+}

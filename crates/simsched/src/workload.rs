@@ -1,0 +1,170 @@
+//! Seeded workload generation: the jobs a simulated campaign runs.
+//!
+//! Everything about the workload — trace shapes, clock skews, stream vs.
+//! in-memory inputs, byte-level poisoning, priorities, deadlines, retry
+//! budgets — is drawn from one PRNG seeded with the campaign seed alone.
+//! The *schedule* draws from a different stream (see
+//! [`harness`](crate::harness)), so shrinking a failing schedule never
+//! changes which jobs exist.
+
+use clocksync::{OffsetMeasurement, ParallelConfig, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::{Dur, Time};
+use std::sync::Arc;
+use std::time::Duration;
+use syncd::{chunked, Fault, FaultInjector, JobInput, JobSpec, Priority};
+use tracefmt::io::to_binary_columnar_blocked;
+use tracefmt::{EventKind, MinLatency, Rank, Tag, Trace, UniformLatency};
+
+/// One workload job plus what the invariant checker needs to know about
+/// it.
+pub struct WorkItem {
+    /// The job. Submission clones it; the original stays with the checker
+    /// so the direct-pipeline oracle runs the *identical* input.
+    pub spec: JobSpec,
+    /// Whether the input bytes were deliberately corrupted.
+    pub poisoned: bool,
+}
+
+type Measurements = Vec<Option<OffsetMeasurement>>;
+
+/// A causally valid multi-rank trace with skewed linear clocks, plus
+/// matching init/finalize offset measurements (same construction as the
+/// syncd benches, scaled down for simulation).
+fn job_trace(rng: &mut StdRng, procs: usize, msgs: usize) -> (Trace, Measurements, Measurements) {
+    let offsets: Vec<i64> = (0..procs)
+        .map(|p| if p == 0 { 0 } else { rng.gen_range(-400i64..400) })
+        .collect();
+    let local = |p: usize, t: i64| t + offsets[p];
+    let mut trace = Trace::for_ranks(procs);
+    let mut now = vec![0i64; procs];
+    for m in 0..msgs {
+        let from = rng.gen_range(0usize..procs);
+        let to = (from + rng.gen_range(1usize..procs)) % procs;
+        let send_true = now[from] + rng.gen_range(5i64..40);
+        now[from] = send_true;
+        let recv_true = send_true.max(now[to]) + 4 + rng.gen_range(0i64..20);
+        now[to] = recv_true;
+        trace.procs[from].push(
+            Time::from_us(local(from, send_true)),
+            EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+        trace.procs[to].push(
+            Time::from_us(local(to, recv_true)),
+            EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+    }
+    let end = now.iter().max().copied().unwrap_or(0) + 100;
+    let measure = |p: usize, t: i64| -> Option<OffsetMeasurement> {
+        (p != 0).then(|| OffsetMeasurement {
+            worker_time: Time::from_us(local(p, t)),
+            offset: Dur::from_us(-offsets[p] + 2),
+            rtt: Dur::from_us(10),
+        })
+    };
+    let init: Vec<_> = (0..procs).map(|p| measure(p, 0)).collect();
+    let fin: Vec<_> = (0..procs).map(|p| measure(p, end)).collect();
+    (trace, init, fin)
+}
+
+/// Generate `jobs` work items from `seed`. Roughly a third arrive as DTC2
+/// streams, a quarter of those poisoned at the byte level; jobs carry a
+/// mix of priorities, deadlines, retry-budget overrides, and parallel
+/// pipeline configs.
+pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(UniformLatency(Dur::from_us(4)));
+    (0..jobs)
+        .map(|_| {
+            let procs = rng.gen_range(2usize..5);
+            let msgs = rng.gen_range(3usize..32);
+            let (trace, init, fin) = job_trace(&mut rng, procs, msgs);
+
+            let as_stream = rng.gen_bool(1.0 / 3.0);
+            let mut poisoned = false;
+            let input = if as_stream {
+                let bytes = to_binary_columnar_blocked(&trace, 16);
+                let mut chunks = chunked(&bytes, rng.gen_range(32usize..256));
+                if rng.gen_bool(0.25) {
+                    poisoned = true;
+                    let fault = match rng.gen_range(0u8..3) {
+                        0 => Fault::Truncate { at: rng.gen_range(0..bytes.len().max(1)) },
+                        1 => Fault::FlipByte {
+                            at: rng.gen_range(0..bytes.len().max(1)),
+                            xor: rng.gen_range(1u8..=255),
+                        },
+                        _ => Fault::DropChunk { index: rng.gen_range(0..chunks.len().max(1)) },
+                    };
+                    chunks = FaultInjector::new().with(fault).apply(&chunks);
+                }
+                JobInput::Stream(chunks)
+            } else {
+                JobInput::Trace(trace)
+            };
+
+            let mut pipeline = PipelineConfig::default();
+            if rng.gen_bool(0.25) {
+                pipeline.parallel = Some(ParallelConfig {
+                    workers: rng.gen_range(1usize..8),
+                    shard_size: rng.gen_range(8usize..64),
+                });
+            }
+
+            let mut spec = JobSpec::new(input, init, Some(fin), Arc::clone(&lmin), pipeline);
+            spec = match rng.gen_range(0u8..3) {
+                0 => spec.with_priority(Priority::High),
+                1 => spec.with_priority(Priority::Normal),
+                _ => spec.with_priority(Priority::Low),
+            };
+            if rng.gen_bool(0.3) {
+                // Virtual-time deadlines on the same scale as the
+                // schedule's clock advances and the service's backoff, so
+                // all three race each other.
+                spec = spec.with_deadline(Duration::from_micros(rng.gen_range(100u64..8_000)));
+            }
+            if rng.gen_bool(0.25) {
+                spec = spec.with_max_retries(rng.gen_range(0u32..4));
+            }
+            WorkItem { spec, poisoned }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = generate(7, 12);
+        let b = generate(7, 12);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.poisoned, y.poisoned);
+            assert_eq!(x.spec.deadline, y.spec.deadline);
+            assert_eq!(x.spec.max_retries, y.spec.max_retries);
+            match (&x.spec.input, &y.spec.input) {
+                (JobInput::Trace(t), JobInput::Trace(u)) => {
+                    assert_eq!(t.n_events(), u.n_events())
+                }
+                (JobInput::Stream(c), JobInput::Stream(d)) => assert_eq!(c, d),
+                _ => panic!("input kind diverged between runs"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_mixes_kinds() {
+        let items = generate(3, 64);
+        let streams = items
+            .iter()
+            .filter(|i| matches!(i.spec.input, JobInput::Stream(_)))
+            .count();
+        let poisoned = items.iter().filter(|i| i.poisoned).count();
+        let deadlines = items.iter().filter(|i| i.spec.deadline.is_some()).count();
+        assert!(streams > 0 && streams < 64);
+        assert!(poisoned > 0);
+        assert!(deadlines > 0);
+    }
+}

@@ -87,7 +87,6 @@ impl<T> PriorityQueue<T> {
         }
     }
 
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.len
     }

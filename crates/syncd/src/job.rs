@@ -47,6 +47,7 @@ impl Priority {
 
 /// What the job synchronizes: an in-memory trace, or a DTC2 byte stream
 /// fed to the streaming ingest path.
+#[derive(Clone)]
 pub enum JobInput {
     /// An already-decoded trace (cloned per attempt so retries start from
     /// the raw timestamps).
@@ -68,6 +69,11 @@ impl JobInput {
 }
 
 /// Everything the service needs to run one synchronization job.
+///
+/// `Clone` is cheap for the shared parts (`lmin` is an `Arc`) but deep for
+/// the input; the simulation harness relies on it to run the *identical*
+/// input through a direct pipeline call when checking bit-identity.
+#[derive(Clone)]
 pub struct JobSpec {
     /// The trace (in-memory or streamed bytes).
     pub input: JobInput,
@@ -274,6 +280,15 @@ impl JobHandle {
         self.state.cancel.store(true, Ordering::Relaxed);
     }
 
+    /// A shareable cancellation trigger: calling the returned closure is
+    /// equivalent to [`JobHandle::cancel`]. Lets a fault injector (or a
+    /// pipeline checkpoint probe) cancel the job without holding the
+    /// handle itself.
+    pub fn canceller(&self) -> Arc<dyn Fn() + Send + Sync> {
+        let flag = Arc::clone(&self.state.cancel);
+        Arc::new(move || flag.store(true, Ordering::Relaxed))
+    }
+
     /// Whether the outcome is already available (non-blocking).
     pub fn is_done(&self) -> bool {
         self.state
@@ -281,6 +296,18 @@ impl JobHandle {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .is_some()
+    }
+
+    /// A copy of the outcome if the job already finished (non-blocking,
+    /// non-consuming — unlike [`JobHandle::wait`], the outcome stays
+    /// available). The simulation harness polls this at quiescence to
+    /// assert every submitted job was resolved.
+    pub fn peek(&self) -> Option<JobOutcome> {
+        self.state
+            .done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Block until the job finishes and take its outcome.

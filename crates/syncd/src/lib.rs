@@ -67,7 +67,9 @@ pub mod admission;
 pub mod fault;
 pub mod job;
 pub mod metrics;
+pub mod runtime;
 pub mod service;
+pub mod step;
 
 pub use admission::{estimate_job_cost, JobCost};
 pub use fault::{chunked, Fault, FaultInjector};
@@ -76,4 +78,6 @@ pub use job::{
     Priority, SubmitError,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use runtime::{AttemptProbe, RealRuntime, Runtime};
 pub use service::{ServiceConfig, SyncService};
+pub use step::{StepEvent, StepService};

@@ -18,6 +18,19 @@
 //! guarantees bit-identical results for every worker count. A job run
 //! through the service therefore produces exactly the bytes a direct
 //! [`clocksync::synchronize`] call would.
+//!
+//! # Execution seam
+//!
+//! All scheduling state transitions live in step-shaped pieces — take a
+//! job off the queue ([`Shared::try_take`]), run one attempt and decide
+//! retry/terminal ([`JobRun::step`]), drain the queue at shutdown — and
+//! every timestamp goes through the [`Runtime`] clock. The threaded
+//! [`SyncService`] drives those pieces from OS executor threads; the
+//! [`StepService`](crate::step::StepService) drives the *same* pieces one
+//! explicit step at a time under a virtual clock, which is what makes the
+//! VOPR-style simulation harness (`crates/simsched`) both deterministic
+//! and honest: it explores the production state machine, not a model of
+//! it.
 
 use crate::admission::{estimate_job_cost, PriorityQueue, Queued};
 use crate::job::{
@@ -25,6 +38,7 @@ use crate::job::{
     SubmitError,
 };
 use crate::metrics::{Counter, MetricsRegistry, MetricsSnapshot};
+use crate::runtime::{AttemptProbe, RealRuntime, Runtime};
 use clocksync::{
     synchronize_stream_with_cancel, synchronize_with_cancel, CancelToken, PipelineError,
 };
@@ -32,7 +46,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -71,15 +85,16 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One admitted job waiting for (or holding) an executor.
-struct Ticket {
+/// One admitted job waiting for (or holding) an executor. Times are
+/// [`Runtime`]-clock instants (durations since the runtime's epoch).
+pub(crate) struct Ticket {
     spec: JobSpec,
     state: Arc<JobState>,
-    submitted: Instant,
-    deadline: Option<Instant>,
+    submitted: Duration,
+    deadline: Option<Duration>,
 }
 
-struct QueueInner {
+pub(crate) struct QueueInner {
     queue: PriorityQueue<Ticket>,
     /// Bytes currently charged against the memory budget.
     admitted: u64,
@@ -88,24 +103,177 @@ struct QueueInner {
     abandon_queue: bool,
 }
 
-struct Shared {
-    cfg: ServiceConfig,
-    metrics: Arc<MetricsRegistry>,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) runtime: Arc<dyn Runtime>,
     inner: Mutex<QueueInner>,
     cv: Condvar,
     next_id: AtomicU64,
 }
 
+/// What [`Shared::try_take`] found (non-blocking).
+pub(crate) enum Take {
+    /// A job to run.
+    Job(Box<Queued<Ticket>>),
+    /// Nothing queued; the executor should wait (or report idle).
+    Empty,
+    /// Shutdown reached: the executor must drain-and-exit.
+    Exit,
+}
+
 impl Shared {
+    pub(crate) fn new(cfg: ServiceConfig, runtime: Arc<dyn Runtime>) -> Arc<Shared> {
+        Arc::new(Shared {
+            inner: Mutex::new(QueueInner {
+                queue: PriorityQueue::new(cfg.queue_capacity.max(1)),
+                admitted: 0,
+                shutdown: false,
+                abandon_queue: false,
+            }),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            metrics: Arc::new(MetricsRegistry::new()),
+            runtime,
+            cfg,
+        })
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admission control + enqueue, shared by the threaded service and the
+    /// step-mode service. Gauge updates happen under the queue lock so a
+    /// metrics snapshot can never observe the push without its accounting
+    /// (or a negative transient between the two).
+    pub(crate) fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let metrics = &self.metrics;
+        let cost = estimate_job_cost(&spec.input).bytes;
+        let budget = self.cfg.memory_budget_bytes;
+        let mut inner = self.lock();
+        if inner.shutdown {
+            return Err(SubmitError::Shutdown);
+        }
+        if inner.queue.is_full() {
+            metrics.inc(Counter::RejectedQueueFull);
+            return Err(SubmitError::QueueFull {
+                capacity: inner.queue.capacity(),
+            });
+        }
+        if inner.admitted.saturating_add(cost) > budget {
+            metrics.inc(Counter::RejectedOverBudget);
+            return Err(SubmitError::OverBudget {
+                estimated: cost,
+                available: budget.saturating_sub(inner.admitted),
+            });
+        }
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = Arc::new(JobState::new(id));
+        let now = self.runtime.now();
+        let deadline = spec
+            .deadline
+            .or(self.cfg.default_deadline)
+            .map(|d| now + d);
+        let priority = spec.priority;
+        inner.admitted += cost;
+        inner.queue.push(
+            priority,
+            Queued {
+                job: Ticket {
+                    spec,
+                    state: Arc::clone(&state),
+                    submitted: now,
+                    deadline,
+                },
+                cost,
+            },
+        );
+        metrics.inc(Counter::Accepted);
+        metrics.queue_depth_add(1);
+        metrics.admitted_bytes_add(cost as i64);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(JobHandle { state })
+    }
+
+    /// Non-blocking dispatch: pop the highest-priority ticket, or report
+    /// why there is none. The queue-depth gauge moves under the same lock
+    /// as the pop.
+    pub(crate) fn try_take(&self) -> Take {
+        let mut inner = self.lock();
+        self.take_locked(&mut inner)
+    }
+
+    fn take_locked(&self, inner: &mut QueueInner) -> Take {
+        if inner.shutdown && (inner.abandon_queue || inner.queue.is_empty()) {
+            return Take::Exit;
+        }
+        match inner.queue.pop() {
+            Some(entry) => {
+                self.metrics.queue_depth_add(-1);
+                Take::Job(Box::new(entry))
+            }
+            None => Take::Empty,
+        }
+    }
+
+    /// Release a job's admission charge.
+    pub(crate) fn release(&self, cost: u64) {
+        let mut inner = self.lock();
+        inner.admitted -= cost;
+        self.metrics.admitted_bytes_add(-(cost as i64));
+    }
+
+    /// Fail everything still queued with [`JobError::Shutdown`] (the
+    /// abandon-queue shutdown path). Returns how many jobs were failed.
+    pub(crate) fn drain_shutdown(&self) -> usize {
+        let drained = self.lock().queue.drain();
+        let n = drained.len();
+        for Queued { job, cost } in drained {
+            self.metrics.queue_depth_add(-1);
+            self.release(cost);
+            job.state.finish(Err(JobFailure {
+                error: JobError::Shutdown,
+                attempts: 0,
+            }));
+            self.metrics.inc(Counter::Failed);
+        }
+        n
+    }
+
+    /// Flip the shutdown flags and wake every executor.
+    pub(crate) fn begin_shutdown(&self, abandon_queue: bool) {
+        {
+            let mut inner = self.lock();
+            inner.shutdown = true;
+            inner.abandon_queue = inner.abandon_queue || abandon_queue;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Bytes currently charged against the memory budget (ground truth,
+    /// read under the queue lock — the simulation invariant checker
+    /// compares this against the `admitted_bytes` gauge).
+    pub(crate) fn admitted_bytes(&self) -> u64 {
+        self.lock().admitted
+    }
+
+    /// Jobs currently queued.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.lock().queue.len()
     }
 }
 
 /// Decrements a gauge (and optionally bumps the crash counter) on drop,
 /// so accounting survives a panic escaping the guarded region.
-struct CrashGuard<'a> {
-    metrics: &'a MetricsRegistry,
+pub(crate) struct CrashGuard<'a> {
+    pub(crate) metrics: &'a MetricsRegistry,
 }
 
 impl Drop for CrashGuard<'_> {
@@ -124,21 +292,18 @@ pub struct SyncService {
 }
 
 impl SyncService {
-    /// Start a service with the given configuration.
+    /// Start a service with the given configuration on the production
+    /// [`RealRuntime`] clock.
     pub fn start(cfg: ServiceConfig) -> Self {
+        SyncService::start_with_runtime(cfg, Arc::new(RealRuntime::new()))
+    }
+
+    /// Start a service on an explicit [`Runtime`] — the seam the
+    /// deterministic simulation harness uses to substitute a virtual
+    /// clock. Production callers want [`SyncService::start`].
+    pub fn start_with_runtime(cfg: ServiceConfig, runtime: Arc<dyn Runtime>) -> Self {
         let executors = cfg.executors.max(1);
-        let shared = Arc::new(Shared {
-            inner: Mutex::new(QueueInner {
-                queue: PriorityQueue::new(cfg.queue_capacity.max(1)),
-                admitted: 0,
-                shutdown: false,
-                abandon_queue: false,
-            }),
-            cv: Condvar::new(),
-            next_id: AtomicU64::new(1),
-            metrics: Arc::new(MetricsRegistry::new()),
-            cfg,
-        });
+        let shared = Shared::new(cfg, runtime);
         let threads = (0..executors)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -160,53 +325,7 @@ impl SyncService {
     /// returns a handle only if the job fits the queue and the memory
     /// budget, and a typed [`SubmitError`] otherwise.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
-        let metrics = &self.shared.metrics;
-        let cost = estimate_job_cost(&spec.input).bytes;
-        let budget = self.shared.cfg.memory_budget_bytes;
-        let mut inner = self.shared.lock();
-        if inner.shutdown {
-            return Err(SubmitError::Shutdown);
-        }
-        if inner.queue.is_full() {
-            metrics.inc(Counter::RejectedQueueFull);
-            return Err(SubmitError::QueueFull {
-                capacity: inner.queue.capacity(),
-            });
-        }
-        if inner.admitted.saturating_add(cost) > budget {
-            metrics.inc(Counter::RejectedOverBudget);
-            return Err(SubmitError::OverBudget {
-                estimated: cost,
-                available: budget.saturating_sub(inner.admitted),
-            });
-        }
-        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
-        let state = Arc::new(JobState::new(id));
-        let now = Instant::now();
-        let deadline = spec
-            .deadline
-            .or(self.shared.cfg.default_deadline)
-            .map(|d| now + d);
-        let priority = spec.priority;
-        inner.admitted += cost;
-        inner.queue.push(
-            priority,
-            Queued {
-                job: Ticket {
-                    spec,
-                    state: Arc::clone(&state),
-                    submitted: now,
-                    deadline,
-                },
-                cost,
-            },
-        );
-        drop(inner);
-        metrics.inc(Counter::Accepted);
-        metrics.queue_depth_add(1);
-        metrics.admitted_bytes_add(cost as i64);
-        self.shared.cv.notify_one();
-        Ok(JobHandle { state })
+        self.shared.submit(spec)
     }
 
     /// A point-in-time copy of every service metric.
@@ -227,12 +346,7 @@ impl SyncService {
     }
 
     fn stop(mut self, abandon_queue: bool) {
-        {
-            let mut inner = self.shared.lock();
-            inner.shutdown = true;
-            inner.abandon_queue = abandon_queue;
-        }
-        self.shared.cv.notify_all();
+        self.shared.begin_shutdown(abandon_queue);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -244,11 +358,7 @@ impl Drop for SyncService {
         if self.threads.is_empty() {
             return;
         }
-        {
-            let mut inner = self.shared.lock();
-            inner.shutdown = true;
-        }
-        self.shared.cv.notify_all();
+        self.shared.begin_shutdown(false);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -260,58 +370,32 @@ fn executor_loop(shared: &Shared) {
         let entry = {
             let mut inner = shared.lock();
             loop {
-                if inner.shutdown && (inner.abandon_queue || inner.queue.is_empty()) {
-                    break None;
+                match shared.take_locked(&mut inner) {
+                    Take::Job(entry) => break Some(entry),
+                    Take::Exit => break None,
+                    Take::Empty => {
+                        inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    }
                 }
-                if let Some(entry) = inner.queue.pop() {
-                    break Some(entry);
-                }
-                inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let Some(Queued { job: ticket, cost }) = entry else {
+        let Some(entry) = entry else {
             // Shutdown. Under abandon_queue one executor drains the rest
             // and fails them typed; under graceful drain there is nothing
             // left to fail.
-            let drained = shared.lock().queue.drain();
-            for Queued { job, cost } in drained {
-                shared.metrics.queue_depth_add(-1);
-                release(shared, cost);
-                job.state.finish(Err(JobFailure {
-                    error: JobError::Shutdown,
-                    attempts: 0,
-                }));
-                shared.metrics.inc(Counter::Failed);
-            }
+            shared.drain_shutdown();
             return;
         };
-        shared.metrics.queue_depth_add(-1);
+        let Queued { job: ticket, cost } = *entry;
         let guard = CrashGuard {
             metrics: &shared.metrics,
         };
-        let outcome = run_job(shared, &ticket);
-        drop(guard);
-        release(shared, cost);
-        match &outcome {
-            Ok(_) => shared.metrics.inc(Counter::Completed),
-            Err(f) => {
-                match f.error {
-                    JobError::Cancelled => shared.metrics.inc(Counter::Cancelled),
-                    JobError::DeadlineExceeded => {
-                        shared.metrics.inc(Counter::DeadlineExceeded)
-                    }
-                    _ => {}
-                }
-                shared.metrics.inc(Counter::Failed);
-            }
+        let mut run = JobRun::begin(shared, ticket, cost);
+        while let RunStep::Backoff(backoff) = run.step(shared, None) {
+            shared.runtime.sleep(backoff);
         }
-        ticket.state.finish(outcome);
+        drop(guard);
     }
-}
-
-fn release(shared: &Shared, cost: u64) {
-    shared.lock().admitted -= cost;
-    shared.metrics.admitted_bytes_add(-(cost as i64));
 }
 
 /// A job's terminal state after one attempt, or a decision to retry.
@@ -321,111 +405,208 @@ enum AttemptOutcome {
     Retryable(JobError),
 }
 
-fn run_job(shared: &Shared, ticket: &Ticket) -> JobOutcome {
-    let metrics = &shared.metrics;
-    let spec = &ticket.spec;
-    let queue_wait = ticket.submitted.elapsed();
-    metrics.observe_queue_wait(queue_wait);
-    metrics.running_add(1);
-
-    let max_attempts = spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
-    // A job's fair share of the worker pool; the requested count is only
-    // ever clamped down to it, never raised.
-    let fair_share = (shared.cfg.pool_workers / shared.cfg.executors.max(1)).max(1);
-    let mut pipeline = spec.pipeline.clone();
-    if let Some(par) = pipeline.parallel.as_mut() {
-        par.workers = par.workers.clamp(1, fair_share);
-    }
-    let mut cancel = CancelToken::none().with_flag(Arc::clone(&ticket.state.cancel));
-    if let Some(deadline) = ticket.deadline {
-        cancel = cancel.with_deadline(deadline);
-    }
-
-    let mut attempts = 0u32;
-    let outcome = loop {
-        if ticket.state.cancel.load(Ordering::Relaxed) {
-            break Err(JobError::Cancelled);
-        }
-        if ticket.deadline.is_some_and(|d| Instant::now() >= d) {
-            break Err(JobError::DeadlineExceeded);
-        }
-        attempts += 1;
-        match attempt(shared, ticket, &pipeline, &cancel, attempts, queue_wait) {
-            AttemptOutcome::Done(success) => break Ok(*success),
-            AttemptOutcome::Terminal(err) => break Err(err),
-            AttemptOutcome::Retryable(err) => {
-                if attempts >= max_attempts {
-                    break Err(err);
-                }
-                metrics.inc(Counter::Retried);
-                let backoff = shared.cfg.retry_backoff * 2u32.saturating_pow(attempts - 1);
-                std::thread::sleep(backoff);
-            }
-        }
-    };
-
-    metrics.running_add(-1);
-    match outcome {
-        Ok(success) => {
-            metrics.observe_job_latency(ticket.submitted.elapsed());
-            metrics.fold_pipeline_stats(&success.report.stats);
-            Ok(success)
-        }
-        Err(error) => Err(JobFailure { error, attempts }),
-    }
+/// What one [`JobRun::step`] produced.
+pub(crate) enum RunStep {
+    /// The attempt failed retryably; wait out `backoff` before stepping
+    /// again. (The threaded loop sleeps; the step-mode service parks the
+    /// executor until the virtual clock passes the wake time.)
+    Backoff(Duration),
+    /// The job reached a terminal outcome; all bookkeeping (metrics,
+    /// budget release, handle delivery) is already done.
+    Finished {
+        /// Whether the job succeeded.
+        ok: bool,
+    },
 }
 
-fn attempt(
-    shared: &Shared,
-    ticket: &Ticket,
-    pipeline: &clocksync::PipelineConfig,
-    cancel: &CancelToken,
-    attempt_no: u32,
+/// One admitted job being executed: the retry loop of the service,
+/// decomposed into explicit steps so the threaded executor and the
+/// deterministic simulation drive the identical state machine.
+pub(crate) struct JobRun {
+    ticket: Ticket,
+    cost: u64,
+    pipeline: clocksync::PipelineConfig,
     queue_wait: Duration,
-) -> AttemptOutcome {
-    let spec = &ticket.spec;
-    let t0 = Instant::now();
-    let fin = spec.fin.as_deref();
-    let lmin = &*spec.lmin;
-    // Each attempt works on a fresh copy of the input, so a failed or
-    // half-rewritten attempt never leaks into the retry.
-    let result = catch_unwind(AssertUnwindSafe(|| match &spec.input {
-        crate::job::JobInput::Trace(trace) => {
-            let mut work = trace.clone();
-            synchronize_with_cancel(&mut work, &spec.init, fin, lmin, pipeline, cancel)
-                .map(|report| (work, report))
+    attempts: u32,
+    max_attempts: u32,
+}
+
+impl JobRun {
+    /// Take ownership of a popped ticket: record queue wait, mark the job
+    /// running, clamp its worker request to the fair share of the pool.
+    pub(crate) fn begin(shared: &Shared, ticket: Ticket, cost: u64) -> Self {
+        let metrics = &shared.metrics;
+        let queue_wait = shared
+            .runtime
+            .now()
+            .saturating_sub(ticket.submitted);
+        metrics.observe_queue_wait(queue_wait);
+        metrics.running_add(1);
+
+        let max_attempts = ticket.spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
+        // A job's fair share of the worker pool; the requested count is
+        // only ever clamped down to it, never raised.
+        let fair_share = (shared.cfg.pool_workers / shared.cfg.executors.max(1)).max(1);
+        let mut pipeline = ticket.spec.pipeline.clone();
+        if let Some(par) = pipeline.parallel.as_mut() {
+            par.workers = par.workers.clamp(1, fair_share);
         }
-        crate::job::JobInput::Stream(chunks) => synchronize_stream_with_cancel(
-            chunks.iter().map(|c| c.as_slice()),
-            &spec.init,
-            fin,
-            lmin,
+        JobRun {
+            ticket,
+            cost,
             pipeline,
-            cancel,
-        ),
-    }));
-    match result {
-        Ok(Ok((trace, report))) => AttemptOutcome::Done(Box::new(JobSuccess {
-            trace,
-            report,
-            attempts: attempt_no,
             queue_wait,
-            run_time: t0.elapsed(),
-        })),
-        Ok(Err(PipelineError::Cancelled)) => {
-            // Disambiguate: an armed flag means the submitter cancelled;
-            // otherwise the deadline tripped the token.
-            if ticket.state.cancel.load(Ordering::Relaxed) {
-                AttemptOutcome::Terminal(JobError::Cancelled)
-            } else {
-                AttemptOutcome::Terminal(JobError::DeadlineExceeded)
+            attempts: 0,
+            max_attempts,
+        }
+    }
+
+    /// The job's id.
+    pub(crate) fn id(&self) -> JobId {
+        self.ticket.state.id
+    }
+
+    /// Run one attempt (or conclude without one if the job was cancelled
+    /// or its deadline passed). `probe` is threaded into the attempt's
+    /// [`CancelToken`] as an extra cancellation source — the simulation
+    /// harness's per-checkpoint fault-injection hook; the threaded service
+    /// passes `None`.
+    pub(crate) fn step(&mut self, shared: &Shared, probe: Option<&AttemptProbe>) -> RunStep {
+        let result = 'run: {
+            if self.ticket.state.cancel.load(Ordering::Relaxed) {
+                break 'run Err(JobError::Cancelled);
+            }
+            if self.deadline_passed(shared) {
+                break 'run Err(JobError::DeadlineExceeded);
+            }
+            self.attempts += 1;
+            match self.attempt(shared, probe) {
+                AttemptOutcome::Done(success) => break 'run Ok(*success),
+                AttemptOutcome::Terminal(err) => break 'run Err(err),
+                AttemptOutcome::Retryable(err) => {
+                    if self.attempts >= self.max_attempts {
+                        break 'run Err(err);
+                    }
+                    let backoff =
+                        shared.cfg.retry_backoff * 2u32.saturating_pow(self.attempts - 1);
+                    // A backoff that would wake at or past the deadline is
+                    // doomed — the deadline check above would fail the job
+                    // the moment it woke — so fail it now instead of
+                    // holding the executor in a useless sleep while other
+                    // tenants' jobs queue behind it. (Found by the
+                    // simsched chaos campaign: seed 61's doomed parking.)
+                    if let Some(deadline) = self.ticket.deadline {
+                        if shared.runtime.now() + backoff >= deadline {
+                            break 'run Err(JobError::DeadlineExceeded);
+                        }
+                    }
+                    shared.metrics.inc(Counter::Retried);
+                    return RunStep::Backoff(backoff);
+                }
+            }
+        };
+        self.finish(shared, result)
+    }
+
+    fn deadline_passed(&self, shared: &Shared) -> bool {
+        self.ticket
+            .deadline
+            .is_some_and(|d| shared.runtime.now() >= d)
+    }
+
+    /// Terminal bookkeeping: counters, latency, stats fold, budget
+    /// release, and outcome delivery to the submitter's handle.
+    fn finish(&mut self, shared: &Shared, result: Result<JobSuccess, JobError>) -> RunStep {
+        let metrics = &shared.metrics;
+        metrics.running_add(-1);
+        let ok = result.is_ok();
+        let outcome: JobOutcome = match result {
+            Ok(success) => {
+                metrics.observe_job_latency(
+                    shared.runtime.now().saturating_sub(self.ticket.submitted),
+                );
+                metrics.fold_pipeline_stats(&success.report.stats);
+                Ok(success)
+            }
+            Err(error) => Err(JobFailure {
+                error,
+                attempts: self.attempts,
+            }),
+        };
+        match &outcome {
+            Ok(_) => metrics.inc(Counter::Completed),
+            Err(f) => {
+                match f.error {
+                    JobError::Cancelled => metrics.inc(Counter::Cancelled),
+                    JobError::DeadlineExceeded => metrics.inc(Counter::DeadlineExceeded),
+                    _ => {}
+                }
+                metrics.inc(Counter::Failed);
             }
         }
-        Ok(Err(err)) => AttemptOutcome::Retryable(JobError::Pipeline(err)),
-        Err(payload) => {
-            shared.metrics.inc(Counter::JobPanics);
-            let msg = panic_message(payload.as_ref());
-            AttemptOutcome::Retryable(JobError::Panicked(msg))
+        shared.release(self.cost);
+        self.ticket.state.finish(outcome);
+        RunStep::Finished { ok }
+    }
+
+    fn attempt(&self, shared: &Shared, probe: Option<&AttemptProbe>) -> AttemptOutcome {
+        let spec = &self.ticket.spec;
+        let t0 = shared.runtime.now();
+        let mut cancel =
+            CancelToken::none().with_flag(Arc::clone(&self.ticket.state.cancel));
+        if let Some(deadline) = self.ticket.deadline {
+            // Deadline as a probe on the runtime clock, so simulated time
+            // trips it exactly like wall time would.
+            let rt = Arc::clone(&shared.runtime);
+            cancel = cancel.with_probe(Arc::new(move || rt.now() >= deadline));
+        }
+        if let Some(probe) = probe {
+            cancel = cancel.with_probe(Arc::clone(probe));
+        }
+        let fin = spec.fin.as_deref();
+        let lmin = &*spec.lmin;
+        let pipeline = &self.pipeline;
+        // Each attempt works on a fresh copy of the input, so a failed or
+        // half-rewritten attempt never leaks into the retry.
+        let result = catch_unwind(AssertUnwindSafe(|| match &spec.input {
+            crate::job::JobInput::Trace(trace) => {
+                let mut work = trace.clone();
+                synchronize_with_cancel(&mut work, &spec.init, fin, lmin, pipeline, &cancel)
+                    .map(|report| (work, report))
+            }
+            crate::job::JobInput::Stream(chunks) => synchronize_stream_with_cancel(
+                chunks.iter().map(|c| c.as_slice()),
+                &spec.init,
+                fin,
+                lmin,
+                pipeline,
+                &cancel,
+            ),
+        }));
+        match result {
+            Ok(Ok((trace, report))) => AttemptOutcome::Done(Box::new(JobSuccess {
+                trace,
+                report,
+                attempts: self.attempts,
+                queue_wait: self.queue_wait,
+                run_time: shared.runtime.now().saturating_sub(t0),
+            })),
+            Ok(Err(PipelineError::Cancelled)) => {
+                // Disambiguate: an armed flag means the submitter (or an
+                // injected fault acting as one) cancelled; otherwise the
+                // deadline tripped the token.
+                if self.ticket.state.cancel.load(Ordering::Relaxed) {
+                    AttemptOutcome::Terminal(JobError::Cancelled)
+                } else {
+                    AttemptOutcome::Terminal(JobError::DeadlineExceeded)
+                }
+            }
+            Ok(Err(err)) => AttemptOutcome::Retryable(JobError::Pipeline(err)),
+            Err(payload) => {
+                shared.metrics.inc(Counter::JobPanics);
+                let msg = panic_message(payload.as_ref());
+                AttemptOutcome::Retryable(JobError::Panicked(msg))
+            }
         }
     }
 }

@@ -323,6 +323,12 @@ pub fn from_binary(mut buf: Bytes) -> Result<Trace, CodecError> {
         need(&buf, 16)?;
         let rank = Rank(buf.get_u32());
         let thread = ThreadId(buf.get_u32());
+        if rank.0 > MAX_LOCATION_ID || thread.0 > MAX_LOCATION_ID {
+            return Err(CodecError::BadField(format!(
+                "timeline id out of range: rank {}, thread {}",
+                rank.0, thread.0
+            )));
+        }
         let n_events = buf.get_u64() as usize;
         // Every encoded event is at least 9 bytes (timestamp + kind code),
         // so an event count the remaining input cannot possibly hold is a
@@ -411,9 +417,28 @@ const MAX_KIND_PAYLOAD: usize = 22;
 /// Ceiling on a block's payload length, implied by [`MAX_BLOCK_EVENTS`].
 pub const MAX_BLOCK_PAYLOAD: usize = MAX_BLOCK_EVENTS * MAX_KIND_PAYLOAD;
 
+/// Ceiling on the rank and thread ids a decoder will accept in a timeline
+/// header. Location ids index dense per-rank structures downstream — the
+/// frozen `l_min` table is quadratic in the largest rank id — so a single
+/// flipped high byte in a header would otherwise surface as a huge
+/// allocation (or a capacity-overflow panic) long after decode instead of
+/// a typed error. Sixteen million timelines is corruption, not scale.
+/// The ceiling also stays far below the `u32::MAX` end-of-stream sentinel.
+pub const MAX_LOCATION_ID: u32 = (1 << 24) - 1;
+
 /// Validate a parsed (non-trailer) frame header against the format's
 /// sanity ceilings.
-fn check_block_header(n_events: usize, payload_len: usize) -> Result<(), CodecError> {
+fn check_block_header(
+    rank: u32,
+    thread: u32,
+    n_events: usize,
+    payload_len: usize,
+) -> Result<(), CodecError> {
+    if rank > MAX_LOCATION_ID || thread > MAX_LOCATION_ID {
+        return Err(CodecError::BadField(format!(
+            "timeline id out of range: rank {rank}, thread {thread}"
+        )));
+    }
     if n_events > MAX_BLOCK_EVENTS || payload_len > MAX_BLOCK_PAYLOAD {
         return Err(CodecError::BadField(format!(
             "oversized block header: {n_events} events, {payload_len} payload bytes"
@@ -801,7 +826,7 @@ impl StreamDecoder {
                 self.finished = true;
                 continue;
             }
-            check_block_header(n_events, payload_len)?;
+            check_block_header(rd_u32(avail, 0), rd_u32(avail, 4), n_events, payload_len)?;
             let frame_len = 16 + n_events * 8 + payload_len;
             if avail.len() < frame_len {
                 break;
@@ -997,7 +1022,9 @@ pub fn estimate_columnar_stream<'a>(
                 est.complete = true;
                 break;
             }
-            if check_block_header(n_events, payload_len).is_err() {
+            if check_block_header(rd_u32(&carry, 0), rd_u32(&carry, 4), n_events, payload_len)
+                .is_err()
+            {
                 aborted = true;
                 break;
             }
@@ -1347,6 +1374,29 @@ mod tests {
         buf.put_u32(64); // payload_len
         let mut dec = StreamDecoder::new();
         assert!(matches!(dec.feed(&buf.freeze()), Err(CodecError::BadField(_))));
+    }
+
+    #[test]
+    fn columnar_rejects_corrupt_rank_in_block_header() {
+        // A flipped high byte in a header's rank id must fail typed at
+        // parse time — the id would otherwise reach dense per-rank
+        // structures downstream (the l_min table is quadratic in it).
+        let encoded = to_binary_columnar(&sample_trace());
+        let mut corrupt = encoded.to_vec();
+        corrupt[4] ^= 0xF0; // rank field of the first frame header
+        let mut dec = StreamDecoder::new();
+        assert!(matches!(dec.feed(&corrupt), Err(CodecError::BadField(_))));
+    }
+
+    #[test]
+    fn binary_rejects_corrupt_rank_in_proc_header() {
+        let encoded = to_binary(&sample_trace());
+        let mut corrupt = encoded.to_vec();
+        corrupt[8] ^= 0xF0; // rank field of the first process header
+        assert!(matches!(
+            from_binary(Bytes::from(corrupt)),
+            Err(CodecError::BadField(_))
+        ));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 #    BENCH_pipeline.json and the perf gate below fails the script if the
 #    parallel-CLC speedup over serial regresses; the syncd smoke run
 #    refreshes BENCH_syncd.json and a sanity gate checks its report
-# 5. service smoke: the sync_service example runs headless and must show
+# 5. VOPR chaos campaign: 500 seeded simulation schedules against the
+#    stepped service (5000 with DRIFT_STRESS=1); any failing seed is
+#    shrunk, written to vopr-failure-<seed>.simt, and printed with a
+#    copy-pasteable repro command
+# 6. service smoke: the sync_service example runs headless and must show
 #    >=1 retried job and 0 service crashes in its metrics exporter
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -68,6 +72,18 @@ else
     echo "    (single cpu: wall-clock gate not applicable, bench sanity floor applies)"
 fi
 
+# VOPR campaign: every seed must pass every invariant and replay
+# identically from its decision trace. On failure the runner prints the
+# seed and the exact command to reproduce it, so nothing extra is needed
+# here beyond propagating the exit code.
+if [[ "${DRIFT_STRESS:-0}" == "1" ]]; then
+    vopr_seeds=5000
+else
+    vopr_seeds=500
+fi
+echo "==> vopr campaign: cargo run --release -p simsched --bin vopr -- --seeds ${vopr_seeds}"
+cargo run --release -q -p simsched --bin vopr -- --seeds "$vopr_seeds"
+
 # Sanity gate over the syncd bench report. The CPU-aware throughput gate
 # lives inside the bench itself; here we only check the report is sane.
 echo "==> perf gate: syncd service report from BENCH_syncd.json"
@@ -82,6 +98,23 @@ echo "    service ${svc_jps} jobs/s, latency p50 ${p50}s p99 ${p99}s"
 if ! awk -v j="$svc_jps" -v a="$p50" -v b="$p99" \
         'BEGIN { exit !(j > 0 && a <= b && b > 0) }'; then
     echo "perf gate: implausible syncd report (jobs/s ${svc_jps}, p50 ${p50}, p99 ${p99})" >&2
+    exit 1
+fi
+
+# Seam-overhead gate: the Runtime/StepService seam must cost nothing in
+# production. The service/direct throughput ratio is host-relative (both
+# sides run on the same machine in the same process), so it is stable
+# across CPU counts; the pre-seam baseline measured 1.202 on 1 cpu, and a
+# ratio well below 1.0 would mean the executor path started paying for
+# its abstractions.
+ratio=$(sed -n 's/.*"service_over_direct_ratio": \([0-9.]*\).*/\1/p' BENCH_syncd.json)
+if [[ -z "$ratio" ]]; then
+    echo "perf gate: could not read service_over_direct_ratio from BENCH_syncd.json" >&2
+    exit 1
+fi
+echo "    service/direct ratio ${ratio}x (pre-seam baseline 1.202x)"
+if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 0.90) }'; then
+    echo "perf gate: service/direct ratio ${ratio}x < 0.90x — executor seam regressed throughput" >&2
     exit 1
 fi
 
