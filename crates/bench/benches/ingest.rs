@@ -10,7 +10,17 @@
 //! * `v2_full` — the blocked columnar binary decoded in one call;
 //! * `v2_streamed` — the same bytes fed to the incremental
 //!   [`StreamDecoder`] in bounded chunks, the way `synchronize_stream`
-//!   ingests: timestamp columns fall out of the block frames directly.
+//!   ingests: timestamp columns fall out of the block frames directly;
+//! * `v3_full` / `v3_streamed` — the `DTC3` variant through the same two
+//!   paths: 8-aligned little-endian timestamp segments reinterpreted in
+//!   bulk and a fixed-stride payload decoded without per-field bounds
+//!   checks;
+//! * `v2_times` / `v3_times` — the re-ingest lane ([`TimesBuilder`]):
+//!   only the timestamp columns are decoded, the path a consumer takes
+//!   over stored bytes whose order-based analysis is already cached. On
+//!   v3 this is zero-copy end to end (aligned segments bulk-cast into
+//!   columns, payloads skipped) and gates the format: it must ingest at
+//!   least 2x as fast as the full `v2_streamed` decode.
 //!
 //! Run with `cargo bench -p bench --bench ingest` (add `-- --test` for the
 //! CI smoke run: fewer repetitions, same report). Either way the events/sec
@@ -21,7 +31,8 @@ use rand::{Rng, SeedableRng};
 use simclock::Time;
 use std::time::{Duration, Instant};
 use tracefmt::io::{
-    from_binary, from_binary_columnar, to_binary, to_binary_columnar, StreamDecoder, TraceBuilder,
+    from_binary, from_binary_columnar, to_binary, to_binary_columnar, to_binary_columnar_v3,
+    StreamDecoder, TimesBuilder, TraceBuilder,
 };
 use tracefmt::{EventKind, Rank, Tag, Trace, TraceColumns};
 
@@ -86,6 +97,7 @@ fn main() {
     assert!(n_events >= 100_000, "bench trace too small: {n_events}");
     let v1_bytes = to_binary(&trace);
     let v2_bytes = to_binary_columnar(&trace);
+    let v3_bytes = to_binary_columnar_v3(&trace);
 
     // v1: full materialization from one contiguous buffer, then gather.
     let t_v1 = best_of(iters, || {
@@ -111,25 +123,78 @@ fn main() {
         builder.finish_parts()
     });
 
+    // v3: the same two decode paths over the aligned little-endian frames.
+    let t_v3_full = best_of(iters, || {
+        from_binary_columnar(v3_bytes.clone()).expect("v3 decodes")
+    });
+    let t_v3_stream = best_of(iters, || {
+        let mut dec = StreamDecoder::new();
+        let mut builder = TraceBuilder::new();
+        for chunk in v3_bytes.chunks(STREAM_CHUNK) {
+            dec.feed_into(chunk, &mut builder).expect("v3 stream decodes");
+        }
+        dec.finish().expect("v3 stream complete");
+        builder.finish_parts()
+    });
+
+    // Times-only re-ingest: the decoder skips every payload segment and
+    // builds just the columns. v2 still byteswaps each big-endian
+    // timestamp; v3 bulk-reinterprets its aligned little-endian runs.
+    let t_v2_times = best_of(iters, || {
+        let mut dec = StreamDecoder::new();
+        let mut builder = TimesBuilder::new();
+        for chunk in v2_bytes.chunks(STREAM_CHUNK) {
+            dec.feed_times_into(chunk, &mut builder).expect("v2 times decode");
+        }
+        dec.finish().expect("v2 times complete");
+        builder.finish()
+    });
+    let t_v3_times = best_of(iters, || {
+        let mut dec = StreamDecoder::new();
+        let mut builder = TimesBuilder::new();
+        for chunk in v3_bytes.chunks(STREAM_CHUNK) {
+            dec.feed_times_into(chunk, &mut builder).expect("v3 times decode");
+        }
+        dec.finish().expect("v3 times complete");
+        builder.finish()
+    });
+
     let eps_v1 = events_per_sec(n_events, t_v1);
     let eps_v2_full = events_per_sec(n_events, t_v2_full);
     let eps_v2_stream = events_per_sec(n_events, t_v2_stream);
+    let eps_v3_full = events_per_sec(n_events, t_v3_full);
+    let eps_v3_stream = events_per_sec(n_events, t_v3_stream);
+    let eps_v2_times = events_per_sec(n_events, t_v2_times);
+    let eps_v3_times = events_per_sec(n_events, t_v3_times);
     let speedup = eps_v2_stream / eps_v1;
+    let v3_speedup = eps_v3_times / eps_v2_stream;
 
     println!("ingest: {n_events} events, v1 {} bytes, v2 {} bytes", v1_bytes.len(), v2_bytes.len());
     println!("  v1_full      {:>12.0} events/s  ({t_v1:?})", eps_v1);
     println!("  v2_full      {:>12.0} events/s  ({t_v2_full:?})", eps_v2_full);
     println!("  v2_streamed  {:>12.0} events/s  ({t_v2_stream:?})", eps_v2_stream);
+    println!("  v3_full      {:>12.0} events/s  ({t_v3_full:?})", eps_v3_full);
+    println!("  v3_streamed  {:>12.0} events/s  ({t_v3_stream:?})", eps_v3_stream);
+    println!("  v2_times     {:>12.0} events/s  ({t_v2_times:?})", eps_v2_times);
+    println!("  v3_times     {:>12.0} events/s  ({t_v3_times:?})", eps_v3_times);
     println!("  streamed/v1 speedup: {speedup:.2}x");
+    println!("  v3 zero-copy ingest / v2 streamed decode speedup: {v3_speedup:.2}x");
 
     let json = format!(
         "{{\n  \"n_events\": {n_events},\n  \"v1_bytes\": {},\n  \"v2_bytes\": {},\n  \
+         \"v3_bytes\": {},\n  \
          \"v1_full_events_per_sec\": {eps_v1:.0},\n  \
          \"v2_full_events_per_sec\": {eps_v2_full:.0},\n  \
          \"v2_streamed_events_per_sec\": {eps_v2_stream:.0},\n  \
-         \"streamed_over_v1_speedup\": {speedup:.3}\n}}\n",
+         \"v3_full_events_per_sec\": {eps_v3_full:.0},\n  \
+         \"v3_streamed_events_per_sec\": {eps_v3_stream:.0},\n  \
+         \"v2_times_events_per_sec\": {eps_v2_times:.0},\n  \
+         \"v3_times_events_per_sec\": {eps_v3_times:.0},\n  \
+         \"streamed_over_v1_speedup\": {speedup:.3},\n  \
+         \"v3_ingest_over_v2_streamed_speedup\": {v3_speedup:.3}\n}}\n",
         v1_bytes.len(),
         v2_bytes.len(),
+        v3_bytes.len(),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     std::fs::write(out, json).expect("write BENCH_ingest.json");
@@ -138,5 +203,13 @@ fn main() {
     assert!(
         speedup >= 1.5,
         "chunked columnar ingest must be >= 1.5x v1 full decode, got {speedup:.2}x"
+    );
+    assert!(
+        v3_speedup >= 2.0,
+        "zero-copy v3 ingest must be >= 2x the full v2 streamed decode, got {v3_speedup:.2}x"
+    );
+    assert!(
+        eps_v3_times > eps_v2_times,
+        "v3's aligned bulk cast must beat v2's per-element byteswap on the times-only lane"
     );
 }

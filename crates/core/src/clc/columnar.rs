@@ -38,16 +38,24 @@ pub(crate) fn controlled_logical_clock_columnar_csr(
     params: &ClcParams,
 ) -> Result<ClcReport, ClcError> {
     validate(params)?;
-    let originals = cols.to_time_vecs();
+    let originals = flatten_by_gid(cols);
     let mut report = forward_pass_csr(cols, graph, &originals, params.mu)?;
     if params.backward {
         backward_amortization_csr(cols, graph, params, &report.jumps, false);
-        let post = cols.to_time_vecs();
+        let post = flatten_by_gid(cols);
         let _ = forward_pass_csr(cols, graph, &post, 1.0)?;
     }
     report.events_total = cols.n_events();
     report.events_moved = events_moved(cols, &originals);
     Ok(report)
+}
+
+/// Snapshot the columns as one dense `i64` slab indexed by gid — the
+/// layout every CSR kernel reads its snapshots and originals in. The
+/// columns' own slab is already timeline-major in gid order, so this is a
+/// single `memcpy` of live storage.
+pub(crate) fn flatten_by_gid(cols: &TraceColumns) -> Vec<i64> {
+    cols.flat().to_vec()
 }
 
 pub(crate) fn validate(params: &ClcParams) -> Result<(), ClcError> {
@@ -60,30 +68,42 @@ pub(crate) fn validate(params: &ClcParams) -> Result<(), ClcError> {
     Ok(())
 }
 
-pub(crate) fn events_moved(cols: &TraceColumns, originals: &[Vec<Time>]) -> usize {
-    cols.iter()
+/// Count events whose corrected time differs from the original. Branchless
+/// compare-and-sum over two dense `i64` runs — the autovectorizer turns
+/// each timeline into packed compares.
+pub(crate) fn events_moved(cols: &TraceColumns, originals: &[i64]) -> usize {
+    cols.flat()
+        .iter()
         .zip(originals)
-        .map(|(col, orig)| {
-            col.as_slice()
-                .iter()
-                .zip(orig)
-                .filter(|(&ps, &o)| ps != o.as_ps())
-                .count()
-        })
+        .map(|(&a, &b)| usize::from(a != b))
         .sum()
 }
 
-/// The forward pass over columns and CSR in-edges: assign corrected times
-/// in dependency order, round-robin across timelines, exactly like
+/// The forward pass over CSR in-edges: assign corrected times in
+/// dependency order, round-robin across timelines, exactly like
 /// [`super::forward_pass`].
+///
+/// `originals` is the pre-pass trace flattened by gid
+/// ([`flatten_by_gid`]); corrected times accumulate in a flat slab of the
+/// same shape so the hot loop touches exactly two dense `i64` arrays — no
+/// column indirection, no binary-search `locate` (the producer-pending
+/// check compares raw gids against a per-timeline frontier). Columns are
+/// overwritten from the slab once the pass completes; on
+/// [`ClcError::CyclicTrace`] they are left untouched. The arithmetic is
+/// statement-identical to the AoS reference.
 pub(crate) fn forward_pass_csr(
     cols: &mut TraceColumns,
     graph: &DepGraph,
-    originals: &[Vec<Time>],
+    originals: &[i64],
     mu: f64,
 ) -> Result<ClcReport, ClcError> {
     let n = cols.n_procs();
-    let mut pc = vec![0usize; n];
+    let lens: Vec<usize> = (0..n).map(|p| cols.col(p).len()).collect();
+    let mut corr: Vec<i64> = vec![0; originals.len()];
+    // frontier[p]: gid of the next uncorrected event of timeline p. A
+    // producer gid is corrected iff it is below its timeline's frontier —
+    // the same predicate as the AoS `j >= pc[q]` check, without locate.
+    let mut frontier: Vec<u32> = (0..n).map(|p| graph.base(p)).collect();
     let mut prev_orig = vec![Time::MIN; n];
     let mut prev_corr = vec![Time::MIN; n];
     let mut report = ClcReport::default();
@@ -91,22 +111,23 @@ pub(crate) fn forward_pass_csr(
     loop {
         let mut progressed = false;
         for p in 0..n {
-            let base = graph.base(p);
-            'events: while pc[p] < cols.col(p).len() {
-                let i = pc[p];
-                let orig = originals[p][i];
+            let base = graph.base(p) as usize;
+            let end = base + lens[p];
+            'events: while (frontier[p] as usize) < end {
+                let gid = frontier[p] as usize;
+                let i = gid - base;
+                let orig = Time::from_ps(originals[gid]);
 
                 // Remote constraint: max over in-edge producers, walked in
                 // dependency-dispatch order so the pass blocks on the same
                 // first pending producer as the AoS reference.
                 let mut remote: Option<Time> = None;
-                let (srcs, lats) = graph.in_of(base + i as u32);
+                let (srcs, lats) = graph.in_of(gid as u32);
                 for (&src, &lat) in srcs.iter().zip(lats) {
-                    let (q, j) = graph.locate(src);
-                    if j >= pc[q] {
+                    if src >= frontier[graph.proc_of(src)] {
                         break 'events; // producer not yet corrected
                     }
-                    let c = cols.col(q).get(j) + Dur::from_ps(lat);
+                    let c = Time::from_ps(corr[src as usize]) + Dur::from_ps(lat);
                     remote = Some(remote.map_or(c, |b: Time| b.max(c)));
                 }
 
@@ -126,14 +147,17 @@ pub(crate) fn forward_pass_csr(
                     }
                     _ => candidate,
                 };
-                cols.col_mut(p).as_mut_slice()[i] = corrected.as_ps();
+                corr[gid] = corrected.as_ps();
                 prev_orig[p] = orig;
                 prev_corr[p] = corrected;
-                pc[p] += 1;
+                frontier[p] += 1;
                 progressed = true;
             }
         }
-        if (0..n).all(|p| pc[p] == cols.col(p).len()) {
+        if (0..n).all(|p| frontier[p] as usize == graph.base(p) as usize + lens[p]) {
+            // `corr` is gid-indexed and the slab is timeline-major in gid
+            // order, so the writeback is one bulk copy.
+            cols.flat_mut().copy_from_slice(&corr);
             return Ok(report);
         }
         if !progressed {
@@ -156,10 +180,7 @@ pub(crate) fn backward_amortization_csr(
 ) {
     // Flatten the snapshot by gid: backward clamping reads remote times by
     // out-edge target, which is already a gid.
-    let mut snapshot: Vec<i64> = Vec::with_capacity(cols.n_events());
-    for col in cols.iter() {
-        snapshot.extend_from_slice(col.as_slice());
-    }
+    let snapshot = flatten_by_gid(cols);
     let snapshot_ref = &snapshot;
     let mut per_proc: Vec<Vec<Jump>> = vec![Vec::new(); cols.n_procs()];
     for j in jumps {

@@ -41,6 +41,10 @@ pub struct DepGraph {
     /// `base[p]` is the gid of event `(p, 0)`; `base[n_procs]` the total
     /// event count. Prefix sums of the timeline lengths.
     base: Vec<u32>,
+    /// `proc_of[gid]` is the timeline of event `gid` — the inverse of
+    /// `base`, materialized so the hot kernels resolve gid → timeline in
+    /// one load instead of a binary search over `base`.
+    proc_of: Vec<u32>,
     /// CSR offsets into `in_edges`, one slot per event plus a terminator.
     in_offsets: Vec<u32>,
     /// Producer gids, grouped per consumer in dependency-dispatch order.
@@ -86,6 +90,10 @@ impl DepGraph {
                 .expect("event count fits u32");
         }
         base.push(total);
+        let mut proc_of = Vec::with_capacity(total as usize);
+        for (p, &len) in proc_lens.iter().enumerate() {
+            proc_of.extend(std::iter::repeat_n(p as u32, len));
+        }
         let gid = |id: EventId| base[id.p()] + id.idx;
 
         // Gather the edge triples in lowering order: message edges in
@@ -172,6 +180,7 @@ impl DepGraph {
 
         DepGraph {
             base,
+            proc_of,
             in_offsets,
             in_edges,
             in_lat_ps,
@@ -216,10 +225,16 @@ impl DepGraph {
         self.base[p]
     }
 
+    /// Timeline of event `gid`, in one load.
+    #[inline]
+    pub(crate) fn proc_of(&self, gid: u32) -> usize {
+        self.proc_of[gid as usize] as usize
+    }
+
     /// Map a gid back to its `(proc, index)` pair.
     #[inline]
     pub(crate) fn locate(&self, gid: u32) -> (usize, usize) {
-        let p = self.base.partition_point(|&b| b <= gid) - 1;
+        let p = self.proc_of(gid);
         (p, (gid - self.base[p]) as usize)
     }
 

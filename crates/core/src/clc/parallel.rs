@@ -50,6 +50,18 @@ pub(crate) fn controlled_logical_clock_parallel_with_graph(
     params: &ClcParams,
 ) -> Result<(ClcReport, Duration), ClcError> {
     let mut cols = TraceColumns::gather(trace);
+    // On a single hardware thread the replay engine's per-timeline workers
+    // only time-slice each other and the ring handoffs become pure
+    // overhead (observed 2x slower than serial). The serial CSR kernel is
+    // bit-identical, so fall back to it outright.
+    let single_cpu = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
+    if single_cpu {
+        let report = super::columnar::controlled_logical_clock_columnar_csr(
+            &mut cols, graph, params,
+        )?;
+        cols.scatter_into(trace);
+        return Ok((report, Duration::ZERO));
+    }
     let (report, wait) = controlled_logical_clock_replay_csr(&mut cols, graph, params)?;
     cols.scatter_into(trace);
     Ok((report, wait))

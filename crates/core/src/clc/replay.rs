@@ -41,7 +41,7 @@
 //! safety-net sweep then reuse the serial CSR kernels.
 
 use super::columnar::{
-    backward_amortization_csr, events_moved, forward_pass_csr, validate,
+    backward_amortization_csr, events_moved, flatten_by_gid, forward_pass_csr, validate,
 };
 use super::graph::DepGraph;
 use super::{ClcError, ClcParams, ClcReport, Jump};
@@ -156,7 +156,7 @@ pub(crate) fn controlled_logical_clock_replay_csr(
         return Err(ClcError::CyclicTrace);
     }
     let n = cols.n_procs();
-    let originals = cols.to_time_vecs();
+    let originals = flatten_by_gid(cols);
 
     // One ring per ordered cross pair, indexed producer-major: the q → p
     // ring lives at `q * n + p`. Same-pair slots get empty rings.
@@ -174,8 +174,10 @@ pub(crate) fn controlled_logical_clock_replay_csr(
         let mut handles = Vec::with_capacity(n);
         for (p, col) in cols.iter_mut_slices() {
             let mu = params.mu;
+            let b = graph.base(p) as usize;
+            let my_originals = &originals_ref[b..b + col.len()];
             handles.push(scope.spawn(move || {
-                replay_worker(p, n, col, &originals_ref[p], graph, rings_ref, mu)
+                replay_worker(p, n, col, my_originals, graph, rings_ref, mu)
             }));
         }
         for h in handles {
@@ -194,7 +196,7 @@ pub(crate) fn controlled_logical_clock_replay_csr(
 
     if params.backward {
         backward_amortization_csr(cols, graph, params, &jumps, true);
-        let post = cols.to_time_vecs();
+        let post = flatten_by_gid(cols);
         forward_pass_csr(cols, graph, &post, 1.0)?;
     }
 
@@ -213,7 +215,7 @@ fn replay_worker(
     p: usize,
     n: usize,
     col: &mut [i64],
-    originals: &[Time],
+    originals: &[i64],
     graph: &DepGraph,
     rings: &[Ring],
     mu: f64,
@@ -274,7 +276,7 @@ fn replay_worker(
             }
         }
 
-        let orig = originals[i];
+        let orig = Time::from_ps(originals[i]);
         let remote = if has_deps { Some(Time::from_ps(acc[i])) } else { None };
         let candidate = if i == 0 {
             orig

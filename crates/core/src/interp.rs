@@ -51,6 +51,21 @@ impl OffsetAlignment {
     }
 }
 
+impl OffsetAlignment {
+    /// Apply the alignment to a dense picosecond column in place.
+    ///
+    /// `m(t) = t + o₁` is a pure integer add, so the loop carries no
+    /// per-element dispatch or float work and autovectorizes to packed
+    /// 64-bit adds. Bit-identical to mapping each element through
+    /// [`TimestampMap::map`].
+    pub fn map_col(&self, col: &mut [i64]) {
+        let off = self.offset.as_ps();
+        for ps in col.iter_mut() {
+            *ps += off;
+        }
+    }
+}
+
 impl TimestampMap for OffsetAlignment {
     fn map(&self, t: Time) -> Time {
         t + self.offset
@@ -110,6 +125,27 @@ impl LinearInterpolation {
     /// rate difference between worker and master).
     pub fn slope(&self) -> f64 {
         self.slope
+    }
+
+    /// Apply Eq. 3 to a dense picosecond column in place.
+    ///
+    /// The anchor constants are hoisted, but each element runs the exact
+    /// [`offset_at`](LinearInterpolation::offset_at) float sequence —
+    /// ps→seconds divide, slope multiply, `.round()`-ing seconds→ps
+    /// conversion — so results are bit-identical to the per-event map.
+    /// (The `.round()` is load-bearing: a `trunc(x + 0.5)` rewrite differs
+    /// on values like `0.49999999999999994` and would break the columnar /
+    /// AoS bit-identity guarantee.) The loop body is branchless, so the
+    /// autovectorizer can turn it into packed converts and FMAs without
+    /// changing any individual result.
+    pub fn map_col(&self, col: &mut [i64]) {
+        let w1 = self.w1.as_ps();
+        let o1 = self.o1.as_ps();
+        let slope = self.slope;
+        for ps in col.iter_mut() {
+            let ds = Dur::from_ps(*ps - w1).as_secs_f64();
+            *ps += o1 + Dur::from_secs_f64(slope * ds).as_ps();
+        }
     }
 }
 
@@ -375,6 +411,26 @@ mod tests {
         apply_maps(&mut t, &maps);
         assert_eq!(t.procs[0].events[0].time, Time::from_us(10));
         assert_eq!(t.procs[1].events[0].time, Time::from_us(15));
+    }
+
+    #[test]
+    fn map_col_matches_per_element_map() {
+        let li = LinearInterpolation::new(&m(0.0, 100.0), &m(100.0, 300.0));
+        let al = OffsetAlignment::new(&m(0.0, 250.0));
+        // Negatives, magnitudes spanning ~±17 minutes, and picosecond
+        // residues that land near the .5 rounding edge of the seconds→ps
+        // conversion.
+        let raw: Vec<i64> = (-2000..2000i64).map(|k| k * 499_999_999 + (k % 7)).collect();
+        let mut col = raw.clone();
+        li.map_col(&mut col);
+        for (&r, &got) in raw.iter().zip(&col) {
+            assert_eq!(got, li.map(Time::from_ps(r)).as_ps(), "linear at {r}");
+        }
+        let mut col = raw.clone();
+        al.map_col(&mut col);
+        for (&r, &got) in raw.iter().zip(&col) {
+            assert_eq!(got, al.map(Time::from_ps(r)).as_ps(), "align at {r}");
+        }
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //! [`PresyncMap::map_col`]: super::PresyncMap::map_col
 
 use super::{
-    census_stage, parallel, CancelToken, PipelineConfig, PipelineError, PipelineStats,
+    census_stage_planned, parallel, CancelToken, PipelineConfig, PipelineError, PipelineStats,
     PresyncMap, StageOutcomes, StageStats, TraceAnalysis,
 };
 use crate::clc::graph::DepGraph;
 use std::time::{Duration, Instant};
-use tracefmt::{LatencyTable, Trace, TraceColumns};
+use tracefmt::{CensusPlan, LatencyTable, Trace, TraceColumns};
 
 /// Run the timestamp stages on gathered columns.
 ///
@@ -62,7 +62,25 @@ pub(super) fn run(
         }
     };
 
-    let raw = census_stage("census:raw", &cols, analysis, table, par, stats);
+    // Freeze the timestamp-independent census state once: event ids
+    // resolved to flat-array offsets, bounds baked into dense lanes,
+    // collectives expanded into logical messages. All three censuses then
+    // run the same chunked branchless kernels over snapshots of the
+    // columns. (The AoS engine keeps the reference per-item checks, so the
+    // differential tests exercise both implementations.)
+    let t0 = Instant::now();
+    let plan = CensusPlan::for_columns(
+        &cols,
+        &analysis.matching.messages,
+        &analysis.instances,
+        table,
+    )
+    .map_err(|e| PipelineError::BadTrace(e.to_string()))?;
+    stats
+        .stages
+        .push(StageStats::sequential("plan", analysis.n_items(), t0.elapsed()));
+
+    let raw = census_stage_planned("census:raw", &plan, &cols, par, stats);
 
     // Pre-synchronisation: tight per-column loops.
     let after_presync = match maps {
@@ -87,7 +105,7 @@ pub(super) fn run(
                         .push(StageStats::sharded("presync", items, t0.elapsed(), shards, wait));
                 }
             }
-            census_stage("census:presync", &cols, analysis, table, par, stats)
+            census_stage_planned("census:presync", &plan, &cols, par, stats)
         }
     };
 
@@ -119,7 +137,7 @@ pub(super) fn run(
                 if replay { n } else { 1 },
                 wait,
             ));
-            let census = census_stage("census:clc", &cols, analysis, table, par, stats);
+            let census = census_stage_planned("census:clc", &plan, &cols, par, stats);
             (Some(census), Some(rep))
         }
     };

@@ -43,9 +43,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tracefmt::io::{CodecError, StreamDecoder, TraceBuilder};
 use tracefmt::{
-    check_collectives_at, check_p2p_messages_at, match_collectives, match_messages, CollReport,
-    CollectiveInstance, LatencyTable, Matching, MinLatency, P2pReport, Rank, TimeSource, Trace,
-    TraceColumns,
+    check_collectives_at, check_p2p_messages_at, match_collectives, match_messages, CensusPlan,
+    CollReport, CollectiveInstance, LatencyTable, Matching, MinLatency, P2pReport,
+    Rank, TimeSource, Trace, TraceColumns,
 };
 
 /// Which pre-synchronisation to apply.
@@ -157,22 +157,16 @@ impl TimestampMap for PresyncMap {
 impl PresyncMap {
     /// Apply the map to a dense picosecond column in place.
     ///
-    /// The enum dispatch is hoisted out of the loop, but each element goes
-    /// through exactly the same [`TimestampMap::map`] arithmetic as the
-    /// per-event path — the two are bit-identical by construction.
+    /// The enum dispatch is hoisted out of the loop and each variant runs
+    /// its own columnar kernel ([`OffsetAlignment::map_col`] is a packed
+    /// integer add, [`LinearInterpolation::map_col`] keeps the exact Eq. 3
+    /// float sequence) — both bit-identical to mapping each element
+    /// through [`TimestampMap::map`].
     pub(crate) fn map_col(&self, col: &mut [i64]) {
         match self {
             PresyncMap::Identity => {}
-            PresyncMap::Align(m) => {
-                for ps in col.iter_mut() {
-                    *ps = m.map(Time::from_ps(*ps)).as_ps();
-                }
-            }
-            PresyncMap::Linear(m) => {
-                for ps in col.iter_mut() {
-                    *ps = m.map(Time::from_ps(*ps)).as_ps();
-                }
-            }
+            PresyncMap::Align(m) => m.map_col(col),
+            PresyncMap::Linear(m) => m.map_col(col),
         }
     }
 }
@@ -395,6 +389,42 @@ fn census_stage<S: TimeSource + Sync>(
         }
         Some(par) => {
             let (rep, items, shards, wait) = parallel::census_sharded(times, analysis, table, par);
+            stats
+                .stages
+                .push(StageStats::sharded(name, items, t0.elapsed(), shards, wait));
+            rep
+        }
+    }
+}
+
+/// [`census_stage`] over a frozen [`CensusPlan`]: borrow the columns' slab
+/// as the plan's gather array (zero copies), then run the chunked
+/// branchless census kernels (sequentially or range-sharded). The reports
+/// are bit-identical to the reference `capture_at` path, which the AoS
+/// engine keeps using — the differential tests compare the two end to end.
+fn census_stage_planned(
+    name: &'static str,
+    plan: &CensusPlan,
+    cols: &TraceColumns,
+    par: Option<&ParallelConfig>,
+    stats: &mut PipelineStats,
+) -> StageReport {
+    let t0 = Instant::now();
+    let flat = plan.flat_of(cols);
+    let n_items = plan.n_messages() + plan.n_instances();
+    match par {
+        None => {
+            let rep = StageReport {
+                p2p: plan.p2p_census(flat),
+                coll: plan.collective_census(flat),
+            };
+            stats
+                .stages
+                .push(StageStats::sequential(name, n_items, t0.elapsed()));
+            rep
+        }
+        Some(par) => {
+            let (rep, items, shards, wait) = parallel::census_sharded_planned(plan, flat, par);
             stats
                 .stages
                 .push(StageStats::sharded(name, items, t0.elapsed(), shards, wait));

@@ -15,9 +15,9 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use tracefmt::{
     assemble_collective_instances, check_collectives_at, check_p2p_messages_at,
-    collect_collective_calls, collect_sends, consume_recvs, CollCall, CollReport,
-    CollectiveInstance, CommId, EventRecord, LatencyTable, Matching, MessageMatch, P2pReport,
-    PendingSends, Rank, TimeSource, Trace, TraceColumns,
+    collect_collective_calls, collect_sends, consume_recvs, CensusPlan, CollCall, CollReport,
+    CollectiveInstance, CommId, EventRecord, LatencyTable, Matching, MessageMatch,
+    P2pReport, PendingSends, Rank, TimeSource, Trace, TraceColumns,
 };
 
 /// Worker-pool configuration for the parallel pipeline.
@@ -338,6 +338,58 @@ pub(super) fn census_sharded<S: TimeSource + Sync>(
     let run = run_sharded(jobs, cfg.effective_workers(), |job| match job {
         CensusJob::P2p(chunk) => CensusOut::P2p(check_p2p_messages_at(times, chunk, table)),
         CensusJob::Coll(chunk) => CensusOut::Coll(check_collectives_at(times, chunk, table)),
+    });
+
+    let mut p2p = P2pReport::default();
+    let mut coll = CollReport::default();
+    let mut items = 0usize;
+    for out in run.results {
+        match out {
+            CensusOut::P2p(r) => {
+                items += r.total;
+                p2p.merge(r);
+            }
+            CensusOut::Coll(r) => {
+                items += r.instances;
+                coll.merge(r);
+            }
+        }
+    }
+    (StageReport { p2p, coll }, items, run.shards, run.merge_wait)
+}
+
+/// [`census_sharded`] over a frozen [`CensusPlan`]: shard by index range
+/// into the plan's message and instance lists instead of re-slicing the
+/// analysis, and run the plan's chunked branchless kernels per range.
+/// Identical sharding geometry and shard-order merge, so the report equals
+/// the sequential planned census bit for bit.
+pub(super) fn census_sharded_planned(
+    plan: &CensusPlan,
+    flat: &[i64],
+    cfg: &ParallelConfig,
+) -> (StageReport, usize, usize, Duration) {
+    let shard_size = cfg.effective_shard_size();
+    enum RangeJob {
+        P2p(usize, usize),
+        Coll(usize, usize),
+    }
+    let mut jobs: Vec<RangeJob> = Vec::new();
+    let mut lo = 0usize;
+    while lo < plan.n_messages() {
+        let hi = (lo + shard_size).min(plan.n_messages());
+        jobs.push(RangeJob::P2p(lo, hi));
+        lo = hi;
+    }
+    let mut lo = 0usize;
+    while lo < plan.n_instances() {
+        let hi = (lo + shard_size).min(plan.n_instances());
+        jobs.push(RangeJob::Coll(lo, hi));
+        lo = hi;
+    }
+
+    let run = run_sharded(jobs, cfg.effective_workers(), |job| match job {
+        RangeJob::P2p(lo, hi) => CensusOut::P2p(plan.p2p_census_range(flat, lo, hi)),
+        RangeJob::Coll(lo, hi) => CensusOut::Coll(plan.collective_census_range(flat, lo, hi)),
     });
 
     let mut p2p = P2pReport::default();

@@ -1,7 +1,8 @@
 //! Offline shim for the `bytes` crate API surface used by the trace codecs:
 //! [`BytesMut`] as an append-only build buffer, [`Bytes`] as a cheaply
 //! cloneable read cursor, and the [`Buf`]/[`BufMut`] accessor traits with
-//! the big-endian (network order) semantics of the real crate.
+//! both the big-endian (network order) and `_le` little-endian accessor
+//! families of the real crate.
 
 use std::ops::{Bound, RangeBounds};
 use std::sync::Arc;
@@ -37,6 +38,24 @@ pub trait Buf {
         self.copy_to_slice(&mut b);
         i64::from_be_bytes(b)
     }
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
 }
 
 /// Write-side accessors (mirrors `bytes::BufMut`).
@@ -59,6 +78,18 @@ pub trait BufMut {
     /// Append a big-endian `i64`.
     fn put_i64(&mut self, v: i64) {
         self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
     }
 }
 
@@ -231,6 +262,20 @@ mod tests {
         assert_eq!(r.get_i64(), -12345);
         assert_eq!(r.get_u64(), u64::MAX);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn little_endian_accessors_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_i64_le(-12345);
+        b.put_u64_le(u64::MAX - 1);
+        // LE writes are byte-reversed relative to BE ones.
+        assert_eq!(&b.data[..4], &0xDEAD_BEEFu32.to_le_bytes());
+        let mut r = b.freeze();
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -12345);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use simclock::{Dur, Time};
 use std::sync::Arc;
 use std::time::Duration;
 use syncd::{chunked, Fault, FaultInjector, JobInput, JobSpec, Priority};
-use tracefmt::io::to_binary_columnar_blocked;
+use tracefmt::io::{to_binary_columnar_blocked, to_binary_columnar_v3_blocked};
 use tracefmt::{EventKind, MinLatency, Rank, Tag, Trace, UniformLatency};
 
 /// One workload job plus what the invariant checker needs to know about
@@ -68,10 +68,11 @@ fn job_trace(rng: &mut StdRng, procs: usize, msgs: usize) -> (Trace, Measurement
     (trace, init, fin)
 }
 
-/// Generate `jobs` work items from `seed`. Roughly a third arrive as DTC2
-/// streams, a quarter of those poisoned at the byte level; jobs carry a
-/// mix of priorities, deadlines, retry-budget overrides, and parallel
-/// pipeline configs.
+/// Generate `jobs` work items from `seed`. Roughly a third arrive as
+/// columnar streams (half `DTC2`, half the zero-copy `DTC3` variant), a
+/// quarter of those poisoned at the byte level; jobs carry a mix of
+/// priorities, deadlines, retry-budget overrides, and parallel pipeline
+/// configs.
 pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
     let mut rng = StdRng::seed_from_u64(seed);
     let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(UniformLatency(Dur::from_us(4)));
@@ -84,7 +85,13 @@ pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
             let as_stream = rng.gen_bool(1.0 / 3.0);
             let mut poisoned = false;
             let input = if as_stream {
-                let bytes = to_binary_columnar_blocked(&trace, 16);
+                // Both wire versions go through the same negotiating
+                // decoder; the campaign must poison both.
+                let bytes = if rng.gen_bool(0.5) {
+                    to_binary_columnar_v3_blocked(&trace, 16)
+                } else {
+                    to_binary_columnar_blocked(&trace, 16)
+                };
                 let mut chunks = chunked(&bytes, rng.gen_range(32usize..256));
                 if rng.gen_bool(0.25) {
                     poisoned = true;
@@ -166,5 +173,19 @@ mod tests {
         assert!(streams > 0 && streams < 64);
         assert!(poisoned > 0);
         assert!(deadlines > 0);
+        // Both wire versions must be represented among the streams.
+        let leading = |magic: &[u8]| {
+            items
+                .iter()
+                .filter(|i| match &i.spec.input {
+                    JobInput::Stream(chunks) => chunks
+                        .first()
+                        .is_some_and(|c| c.starts_with(magic)),
+                    JobInput::Trace(_) => false,
+                })
+                .count()
+        };
+        assert!(leading(b"DTC2") > 0, "no v2 streams in the workload");
+        assert!(leading(b"DTC3") > 0, "no v3 streams in the workload");
     }
 }

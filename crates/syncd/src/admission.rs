@@ -22,6 +22,12 @@ pub struct JobCost {
     /// Whether the estimate saw the whole input (a truncated stream scan
     /// yields a lower bound; the run itself will then fail typed).
     pub complete: bool,
+    /// The stream glues two incompatible wire versions together (a `DTC3`
+    /// magic after a `DTC2` trailer or vice versa). Such input can never
+    /// decode; the service rejects it at submit with a typed
+    /// [`CodecError::MixedVersions`](tracefmt::io::CodecError) instead of
+    /// admitting a job that is guaranteed to burn its whole retry budget.
+    pub mixed: bool,
 }
 
 /// Per-event working-set charge: the decoded record itself plus the
@@ -42,18 +48,27 @@ pub fn estimate_job_cost(input: &JobInput) -> JobCost {
                 bytes: PER_JOB_BASE + events * record,
                 events,
                 complete: true,
+                mixed: false,
             }
         }
         JobInput::Stream(chunks) => {
             let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
-            // A stream whose headers were unreadable still occupies its
-            // own bytes; floor the event estimate on the encoded size so
-            // garbage input cannot claim to be free.
-            let events = est.events.max(est.bytes / 24);
+            // A stream whose headers were unreadable (or cut off) still
+            // occupies its own bytes; floor the event estimate on the
+            // encoded size so garbage input cannot claim to be free. A
+            // complete header scan is authoritative — v3 frames carry
+            // more bytes per event than the floor's divisor assumes, so
+            // flooring a fully-scanned stream would overcharge it.
+            let events = if est.complete {
+                est.events
+            } else {
+                est.events.max(est.bytes / 24)
+            };
             JobCost {
                 bytes: PER_JOB_BASE + est.bytes + events * record,
                 events,
                 complete: est.complete,
+                mixed: est.mixed,
             }
         }
     }
@@ -136,7 +151,7 @@ impl<T> PriorityQueue<T> {
 mod tests {
     use super::*;
     use simclock::Time;
-    use tracefmt::io::to_binary_columnar_blocked;
+    use tracefmt::io::{to_binary_columnar_blocked, to_binary_columnar_v3_blocked};
     use tracefmt::{EventKind, RegionId, Trace};
 
     fn tiny_trace(events_per_proc: usize) -> Trace {
@@ -174,6 +189,33 @@ mod tests {
         let truncated = estimate_job_cost(&JobInput::Stream(vec![bytes[..cut].to_vec()]));
         assert!(!truncated.complete);
         assert!(truncated.bytes > 0);
+    }
+
+    #[test]
+    fn v3_stream_cost_comes_from_headers_too() {
+        let trace = tiny_trace(64);
+        let bytes = to_binary_columnar_v3_blocked(&trace, 16);
+        let cost = estimate_job_cost(&JobInput::Stream(vec![bytes.to_vec()]));
+        assert_eq!(cost.events, 128);
+        assert!(cost.complete);
+        assert!(!cost.mixed);
+    }
+
+    #[test]
+    fn concatenated_v2_and_v3_streams_are_flagged_mixed() {
+        let trace = tiny_trace(8);
+        let mut glued = to_binary_columnar_blocked(&trace, 16).to_vec();
+        glued.extend_from_slice(&to_binary_columnar_v3_blocked(&trace, 16));
+        let cost = estimate_job_cost(&JobInput::Stream(vec![glued]));
+        assert!(cost.mixed);
+        // The other order is just as mixed.
+        let mut glued = to_binary_columnar_v3_blocked(&trace, 16).to_vec();
+        glued.extend_from_slice(&to_binary_columnar_blocked(&trace, 16));
+        assert!(estimate_job_cost(&JobInput::Stream(vec![glued])).mixed);
+        // Same-version self-concatenation is odd but not *mixed*.
+        let v2 = to_binary_columnar_blocked(&trace, 16).to_vec();
+        let doubled = [v2.clone(), v2].concat();
+        assert!(!estimate_job_cost(&JobInput::Stream(vec![doubled])).mixed);
     }
 
     #[test]

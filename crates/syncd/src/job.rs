@@ -150,6 +150,11 @@ pub enum SubmitError {
         /// Budget headroom at the time of the attempt.
         available: u64,
     },
+    /// The admission header scan proved the stream input can never decode
+    /// (e.g. a `DTC3` stream concatenated after a `DTC2` trailer). The
+    /// typed codec error says what is wrong with the bytes; the job is
+    /// refused instead of admitted to fail through its whole retry budget.
+    MalformedStream(tracefmt::io::CodecError),
     /// The service is shutting down.
     Shutdown,
 }
@@ -167,6 +172,7 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "job needs ~{estimated} bytes but only {available} of the memory budget is free"
             ),
+            SubmitError::MalformedStream(e) => write!(f, "stream input refused: {e}"),
             SubmitError::Shutdown => write!(f, "service is shutting down"),
         }
     }

@@ -149,7 +149,14 @@ impl Shared {
     /// (or a negative transient between the two).
     pub(crate) fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<JobHandle, SubmitError> {
         let metrics = &self.metrics;
-        let cost = estimate_job_cost(&spec.input).bytes;
+        let estimate = estimate_job_cost(&spec.input);
+        if estimate.mixed {
+            metrics.inc(Counter::RejectedMalformed);
+            return Err(SubmitError::MalformedStream(
+                tracefmt::io::CodecError::MixedVersions,
+            ));
+        }
+        let cost = estimate.bytes;
         let budget = self.cfg.memory_budget_bytes;
         let mut inner = self.lock();
         if inner.shutdown {
@@ -737,6 +744,24 @@ mod tests {
         assert_eq!(m.counter(Counter::ServiceCrashes), 0);
         // The budget charge is released once the job is done.
         assert_eq!(m.admitted_bytes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mixed_version_stream_is_refused_at_submit() {
+        let (trace, ..) = fixture(8);
+        let mut glued = to_binary_columnar_blocked(&trace, 16).to_vec();
+        glued.extend_from_slice(&tracefmt::io::to_binary_columnar_v3_blocked(&trace, 16));
+        let service = SyncService::start_default();
+        match service.submit(spec(JobInput::Stream(vec![glued]))) {
+            Err(SubmitError::MalformedStream(e)) => {
+                assert_eq!(e, tracefmt::io::CodecError::MixedVersions);
+            }
+            other => panic!("want MalformedStream, got {:?}", other.err()),
+        }
+        let m = service.metrics();
+        assert_eq!(m.counter(Counter::RejectedMalformed), 1);
+        assert_eq!(m.counter(Counter::Accepted), 0);
         service.shutdown();
     }
 

@@ -1,0 +1,641 @@
+//! Plan-based violation censuses over columnar timestamps.
+//!
+//! [`check_p2p_messages_at`](crate::violation::check_p2p_messages_at) and
+//! [`check_collectives_at`](crate::violation::check_collectives_at) walk
+//! the *analysis* structures per census: every message pays a virtual
+//! `l_min` call, every collective instance re-derives its logical messages
+//! from the flavour mapping, and every check sits behind a branch. The
+//! synchronization pipeline runs these censuses up to three times per
+//! analysis round over timestamps that change between rounds while the
+//! analysis structures do not.
+//!
+//! A [`CensusPlan`] hoists everything timestamp-independent out of the
+//! loop, once per analysis:
+//!
+//! * event coordinates are resolved to offsets into one *flat* timestamp
+//!   array — which is exactly the [`TraceColumns`] slab
+//!   ([`TraceColumns::flat`]), so the kernels gather straight from live
+//!   pipeline storage with **zero copies** per census round, and a check
+//!   is two indexed loads instead of two two-level lookups;
+//! * `l_min` bounds are frozen per check into a dense `i64` lane;
+//! * collective instances are pre-expanded into their logical messages
+//!   (paper §V flavour mapping), with per-instance ranges retained for the
+//!   `instances_affected` count.
+//!
+//! The census kernels then run over struct-of-arrays lanes in fixed-width
+//! chunks, accumulating per-chunk violation bitmasks branchlessly; the
+//! violation *list* is materialized only for chunks whose mask is nonzero,
+//! in message order, so reports are bit-identical to the reference checks
+//! — same counts, same violation order. On x86-64 with AVX2 the mask
+//! kernel additionally uses 4-lane `i64` gathers and packed compares
+//! behind runtime detection; the arithmetic is integer-only, so the
+//! specialization cannot change results.
+
+use crate::analysis::{CollectiveInstance, MessageMatch};
+use crate::column::TraceColumns;
+use crate::event::CollFlavor;
+use crate::ids::EventId;
+use crate::trace::Trace;
+use crate::violation::{CollReport, MinLatency, P2pReport, ViolatedMessage};
+use simclock::Dur;
+use std::fmt;
+
+/// Width of one census chunk: one `u64` violation bitmask per chunk.
+const CHUNK: usize = 64;
+
+/// An event coordinate in a plan referred to a timeline the trace does not
+/// have, or an event index past the end of its timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanBuildError {
+    /// The offending event id.
+    EventOutOfRange(EventId),
+    /// The trace has more events than the plan's 32-bit flat offsets (and
+    /// the AVX2 gather's signed-index form) can address.
+    TraceTooLarge,
+}
+
+impl fmt::Display for PlanBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanBuildError::EventOutOfRange(id) => {
+                write!(f, "event {id} is outside the trace shape the plan was built for")
+            }
+            PlanBuildError::TraceTooLarge => {
+                write!(f, "trace exceeds the plan's 2^31-event addressing limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanBuildError {}
+
+/// One struct-of-arrays lane of clock-condition checks: for check `k`,
+/// `transfer = flat[to[k]] - flat[from[k]]` must be `>= bound[k]`.
+///
+/// Offsets are `u32` deliberately: the sequential lane streams are half
+/// the width of the random gather traffic they drive, and the AVX2 path
+/// gets the cheaper `i32`-index gather form (`build` rejects traces past
+/// `i32::MAX` events, so the signed reinterpretation is lossless).
+#[derive(Debug, Clone, Default)]
+struct CheckLane {
+    from: Vec<u32>,
+    to: Vec<u32>,
+    bound: Vec<i64>,
+}
+
+impl CheckLane {
+    fn push(&mut self, from: u64, to: u64, bound: Dur) {
+        self.from.push(from as u32);
+        self.to.push(to as u32);
+        self.bound.push(bound.as_ps());
+    }
+
+    fn len(&self) -> usize {
+        self.from.len()
+    }
+}
+
+/// Timestamp-independent census state, frozen once per analysis.
+///
+/// Build with [`CensusPlan::build`] (or the [`for_columns`]
+/// [`CensusPlan::for_columns`] convenience), then run
+/// [`p2p_census`](CensusPlan::p2p_census) /
+/// [`collective_census`](CensusPlan::collective_census) against the flat
+/// timeline-major timestamp array — normally the live [`TraceColumns`]
+/// slab via [`flat_of`](CensusPlan::flat_of), which costs nothing to
+/// produce. Reports are bit-identical to [`check_p2p_messages_at`] /
+/// [`check_collectives_at`] over the same analysis structures.
+///
+/// [`check_p2p_messages_at`]: crate::violation::check_p2p_messages_at
+/// [`check_collectives_at`]: crate::violation::check_collectives_at
+#[derive(Debug, Clone)]
+pub struct CensusPlan {
+    /// Per-timeline event counts the plan was built against.
+    lens: Vec<u32>,
+    /// Point-to-point checks, one per matched message, in message order.
+    p2p: CheckLane,
+    /// Send/recv ids per message, for violation materialization.
+    p2p_ids: Vec<(EventId, EventId)>,
+    /// Logical-message checks expanded from collectives.
+    coll: CheckLane,
+    /// Range of `coll` belonging to each instance.
+    inst_ranges: Vec<(u32, u32)>,
+}
+
+impl CensusPlan {
+    /// Freeze a plan for a trace shape given as per-timeline event counts.
+    ///
+    /// `lmin` is evaluated once per check here and never again; the
+    /// per-instance flavour expansion of `instances` happens here too.
+    pub fn build(
+        timeline_lens: &[usize],
+        messages: &[MessageMatch],
+        instances: &[CollectiveInstance],
+        lmin: &dyn MinLatency,
+    ) -> Result<CensusPlan, PlanBuildError> {
+        let lens: Vec<u32> = timeline_lens.iter().map(|&l| l as u32).collect();
+        let mut proc_base = Vec::with_capacity(lens.len());
+        let mut base = 0u64;
+        for &l in &lens {
+            proc_base.push(base);
+            base += u64::from(l);
+        }
+        if base > i32::MAX as u64 {
+            return Err(PlanBuildError::TraceTooLarge);
+        }
+        let locate = |id: EventId| -> Result<u64, PlanBuildError> {
+            if id.p() < lens.len() && id.idx < lens[id.p()] {
+                Ok(proc_base[id.p()] + u64::from(id.idx))
+            } else {
+                Err(PlanBuildError::EventOutOfRange(id))
+            }
+        };
+
+        let mut p2p = CheckLane::default();
+        let mut p2p_ids = Vec::with_capacity(messages.len());
+        for m in messages {
+            p2p.push(locate(m.send)?, locate(m.recv)?, lmin.l_min(m.from, m.to));
+            p2p_ids.push((m.send, m.recv));
+        }
+
+        // Expand each instance into the same logical-message set the
+        // reference check derives (counts are order-independent, so only
+        // the per-instance multiset must match).
+        let mut coll = CheckLane::default();
+        let mut inst_ranges = Vec::with_capacity(instances.len());
+        for inst in instances {
+            let start = coll.len() as u32;
+            match inst.op.flavor() {
+                CollFlavor::OneToN => {
+                    if let Some(root) = inst.root_member().copied() {
+                        let f = locate(root.begin)?;
+                        for m in &inst.members {
+                            if m.rank != root.rank {
+                                coll.push(f, locate(m.end)?, lmin.l_min(root.rank, m.rank));
+                            }
+                        }
+                    }
+                }
+                CollFlavor::NToOne => {
+                    if let Some(root) = inst.root_member().copied() {
+                        let t = locate(root.end)?;
+                        for m in &inst.members {
+                            if m.rank != root.rank {
+                                coll.push(locate(m.begin)?, t, lmin.l_min(m.rank, root.rank));
+                            }
+                        }
+                    }
+                }
+                CollFlavor::NToN => {
+                    for a in &inst.members {
+                        let f = locate(a.begin)?;
+                        for b in &inst.members {
+                            if a.rank != b.rank {
+                                coll.push(f, locate(b.end)?, lmin.l_min(a.rank, b.rank));
+                            }
+                        }
+                    }
+                }
+                CollFlavor::Prefix => {
+                    for (ai, a) in inst.members.iter().enumerate() {
+                        let f = locate(a.begin)?;
+                        for b in inst.members.iter().skip(ai + 1) {
+                            coll.push(f, locate(b.end)?, lmin.l_min(a.rank, b.rank));
+                        }
+                    }
+                }
+            }
+            inst_ranges.push((start, coll.len() as u32));
+        }
+
+        Ok(CensusPlan {
+            lens,
+            p2p,
+            p2p_ids,
+            coll,
+            inst_ranges,
+        })
+    }
+
+    /// [`build`](CensusPlan::build) against the shape of `cols`.
+    pub fn for_columns(
+        cols: &TraceColumns,
+        messages: &[MessageMatch],
+        instances: &[CollectiveInstance],
+        lmin: &dyn MinLatency,
+    ) -> Result<CensusPlan, PlanBuildError> {
+        let lens: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+        CensusPlan::build(&lens, messages, instances, lmin)
+    }
+
+    /// Number of point-to-point checks (matched messages) in the plan.
+    pub fn n_messages(&self) -> usize {
+        self.p2p.len()
+    }
+
+    /// Number of collective instances in the plan.
+    pub fn n_instances(&self) -> usize {
+        self.inst_ranges.len()
+    }
+
+    /// Borrow the flat gather array of `cols` — the slab itself. Zero
+    /// copies: the kernels read the pipeline's live timestamp storage.
+    ///
+    /// # Panics
+    /// Panics when `cols` does not have the shape the plan was built for —
+    /// a mismatched layout would silently census the wrong events.
+    pub fn flat_of<'a>(&self, cols: &'a TraceColumns) -> &'a [i64] {
+        assert_eq!(cols.n_procs(), self.lens.len(), "plan/column timeline count mismatch");
+        for (p, col) in cols.iter().enumerate() {
+            assert_eq!(col.len() as u32, self.lens[p], "plan/column length mismatch on timeline {p}");
+        }
+        cols.flat()
+    }
+
+    /// Flatten an array-of-structs trace into the plan's gather layout
+    /// (the AoS layout has no slab to borrow, so this one does copy).
+    ///
+    /// # Panics
+    /// Panics on a shape mismatch, like [`flat_of`](CensusPlan::flat_of).
+    pub fn flatten_trace(&self, trace: &Trace) -> Vec<i64> {
+        assert_eq!(trace.procs.len(), self.lens.len(), "plan/trace timeline count mismatch");
+        let mut ps = Vec::with_capacity(self.lens.iter().map(|&l| l as usize).sum());
+        for (p, pt) in trace.procs.iter().enumerate() {
+            assert_eq!(pt.events.len() as u32, self.lens[p], "plan/trace length mismatch on timeline {p}");
+            ps.extend(pt.events.iter().map(|e| e.time.as_ps()));
+        }
+        ps
+    }
+
+    /// Point-to-point census over all planned messages. `times` is the
+    /// flat timeline-major timestamp array
+    /// ([`flat_of`](CensusPlan::flat_of)).
+    pub fn p2p_census(&self, times: &[i64]) -> P2pReport {
+        self.p2p_census_range(times, 0, self.p2p.len())
+    }
+
+    /// Point-to-point census over the message range `lo..hi` — the shard
+    /// unit of the parallel pipeline. Shard reports merged in shard order
+    /// equal the full census bit for bit.
+    pub fn p2p_census_range(&self, times: &[i64], lo: usize, hi: usize) -> P2pReport {
+        let mut report = P2pReport {
+            total: hi - lo,
+            ..P2pReport::default()
+        };
+        let mut k = lo;
+        while k < hi {
+            let end = (k + CHUNK).min(hi);
+            let (vmask, rmask) = lane_masks(&self.p2p, times, k, end);
+            report.reversed += (vmask & rmask).count_ones() as usize;
+            // Materialize violations in message order — only for chunks
+            // that actually have any.
+            let mut bits = vmask;
+            while bits != 0 {
+                let m = k + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (send, recv) = self.p2p_ids[m];
+                let transfer =
+                    times[self.p2p.to[m] as usize] - times[self.p2p.from[m] as usize];
+                report.violations.push(ViolatedMessage {
+                    send,
+                    recv,
+                    measured_transfer: Dur::from_ps(transfer),
+                    l_min: Dur::from_ps(self.p2p.bound[m]),
+                });
+            }
+            k = end;
+        }
+        report
+    }
+
+    /// Collective census over all planned instances. `times` is the flat
+    /// timeline-major timestamp array ([`flat_of`](CensusPlan::flat_of)).
+    pub fn collective_census(&self, times: &[i64]) -> CollReport {
+        self.collective_census_range(times, 0, self.inst_ranges.len())
+    }
+
+    /// Collective census over the instance range `lo..hi`. Shard reports
+    /// merged in shard order equal the full census bit for bit.
+    pub fn collective_census_range(&self, times: &[i64], lo: usize, hi: usize) -> CollReport {
+        let mut report = CollReport {
+            instances: hi - lo,
+            ..CollReport::default()
+        };
+        for &(start, end) in &self.inst_ranges[lo..hi] {
+            let (mut start, end) = (start as usize, end as usize);
+            report.logical_total += end - start;
+            let mut violated_here = 0usize;
+            while start < end {
+                let chunk_end = (start + CHUNK).min(end);
+                let (vmask, rmask) = lane_masks(&self.coll, times, start, chunk_end);
+                violated_here += vmask.count_ones() as usize;
+                report.logical_reversed += (vmask & rmask).count_ones() as usize;
+                start = chunk_end;
+            }
+            report.logical_violated += violated_here;
+            report.instances_affected += usize::from(violated_here > 0);
+        }
+        report
+    }
+}
+
+/// Violation and reversal bitmasks for checks `lo..hi` of a lane
+/// (`hi - lo <= 64`): bit `k - lo` of the first mask is set when check `k`
+/// violates its bound, of the second when its transfer is negative.
+fn lane_masks(lane: &CheckLane, times: &[i64], lo: usize, hi: usize) -> (u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: gated on runtime AVX2 detection.
+            return unsafe { lane_masks_avx2(lane, times, lo, hi) };
+        }
+    }
+    lane_masks_scalar(lane, times, lo, hi)
+}
+
+/// Branchless scalar mask kernel — the portable path and the reference the
+/// AVX2 specialization must agree with.
+fn lane_masks_scalar(lane: &CheckLane, times: &[i64], lo: usize, hi: usize) -> (u64, u64) {
+    debug_assert!(hi - lo <= CHUNK);
+    let mut vmask = 0u64;
+    let mut rmask = 0u64;
+    for (bit, k) in (lo..hi).enumerate() {
+        let transfer = times[lane.to[k] as usize] - times[lane.from[k] as usize];
+        vmask |= u64::from(transfer < lane.bound[k]) << bit;
+        rmask |= u64::from(transfer < 0) << bit;
+    }
+    (vmask, rmask)
+}
+
+/// Is AVX2 available on this machine? Checked once, cached. Setting
+/// `TRACEFMT_NO_AVX2` (to anything) forces the scalar path — the
+/// differential tests use it to exercise both kernels on one host.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2")
+            && std::env::var_os("TRACEFMT_NO_AVX2").is_none()
+    })
+}
+
+/// AVX2 mask kernel: 4-lane `i64` gathers of both endpoints, packed
+/// subtract and signed compares, mask bits collected via `movemask`.
+/// Integer-only arithmetic — bit-identical to [`lane_masks_scalar`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_masks_avx2(lane: &CheckLane, times: &[i64], lo: usize, hi: usize) -> (u64, u64) {
+    use std::arch::x86_64::*;
+    debug_assert!(hi - lo <= CHUNK);
+    let base = times.as_ptr();
+    let mut vmask = 0u64;
+    let mut rmask = 0u64;
+    let zero = _mm256_setzero_si256();
+    let mut k = lo;
+    let mut bit = 0u32;
+    // SAFETY (both loops): every offset in the lane was validated against
+    // the trace shape at plan build (which also capped the flat size at
+    // `i32::MAX`, so the u32→i32 index reinterpretation is lossless), and
+    // `flat_of` asserted the same shape on borrow, so all gather indices
+    // are in bounds of `times`.
+    //
+    // Two independent 4-lane groups per iteration: the gathers are the
+    // long-latency step, and interleaving two chains keeps more of them
+    // in flight than out-of-order execution manages across iterations of
+    // a 4-wide loop.
+    while k + 8 <= hi {
+        let idx_from0 = _mm_loadu_si128(lane.from.as_ptr().add(k).cast());
+        let idx_to0 = _mm_loadu_si128(lane.to.as_ptr().add(k).cast());
+        let idx_from1 = _mm_loadu_si128(lane.from.as_ptr().add(k + 4).cast());
+        let idx_to1 = _mm_loadu_si128(lane.to.as_ptr().add(k + 4).cast());
+        let t_from0 = _mm256_i32gather_epi64::<8>(base, idx_from0);
+        let t_to0 = _mm256_i32gather_epi64::<8>(base, idx_to0);
+        let t_from1 = _mm256_i32gather_epi64::<8>(base, idx_from1);
+        let t_to1 = _mm256_i32gather_epi64::<8>(base, idx_to1);
+        let bound0 = _mm256_loadu_si256(lane.bound.as_ptr().add(k).cast());
+        let bound1 = _mm256_loadu_si256(lane.bound.as_ptr().add(k + 4).cast());
+        let transfer0 = _mm256_sub_epi64(t_to0, t_from0);
+        let transfer1 = _mm256_sub_epi64(t_to1, t_from1);
+        // transfer < bound  <=>  bound > transfer
+        let viol0 = _mm256_cmpgt_epi64(bound0, transfer0);
+        let viol1 = _mm256_cmpgt_epi64(bound1, transfer1);
+        let rev0 = _mm256_cmpgt_epi64(zero, transfer0);
+        let rev1 = _mm256_cmpgt_epi64(zero, transfer1);
+        let v0 = _mm256_movemask_pd(_mm256_castsi256_pd(viol0)) as u64;
+        let v1 = _mm256_movemask_pd(_mm256_castsi256_pd(viol1)) as u64;
+        let r0 = _mm256_movemask_pd(_mm256_castsi256_pd(rev0)) as u64;
+        let r1 = _mm256_movemask_pd(_mm256_castsi256_pd(rev1)) as u64;
+        vmask |= (v0 | v1 << 4) << bit;
+        rmask |= (r0 | r1 << 4) << bit;
+        k += 8;
+        bit += 8;
+    }
+    while k + 4 <= hi {
+        let idx_from = _mm_loadu_si128(lane.from.as_ptr().add(k).cast());
+        let idx_to = _mm_loadu_si128(lane.to.as_ptr().add(k).cast());
+        let t_from = _mm256_i32gather_epi64::<8>(base, idx_from);
+        let t_to = _mm256_i32gather_epi64::<8>(base, idx_to);
+        let bound = _mm256_loadu_si256(lane.bound.as_ptr().add(k).cast());
+        let transfer = _mm256_sub_epi64(t_to, t_from);
+        let viol = _mm256_cmpgt_epi64(bound, transfer);
+        let rev = _mm256_cmpgt_epi64(zero, transfer);
+        let v = _mm256_movemask_pd(_mm256_castsi256_pd(viol)) as u64;
+        let r = _mm256_movemask_pd(_mm256_castsi256_pd(rev)) as u64;
+        vmask |= v << bit;
+        rmask |= r << bit;
+        k += 4;
+        bit += 4;
+    }
+    for k in k..hi {
+        let transfer = times[lane.to[k] as usize] - times[lane.from[k] as usize];
+        vmask |= u64::from(transfer < lane.bound[k]) << bit;
+        rmask |= u64::from(transfer < 0) << bit;
+        bit += 1;
+    }
+    (vmask, rmask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{match_collectives, match_messages};
+    use crate::event::{CollOp, EventKind};
+    use crate::ids::{CommId, Rank, Tag};
+    use crate::violation::{check_collectives_at, check_p2p_messages_at, UniformLatency};
+    use simclock::Time;
+
+    /// A trace with a spread of fine, sub-latency, and reversed messages
+    /// plus rooted and unrooted collectives.
+    fn mixed_trace(ranks: usize, rounds: i64) -> Trace {
+        let mut t = Trace::for_ranks(ranks);
+        for k in 0..rounds {
+            let from = (k % ranks as i64) as usize;
+            let to = ((k + 1) % ranks as i64) as usize;
+            let skew = (k % 7) * 3 - 9; // some negative transfers
+            t.procs[from].push(
+                Time::from_us(100 * k),
+                EventKind::Send { to: Rank(to as u32), tag: Tag(k as u32), bytes: 8 },
+            );
+            t.procs[to].push(
+                Time::from_us(100 * k + skew),
+                EventKind::Recv { from: Rank(from as u32), tag: Tag(k as u32), bytes: 8 },
+            );
+            if k % 5 == 0 {
+                let (op, root) = match k % 3 {
+                    0 => (CollOp::Bcast, Some(Rank((k % ranks as i64) as u32))),
+                    1 => (CollOp::Reduce, Some(Rank(0))),
+                    _ => (CollOp::Barrier, None),
+                };
+                for p in 0..ranks {
+                    let jitter = ((p as i64 + k) % 5) * 4 - 8;
+                    t.procs[p].push(
+                        Time::from_us(100 * k + 20 + jitter),
+                        EventKind::CollBegin { op, comm: CommId::WORLD, root, bytes: 8 },
+                    );
+                    t.procs[p].push(
+                        Time::from_us(100 * k + 30 - jitter),
+                        EventKind::CollEnd { op, comm: CommId::WORLD, root, bytes: 8 },
+                    );
+                }
+            }
+        }
+        t
+    }
+
+    fn lens(t: &Trace) -> Vec<usize> {
+        t.procs.iter().map(|p| p.events.len()).collect()
+    }
+
+    #[test]
+    fn p2p_census_is_bit_identical_to_reference() {
+        let t = mixed_trace(4, 200);
+        let m = match_messages(&t);
+        let lmin = UniformLatency(Dur::from_us(4));
+        let plan = CensusPlan::build(&lens(&t), &m.messages, &[], &lmin).unwrap();
+        let cols = TraceColumns::gather(&t);
+        let flat = plan.flat_of(&cols);
+        let got = plan.p2p_census(flat);
+        let want = check_p2p_messages_at(&cols, &m.messages, &lmin);
+        assert_eq!(got.total, want.total);
+        assert_eq!(got.reversed, want.reversed);
+        assert_eq!(got.violations.len(), want.violations.len());
+        assert!(!want.violations.is_empty(), "test trace should violate");
+        for (a, b) in got.violations.iter().zip(&want.violations) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn collective_census_is_bit_identical_to_reference() {
+        let t = mixed_trace(5, 200);
+        let insts = match_collectives(&t).unwrap();
+        let lmin = UniformLatency(Dur::from_us(3));
+        let plan = CensusPlan::build(&lens(&t), &[], &insts, &lmin).unwrap();
+        let cols = TraceColumns::gather(&t);
+        let flat = plan.flat_of(&cols);
+        let got = plan.collective_census(flat);
+        let want = check_collectives_at(&cols, &insts, &lmin);
+        assert_eq!(got.instances, want.instances);
+        assert_eq!(got.logical_total, want.logical_total);
+        assert_eq!(got.logical_violated, want.logical_violated);
+        assert_eq!(got.logical_reversed, want.logical_reversed);
+        assert_eq!(got.instances_affected, want.instances_affected);
+        assert!(want.logical_violated > 0, "test trace should violate");
+    }
+
+    #[test]
+    fn sharded_ranges_merge_to_full_census() {
+        let t = mixed_trace(4, 150);
+        let m = match_messages(&t);
+        let insts = match_collectives(&t).unwrap();
+        let lmin = UniformLatency(Dur::from_us(4));
+        let plan = CensusPlan::build(&lens(&t), &m.messages, &insts, &lmin).unwrap();
+        let cols = TraceColumns::gather(&t);
+        let flat = plan.flat_of(&cols);
+        let full_p2p = plan.p2p_census(flat);
+        let full_coll = plan.collective_census(flat);
+        for shard in [1usize, 3, 17, 64, 1000] {
+            let mut p2p = P2pReport::default();
+            let mut lo = 0;
+            while lo < plan.n_messages() {
+                let hi = (lo + shard).min(plan.n_messages());
+                p2p.merge(plan.p2p_census_range(flat, lo, hi));
+                lo = hi;
+            }
+            assert_eq!(p2p.total, full_p2p.total);
+            assert_eq!(p2p.reversed, full_p2p.reversed);
+            assert_eq!(p2p.violations, full_p2p.violations);
+            let mut coll = CollReport::default();
+            let mut lo = 0;
+            while lo < plan.n_instances() {
+                let hi = (lo + shard).min(plan.n_instances());
+                coll.merge(plan.collective_census_range(flat, lo, hi));
+                lo = hi;
+            }
+            assert_eq!(coll.logical_total, full_coll.logical_total);
+            assert_eq!(coll.logical_violated, full_coll.logical_violated);
+            assert_eq!(coll.instances_affected, full_coll.instances_affected);
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_masks_agree() {
+        // Force comparison irrespective of what lane_masks dispatches to.
+        let t = mixed_trace(4, 130);
+        let m = match_messages(&t);
+        let lmin = UniformLatency(Dur::from_us(4));
+        let plan = CensusPlan::build(&lens(&t), &m.messages, &[], &lmin).unwrap();
+        let cols = TraceColumns::gather(&t);
+        let times = plan.flat_of(&cols);
+        let n = plan.p2p.len();
+        let mut lo = 0;
+        while lo < n {
+            // Odd chunk ends exercise the SIMD tail path.
+            let hi = (lo + 61).min(n);
+            let scalar = lane_masks_scalar(&plan.p2p, times, lo, hi);
+            let dispatched = lane_masks(&plan.p2p, times, lo, hi);
+            assert_eq!(scalar, dispatched);
+            #[cfg(target_arch = "x86_64")]
+            if avx2_available() {
+                let simd = unsafe { lane_masks_avx2(&plan.p2p, times, lo, hi) };
+                assert_eq!(scalar, simd);
+            }
+            lo = hi;
+        }
+    }
+
+    #[test]
+    fn flatten_trace_matches_slab_layout() {
+        let t = mixed_trace(3, 40);
+        let m = match_messages(&t);
+        let lmin = UniformLatency(Dur::from_us(2));
+        let plan = CensusPlan::build(&lens(&t), &m.messages, &[], &lmin).unwrap();
+        let cols = TraceColumns::gather(&t);
+        assert_eq!(plan.flat_of(&cols), plan.flatten_trace(&t).as_slice());
+    }
+
+    #[test]
+    fn out_of_range_event_is_rejected() {
+        let t = mixed_trace(2, 10);
+        let mut m = match_messages(&t);
+        m.messages[0].recv = EventId::new(1, 10_000);
+        let err = CensusPlan::build(&lens(&t), &m.messages, &[], &UniformLatency(Dur::ZERO))
+            .unwrap_err();
+        assert_eq!(err, PlanBuildError::EventOutOfRange(EventId::new(1, 10_000)));
+        let mut m2 = match_messages(&t);
+        m2.messages[0].send = EventId::new(7, 0);
+        assert!(CensusPlan::build(&lens(&t), &m2.messages, &[], &UniformLatency(Dur::ZERO))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn flat_of_shape_mismatch_panics() {
+        let t = mixed_trace(2, 10);
+        let plan = CensusPlan::build(&lens(&t), &[], &[], &UniformLatency(Dur::ZERO)).unwrap();
+        let mut shorter = t.clone();
+        shorter.procs[0].events.pop();
+        plan.flat_of(&TraceColumns::gather(&shorter));
+    }
+}

@@ -8,12 +8,19 @@
 //! *times*. Walking 40-byte records to read 8-byte timestamps wastes most
 //! of every cache line.
 //!
-//! This module splits the timestamp column out: a [`TimeColumn`] is the
-//! dense `Vec<i64>` (picoseconds) of one timeline, and [`TraceColumns`]
-//! bundles one column per timeline. Columns are gathered from a trace in
-//! one pass, mutated in place as `&mut [i64]` slices by the pipeline
-//! stages, and scattered back when the pipeline is done. The
-//! [`TimeSource`] trait abstracts "timestamp of an event" over both
+//! This module splits the timestamp column out. [`TimeColumn`] is a
+//! growable `Vec<i64>` (picoseconds) of one timeline — the codec's decode
+//! buffer, where columns grow block by block in arrival order.
+//! [`TraceColumns`] is the frozen pipeline form: every timeline's
+//! timestamps in **one contiguous slab**, timeline-major, with a bounds
+//! table marking where each column starts. The slab layout is what makes
+//! the census kernels zero-copy: the flat gather array they index is the
+//! slab itself ([`TraceColumns::flat`]), not a per-round copy, and the CLC
+//! kernels snapshot it with a single `memcpy`. Columns are gathered from a
+//! trace in one pass, mutated in place as disjoint `&mut [i64]` slices by
+//! the pipeline stages, and scattered back when the pipeline is done.
+//!
+//! The [`TimeSource`] trait abstracts "timestamp of an event" over both
 //! layouts so census code is written once and is bit-identical on either.
 
 use crate::ids::EventId;
@@ -39,7 +46,9 @@ impl TimeSource for Trace {
     }
 }
 
-/// The dense timestamp column of one timeline, in picoseconds.
+/// The dense timestamp column of one timeline, in picoseconds — the
+/// codec-side decode buffer (a [`TraceColumns`] slab is assembled from
+/// these once decoding completes).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TimeColumn {
     ps: Vec<i64>,
@@ -100,6 +109,15 @@ impl TimeColumn {
         );
     }
 
+    /// Append timestamps from a run of little-endian `i64` bytes — the
+    /// wire layout of a DTC3 block frame's timestamp segment. When the run
+    /// is 8-aligned on a little-endian target this is a single bulk copy
+    /// (see [`crate::cast`]); otherwise it decodes element-wise.
+    /// `bytes.len()` must be a multiple of 8.
+    pub fn extend_from_le_bytes(&mut self, bytes: &[u8]) {
+        crate::cast::extend_i64_from_le_bytes(&mut self.ps, bytes);
+    }
+
     /// Timestamp at `i`.
     #[inline]
     pub fn get(&self, i: usize) -> Time {
@@ -118,8 +136,7 @@ impl TimeColumn {
         &self.ps
     }
 
-    /// The column as a mutable picosecond slice — the unit the pipeline's
-    /// tight loops (presync mapping, amortization) operate on.
+    /// The column as a mutable picosecond slice.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [i64] {
         &mut self.ps
@@ -145,28 +162,48 @@ impl FromIterator<Time> for TimeColumn {
     }
 }
 
-/// All timestamp columns of a trace: `cols[p][i]` is the time of event
-/// `(p, i)`, split away from the kind/args payload.
+/// All timestamp columns of a trace in one contiguous slab: `col(p)[i]` is
+/// the time of event `(p, i)`, split away from the kind/args payload.
+///
+/// The slab is timeline-major — column `p` occupies
+/// `slab[bounds[p]..bounds[p + 1]]` — which makes the flat event offset of
+/// `(p, i)` exactly `bounds[p] + i`. That is the same flat ("gid") indexing
+/// the census plans and CSR dependency graphs use, so both gather straight
+/// from [`flat`](TraceColumns::flat) with no per-round flatten copy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceColumns {
-    cols: Vec<TimeColumn>,
+    /// Every timeline's timestamps, timeline-major.
+    slab: Vec<i64>,
+    /// `n_procs + 1` offsets into `slab`; column `p` is
+    /// `slab[bounds[p]..bounds[p + 1]]`.
+    bounds: Vec<usize>,
 }
 
 impl TraceColumns {
     /// Gather the timestamp column of every timeline in one pass.
     pub fn gather(trace: &Trace) -> Self {
-        TraceColumns {
-            cols: trace
-                .procs
-                .iter()
-                .map(|p| p.events.iter().map(|e| e.time).collect())
-                .collect(),
+        let mut slab = Vec::with_capacity(trace.n_events());
+        let mut bounds = Vec::with_capacity(trace.procs.len() + 1);
+        bounds.push(0);
+        for p in &trace.procs {
+            slab.extend(p.events.iter().map(|e| e.time.as_ps()));
+            bounds.push(slab.len());
         }
+        TraceColumns { slab, bounds }
     }
 
-    /// Build directly from per-timeline columns (codec path).
+    /// Build from per-timeline decode columns (codec path): one
+    /// concatenating copy replaces the gather pass the pipeline would
+    /// otherwise run.
     pub fn from_columns(cols: Vec<TimeColumn>) -> Self {
-        TraceColumns { cols }
+        let mut slab = Vec::with_capacity(cols.iter().map(TimeColumn::len).sum());
+        let mut bounds = Vec::with_capacity(cols.len() + 1);
+        bounds.push(0);
+        for c in &cols {
+            slab.extend_from_slice(c.as_slice());
+            bounds.push(slab.len());
+        }
+        TraceColumns { slab, bounds }
     }
 
     /// Scatter the columns back into the trace's event records.
@@ -177,18 +214,19 @@ impl TraceColumns {
     /// would silently mis-time events.
     pub fn scatter_into(&self, trace: &mut Trace) {
         assert_eq!(
-            self.cols.len(),
+            self.n_procs(),
             trace.procs.len(),
             "column/timeline count mismatch"
         );
-        for (pt, col) in trace.procs.iter_mut().zip(&self.cols) {
+        for (p, pt) in trace.procs.iter_mut().enumerate() {
+            let col = self.col(p);
             assert_eq!(
                 pt.events.len(),
                 col.len(),
                 "column length mismatch on timeline {}",
                 pt.location
             );
-            for (e, &ps) in pt.events.iter_mut().zip(col.as_slice()) {
+            for (e, &ps) in pt.events.iter_mut().zip(col) {
                 e.time = Time::from_ps(ps);
             }
         }
@@ -196,65 +234,84 @@ impl TraceColumns {
 
     /// Number of timelines.
     pub fn n_procs(&self) -> usize {
-        self.cols.len()
+        self.bounds.len().saturating_sub(1)
     }
 
     /// Total timestamps across all timelines.
     pub fn n_events(&self) -> usize {
-        self.cols.iter().map(TimeColumn::len).sum()
+        self.slab.len()
     }
 
-    /// The column of timeline `p`.
+    /// The column of timeline `p`, as a dense picosecond slice.
     #[inline]
-    pub fn col(&self, p: usize) -> &TimeColumn {
-        &self.cols[p]
+    pub fn col(&self, p: usize) -> &[i64] {
+        &self.slab[self.bounds[p]..self.bounds[p + 1]]
     }
 
     /// Mutable column of timeline `p`.
     #[inline]
-    pub fn col_mut(&mut self, p: usize) -> &mut TimeColumn {
-        &mut self.cols[p]
+    pub fn col_mut(&mut self, p: usize) -> &mut [i64] {
+        &mut self.slab[self.bounds[p]..self.bounds[p + 1]]
+    }
+
+    /// The whole slab, timeline-major — every timestamp at its flat event
+    /// offset. This *is* the census kernels' gather array: no flatten copy
+    /// stands between a mutation and the next census.
+    #[inline]
+    pub fn flat(&self) -> &[i64] {
+        &self.slab
+    }
+
+    /// Mutable view of the whole slab, for kernels that write every
+    /// timestamp back at once (e.g. the CSR forward pass).
+    #[inline]
+    pub fn flat_mut(&mut self) -> &mut [i64] {
+        &mut self.slab
     }
 
     /// Iterate the columns in timeline order.
-    pub fn iter(&self) -> impl Iterator<Item = &TimeColumn> {
-        self.cols.iter()
+    pub fn iter(&self) -> impl Iterator<Item = &[i64]> {
+        self.bounds.windows(2).map(|w| &self.slab[w[0]..w[1]])
     }
 
     /// Iterate the columns mutably, as `(proc index, &mut [i64])` — the
-    /// sharding unit of the parallel pipeline.
+    /// sharding unit of the parallel pipeline. The slices are disjoint
+    /// sub-slices of the slab, so scoped threads may own one each.
     pub fn iter_mut_slices(&mut self) -> impl Iterator<Item = (usize, &mut [i64])> {
-        self.cols
-            .iter_mut()
-            .enumerate()
-            .map(|(p, c)| (p, c.as_mut_slice()))
+        let TraceColumns { slab, bounds } = self;
+        let mut rest: &mut [i64] = slab;
+        bounds.windows(2).enumerate().map(move |(p, w)| {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(w[1] - w[0]);
+            rest = tail;
+            (p, head)
+        })
     }
 
     /// Timestamp of event `id` (panics when out of range, like
     /// [`Trace::time`]).
     #[inline]
     pub fn time(&self, id: EventId) -> Time {
-        self.cols[id.p()].get(id.i())
+        Time::from_ps(self.col(id.p())[id.i()])
     }
 
     /// Overwrite the timestamp of event `id`.
     #[inline]
     pub fn set_time(&mut self, id: EventId, t: Time) {
-        self.cols[id.p()].set(id.i(), t);
+        let p = id.p();
+        self.col_mut(p)[id.i()] = t.as_ps();
     }
 
     /// Per-timeline snapshot as `Vec<Vec<Time>>` (the shape the CLC's
     /// amortization kernels take their originals in).
     pub fn to_time_vecs(&self) -> Vec<Vec<Time>> {
-        self.cols
-            .iter()
-            .map(|c| c.as_slice().iter().map(|&ps| Time::from_ps(ps)).collect())
+        self.iter()
+            .map(|c| c.iter().map(|&ps| Time::from_ps(ps)).collect())
             .collect()
     }
 
     /// All columns locally monotone?
     pub fn is_locally_monotone(&self) -> bool {
-        self.cols.iter().all(TimeColumn::is_monotone)
+        self.iter().all(|c| c.windows(2).all(|w| w[0] <= w[1]))
     }
 }
 
@@ -327,6 +384,37 @@ mod tests {
         assert_eq!(c.as_slice(), &[Time::from_us(9).as_ps(), Time::from_us(7).as_ps()]);
         let from_vec = TimeColumn::from(vec![1i64, 2]);
         assert!(from_vec.is_monotone());
+    }
+
+    #[test]
+    fn slab_is_timeline_major_and_flat_indexed() {
+        let t = sample();
+        let cols = TraceColumns::gather(&t);
+        // Column 0 has two events, column 1 has one: flat offsets 0, 1, 2.
+        assert_eq!(cols.flat().len(), 3);
+        assert_eq!(cols.col(0), &cols.flat()[..2]);
+        assert_eq!(cols.col(1), &cols.flat()[2..]);
+        assert_eq!(cols.flat()[2], Time::from_us(5).as_ps());
+        // from_columns concatenates in the same order.
+        let rebuilt = TraceColumns::from_columns(vec![
+            TimeColumn::from(cols.col(0).to_vec()),
+            TimeColumn::from(cols.col(1).to_vec()),
+        ]);
+        assert_eq!(rebuilt, cols);
+    }
+
+    #[test]
+    fn iter_mut_slices_are_disjoint_columns() {
+        let t = sample();
+        let mut cols = TraceColumns::gather(&t);
+        let lens: Vec<usize> = cols.iter_mut_slices().map(|(_, s)| s.len()).collect();
+        assert_eq!(lens, vec![2, 1]);
+        // Mutations through the slices land in the slab.
+        for (p, s) in cols.iter_mut_slices() {
+            s[0] = p as i64;
+        }
+        assert_eq!(cols.flat()[0], 0);
+        assert_eq!(cols.flat()[2], 1);
     }
 
     #[test]

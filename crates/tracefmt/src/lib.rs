@@ -19,6 +19,8 @@
 
 pub mod analysis;
 pub mod archive;
+pub mod cast;
+pub mod census;
 pub mod column;
 pub mod diff;
 pub mod event;
@@ -37,6 +39,7 @@ pub use analysis::{
     CollectiveInstance, Matching, MessageMatch, ParallelRegion, PendingSends, RegionThread,
     SendKey,
 };
+pub use census::{CensusPlan, PlanBuildError};
 pub use column::{TimeColumn, TimeSource, TraceColumns};
 pub use event::{CollFlavor, CollOp, EventKind, EventRecord};
 pub use ids::{CommId, EventId, Location, Rank, RegionId, Tag, ThreadId};

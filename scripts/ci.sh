@@ -8,11 +8,13 @@
 # 3. ignored stress tests (~1M-event parallel pipeline run) — opt-in via
 #    DRIFT_STRESS=1, they dominate the wall time of the whole script
 # 4. bench harnesses in check mode (each bench body runs once); the
-#    ingest smoke run also enforces the >=1.5x chunked-ingest speedup
-#    and refreshes BENCH_ingest.json, the pipeline smoke run refreshes
-#    BENCH_pipeline.json and the perf gate below fails the script if the
-#    parallel-CLC speedup over serial regresses; the syncd smoke run
-#    refreshes BENCH_syncd.json and a sanity gate checks its report
+#    ingest smoke run also enforces the >=1.5x chunked-ingest speedup and
+#    the >=2x v3 zero-copy ingest speedup and refreshes BENCH_ingest.json,
+#    the pipeline smoke run refreshes BENCH_pipeline.json and the perf
+#    gates below fail the script if the parallel-CLC speedup over serial
+#    or the SIMD census-kernel / v3-ingest throughput regresses; the
+#    syncd smoke run refreshes BENCH_syncd.json and a sanity gate checks
+#    its report
 # 5. VOPR chaos campaign: 500 seeded simulation schedules against the
 #    stepped service (5000 with DRIFT_STRESS=1); any failing seed is
 #    shrunk, written to vopr-failure-<seed>.simt, and printed with a
@@ -34,6 +36,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${DRIFT_STRESS:-0}" == "1" ]]; then
     echo "==> stress: cargo test -q -- --ignored (DRIFT_STRESS=1)"
     cargo test -q -- --ignored
+    # The v2↔v3 differential matrix widens itself under DRIFT_STRESS=1
+    # (adds a 6000-message trace size) in both the AVX2 and the
+    # forced-scalar test binary.
+    echo "==> stress: v2/v3 differential matrix (wide)"
+    cargo test -q --test columnar_differential --test columnar_differential_scalar
 else
     echo "==> stress: skipped (set DRIFT_STRESS=1 to run the ~1M-event tests)"
 fi
@@ -70,6 +77,36 @@ if [[ "$cpus" -ge 2 ]]; then
     fi
 else
     echo "    (single cpu: wall-clock gate not applicable, bench sanity floor applies)"
+fi
+
+# Kernel-throughput gate: the SIMD-width census kernels and the v3
+# zero-copy ingest lane are single-thread-vs-single-thread ratios on the
+# same host, so unlike the parallel-CLC gate they hold at every CPU
+# count. Floors sit well under the measured margins (census ~5.5x,
+# v3 ingest ~17x on the reference host) to absorb scheduler noise.
+echo "==> perf gate: kernel throughput from BENCH_pipeline.json / BENCH_ingest.json"
+census_speedup=$(sed -n 's/.*"census_kernel_over_reference_speedup": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+census_eps=$(sed -n 's/.*"census_events_per_sec": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)
+if [[ -z "$census_speedup" || -z "$census_eps" ]]; then
+    echo "perf gate: could not read census kernel fields from BENCH_pipeline.json" >&2
+    exit 1
+fi
+echo "    census kernel ${census_eps} events/s, ${census_speedup}x over reference walk"
+if ! awk -v s="$census_speedup" 'BEGIN { exit !(s >= 3.0) }'; then
+    echo "perf gate: census kernel speedup ${census_speedup}x < 3.0x over the reference walk" >&2
+    exit 1
+fi
+v3_speedup=$(sed -n 's/.*"v3_ingest_over_v2_streamed_speedup": \([0-9.]*\).*/\1/p' BENCH_ingest.json)
+v3_times_eps=$(sed -n 's/.*"v3_times_events_per_sec": \([0-9.]*\).*/\1/p' BENCH_ingest.json)
+v3_streamed_eps=$(sed -n 's/.*"v3_streamed_events_per_sec": \([0-9.]*\).*/\1/p' BENCH_ingest.json)
+if [[ -z "$v3_speedup" || -z "$v3_times_eps" || -z "$v3_streamed_eps" ]]; then
+    echo "perf gate: could not read v3 ingest fields from BENCH_ingest.json" >&2
+    exit 1
+fi
+echo "    v3 ingest ${v3_times_eps} events/s (full streamed decode ${v3_streamed_eps}), ${v3_speedup}x over v2 streamed"
+if ! awk -v s="$v3_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "perf gate: v3 zero-copy ingest ${v3_speedup}x < 2.0x over v2 streamed decode" >&2
+    exit 1
 fi
 
 # VOPR campaign: every seed must pass every invariant and replay

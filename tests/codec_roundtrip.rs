@@ -8,8 +8,9 @@
 //! [`StreamDecoder`]: drift_lab::tracefmt::io::StreamDecoder
 
 use drift_lab::tracefmt::io::{
-    from_binary, from_binary_columnar, from_text, to_binary, to_binary_columnar_blocked, to_text,
-    to_text_writer, StreamDecoder, TraceBuilder,
+    from_binary, from_binary_columnar, from_text, to_binary, to_binary_columnar_blocked,
+    to_binary_columnar_v3_blocked, to_text, to_text_writer, CodecError, StreamDecoder,
+    TimesBuilder, TraceBuilder,
 };
 use drift_lab::tracefmt::{CollOp, CommId, EventKind, Rank, RegionId, Tag, Trace, TraceColumns};
 use drift_lab::simclock::Time;
@@ -88,6 +89,33 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         })
 }
 
+/// A small arbitrary trace for the quadratic truncation sweep: every
+/// prefix of the encoded stream gets decoded, so streams stay short.
+fn arb_small_trace() -> impl Strategy<Value = Trace> {
+    (
+        1usize..4,
+        prop::collection::vec((0u8..10, 0u32..40), 1..24),
+        prop::collection::vec(-5_000_000i64..5_000_000, 1..24),
+    )
+        .prop_map(|(procs, kinds, deltas)| {
+            let mut trace = Trace::for_ranks(procs);
+            let mut now = vec![0i64; procs];
+            for p in 0..procs {
+                now[p] += deltas[p % deltas.len()];
+                trace.procs[p].push(
+                    Time::from_ps(now[p]),
+                    kind_from(p as u8, p as u32, procs),
+                );
+            }
+            for (i, &(k, a)) in kinds.iter().enumerate() {
+                let p = i % procs;
+                now[p] += deltas[i % deltas.len()];
+                trace.procs[p].push(Time::from_ps(now[p]), kind_from(k, a, procs));
+            }
+            trace
+        })
+}
+
 /// First difference between two traces, or `None` when identical.
 fn first_difference(a: &Trace, b: &Trace) -> Option<String> {
     if a.n_procs() != b.n_procs() {
@@ -140,21 +168,29 @@ proptest! {
 
     #[test]
     fn columnar_round_trip_is_lossless(trace in arb_trace(), block in 1usize..64) {
-        let back = from_binary_columnar(to_binary_columnar_blocked(&trace, block))
-            .expect("columnar decodes");
-        prop_assert!(first_difference(&trace, &back).is_none(),
-            "columnar round trip diverged: {:?}", first_difference(&trace, &back));
+        // Both wire versions: big-endian v2 and aligned little-endian v3.
+        for bytes in [
+            to_binary_columnar_blocked(&trace, block),
+            to_binary_columnar_v3_blocked(&trace, block),
+        ] {
+            let back = from_binary_columnar(bytes).expect("columnar decodes");
+            prop_assert!(first_difference(&trace, &back).is_none(),
+                "columnar round trip diverged: {:?}", first_difference(&trace, &back));
+        }
     }
 
     #[test]
     fn chained_formats_are_lossless(trace in arb_trace(), block in 1usize..32) {
-        // text -> v1 binary -> v2 columnar, re-decoding at every hop.
+        // text -> v1 binary -> v2 columnar -> v3 columnar, re-decoding at
+        // every hop.
         let hop1 = from_text(&to_text(&trace)).expect("text decodes");
         let hop2 = from_binary(to_binary(&hop1)).expect("v1 decodes");
         let hop3 = from_binary_columnar(to_binary_columnar_blocked(&hop2, block))
             .expect("columnar decodes");
-        prop_assert!(first_difference(&trace, &hop3).is_none(),
-            "format chain diverged: {:?}", first_difference(&trace, &hop3));
+        let hop4 = from_binary_columnar(to_binary_columnar_v3_blocked(&hop3, block))
+            .expect("v3 columnar decodes");
+        prop_assert!(first_difference(&trace, &hop4).is_none(),
+            "format chain diverged: {:?}", first_difference(&trace, &hop4));
     }
 
     #[test]
@@ -163,20 +199,76 @@ proptest! {
         block in 1usize..48,
         chunk in 1usize..257,
     ) {
-        let bytes = to_binary_columnar_blocked(&trace, block);
-        let mut dec = StreamDecoder::new();
-        let mut builder = TraceBuilder::new();
-        for piece in bytes.chunks(chunk) {
-            for b in dec.feed(piece).expect("stream decodes") {
-                builder.push_block(b);
+        for bytes in [
+            to_binary_columnar_blocked(&trace, block),
+            to_binary_columnar_v3_blocked(&trace, block),
+        ] {
+            let mut dec = StreamDecoder::new();
+            let mut builder = TraceBuilder::new();
+            for piece in bytes.chunks(chunk) {
+                for b in dec.feed(piece).expect("stream decodes") {
+                    builder.push_block(b);
+                }
+            }
+            dec.finish().expect("stream complete");
+            let (back, cols) = builder.finish_parts();
+            prop_assert!(first_difference(&trace, &back).is_none(),
+                "streamed decode diverged: {:?}", first_difference(&trace, &back));
+            // The decoder's columns are exactly what a gather would produce.
+            prop_assert!(cols == TraceColumns::gather(&back),
+                "decoder columns differ from gathered columns");
+
+            // The times-only re-ingest lane (zero-copy on v3) must see the
+            // identical columns, for the same chunking.
+            let mut dec = StreamDecoder::new();
+            let mut times = TimesBuilder::new();
+            for piece in bytes.chunks(chunk) {
+                dec.feed_times_into(piece, &mut times).expect("times-only decodes");
+            }
+            let (_locs, tcols) = times.finish();
+            prop_assert!(tcols == cols, "times-only lane columns diverge");
+        }
+    }
+}
+
+proptest! {
+    // Every prefix of every stream is decoded once, so each case is
+    // quadratic in the stream length — fewer, smaller cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Truncating a v2 or v3 stream at *any* byte boundary must yield a
+    /// typed [`CodecError`] from the one-shot decoder — never a panic,
+    /// never a silently shorter trace — and the streaming decoder must
+    /// never claim completion on such a prefix.
+    #[test]
+    fn truncation_at_every_boundary_is_a_typed_error(trace in arb_small_trace()) {
+        for bytes in [
+            to_binary_columnar_blocked(&trace, 4),
+            to_binary_columnar_v3_blocked(&trace, 4),
+        ] {
+            for cut in 0..bytes.len() {
+                match from_binary_columnar(bytes.slice(0..cut)) {
+                    Err(CodecError::Truncated)
+                    | Err(CodecError::BadField(_))
+                    | Err(CodecError::UnknownKind(_)) => {}
+                    Err(CodecError::MixedVersions) => prop_assert!(
+                        false, "prefix of one stream cannot mix versions (cut={})", cut),
+                    Ok(_) => prop_assert!(
+                        false, "truncated stream decoded successfully at cut={}", cut),
+                }
+
+                let mut dec = StreamDecoder::new();
+                let mut builder = TraceBuilder::new();
+                let fed: Result<(), CodecError> = bytes[..cut]
+                    .chunks(11)
+                    .try_fold((), |(), piece| dec.feed_into(piece, &mut builder));
+                if fed.is_ok() {
+                    prop_assert!(!dec.is_finished(),
+                        "decoder claims completion at cut={}", cut);
+                    prop_assert!(dec.finish().is_err(),
+                        "finish() accepted a truncated stream at cut={}", cut);
+                }
             }
         }
-        dec.finish().expect("stream complete");
-        let (back, cols) = builder.finish_parts();
-        prop_assert!(first_difference(&trace, &back).is_none(),
-            "streamed decode diverged: {:?}", first_difference(&trace, &back));
-        // The decoder's columns are exactly what a gather would produce.
-        prop_assert!(cols == TraceColumns::gather(&back),
-            "decoder columns differ from gathered columns");
     }
 }

@@ -4,7 +4,9 @@
 //! **bit-identical** corrected timestamps and identical violation reports
 //! to the array-of-structs engine ([`TimestampStorage::Aos`]) — and the
 //! streaming-ingest entry point [`synchronize_stream`] must reproduce the
-//! same results again from the chunked binary encoding.
+//! same results again from the chunked binary encoding, for both wire
+//! versions: the big-endian `DTC2` default and the aligned little-endian
+//! `DTC3` zero-copy variant.
 
 mod common;
 
@@ -152,4 +154,14 @@ fn streamed_ingest_rejects_truncated_input() {
         matches!(err, Err(PipelineError::Codec(_))),
         "expected a codec error, got {err:?}"
     );
+}
+
+/// v3 zero-copy streamed ingest against one-shot v2 decode + synchronize,
+/// across drift models × presync × storage × workers (see
+/// `common::v3_ingest_differential_matrix`; widened by `DRIFT_STRESS=1`).
+/// This binary runs the kernels the host CPU offers (AVX2 where present);
+/// `columnar_differential_scalar.rs` repeats it with the scalar kernels.
+#[test]
+fn v3_streamed_ingest_is_bit_identical_to_v2_decode() {
+    common::v3_ingest_differential_matrix();
 }

@@ -238,3 +238,96 @@ pub fn graph_edges(
     }
     (via_in, via_out)
 }
+
+/// The `DTC2`-v2 vs `DTC3` differential matrix: for every drift model ×
+/// [`PreSync`] × [`TimestampStorage`] × worker count, the v3 zero-copy
+/// streamed ingest must be bit-identical to one-shot v2 decode followed
+/// by [`synchronize`] — corrected timestamps and every stage census.
+///
+/// Shared by `columnar_differential.rs` (AVX2 kernels where the host has
+/// them) and `columnar_differential_scalar.rs` (`TRACEFMT_NO_AVX2`
+/// forced before the CPU probe is cached). `DRIFT_STRESS=1` widens the
+/// matrix with a 6000-message trace size.
+pub fn v3_ingest_differential_matrix() {
+    use drift_lab::clocksync::{
+        synchronize, synchronize_stream, ClcParams, ParallelConfig, PipelineConfig, PreSync,
+        TimestampStorage,
+    };
+    use drift_lab::tracefmt::io::{
+        from_binary_columnar, to_binary_columnar_blocked, to_binary_columnar_v3_blocked,
+    };
+
+    let stress = std::env::var("DRIFT_STRESS").is_ok_and(|v| v == "1");
+    let sizes: &[(usize, usize)] = if stress {
+        &[(3, 60), (5, 400), (8, 1500), (10, 6000)]
+    } else {
+        &[(3, 60), (5, 400), (8, 1500)]
+    };
+    let models = ["constant", "sinusoid", "randomwalk"];
+    let presyncs = [PreSync::None, PreSync::AlignOnly, PreSync::Linear];
+    let storages = [TimestampStorage::Aos, TimestampStorage::Columnar];
+    let mut legs = 0usize;
+    for (si, &(procs, msgs)) in sizes.iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            let seed = 41_000 + (si * 10 + mi) as u64;
+            let (base, init, fin, lmin) = drifted_trace(procs, msgs, model, seed);
+            let v2 = to_binary_columnar_blocked(&base, 256);
+            let v3 = to_binary_columnar_v3_blocked(&base, 256);
+            for presync in presyncs {
+                for storage in storages {
+                    for workers in [None, Some(2usize)] {
+                        let ctx = format!(
+                            "{procs}p/{msgs}m {model} {presync:?} {storage:?} \
+                             workers={workers:?}"
+                        );
+                        let cfg = PipelineConfig {
+                            presync,
+                            clc: Some(ClcParams::default()),
+                            parallel: workers
+                                .map(|w| ParallelConfig { workers: w, shard_size: 57 }),
+                            storage,
+                        };
+
+                        // Reference: one-shot v2 decode, then synchronize.
+                        let mut ref_trace = from_binary_columnar(v2.clone())
+                            .unwrap_or_else(|e| panic!("{ctx}: v2 decode failed: {e}"));
+                        let reference =
+                            synchronize(&mut ref_trace, &init, Some(&fin), &lmin, &cfg)
+                                .unwrap_or_else(|e| panic!("{ctx}: v2 pipeline failed: {e}"));
+
+                        // Candidate: v3 zero-copy streamed ingest, awkward
+                        // chunk size on purpose.
+                        let (v3_trace, candidate) = synchronize_stream(
+                            v3.chunks(4096),
+                            &init,
+                            Some(&fin),
+                            &lmin,
+                            &cfg,
+                        )
+                        .unwrap_or_else(|e| panic!("{ctx}: v3 pipeline failed: {e}"));
+
+                        assert_identical(&ref_trace, &v3_trace, &ctx);
+                        assert_eq!(
+                            reference.raw.p2p.violations, candidate.raw.p2p.violations,
+                            "{ctx}: raw p2p violation lists diverge"
+                        );
+                        assert_eq!(
+                            reference.after_presync.total_violations(),
+                            candidate.after_presync.total_violations(),
+                            "{ctx}: presync census diverges"
+                        );
+                        assert_eq!(
+                            reference.after_clc.as_ref().map(|r| r.total_violations()),
+                            candidate.after_clc.as_ref().map(|r| r.total_violations()),
+                            "{ctx}: post-CLC census diverges"
+                        );
+                        legs += 1;
+                    }
+                }
+            }
+        }
+    }
+    // The matrix must not silently collapse after a refactor.
+    let floor = sizes.len() * models.len() * presyncs.len() * storages.len() * 2;
+    assert!(legs >= floor, "differential matrix ran only {legs} legs (expected {floor})");
+}
