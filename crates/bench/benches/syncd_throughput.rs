@@ -118,6 +118,9 @@ fn main() {
         let s = make_spec(spec, &lmin);
         let mut work = match s.input {
             JobInput::Trace(t) => t,
+            JobInput::StreamIncremental { .. } => {
+                unreachable!("this bench workload submits only trace and stream jobs")
+            }
             JobInput::Stream(chunks) => {
                 let (t, _) = clocksync::synchronize_stream(
                     chunks.iter().map(|c| c.as_slice()),

@@ -127,20 +127,24 @@ pub(crate) fn forward_pass_csr(
                     if src >= frontier[graph.proc_of(src)] {
                         break 'events; // producer not yet corrected
                     }
-                    let c = Time::from_ps(corr[src as usize]) + Dur::from_ps(lat);
+                    let c = Time::from_ps(corr[src as usize]).saturating_add(Dur::from_ps(lat));
                     remote = Some(remote.map_or(c, |b: Time| b.max(c)));
                 }
 
-                // Amortized local candidate.
+                // Amortized local candidate. Saturating arithmetic: tenant
+                // streams may carry timestamps at the `i64` edges, where
+                // plain ops debug-panic; saturation equals the plain result
+                // whenever no overflow occurs, so bit-identity across the
+                // engines is preserved.
                 let candidate = if i == 0 {
                     orig
                 } else {
-                    let gap = (orig - prev_orig[p]).max(Dur::ZERO);
-                    orig.max(prev_corr[p] + gap.scale(mu))
+                    let gap = orig.saturating_since(prev_orig[p]).max(Dur::ZERO);
+                    orig.max(prev_corr[p].saturating_add(gap.scale(mu)))
                 };
                 let corrected = match remote {
                     Some(r) if r > candidate => {
-                        let size = r - candidate;
+                        let size = r.saturating_since(candidate);
                         report.jumps.push(Jump { event: EventId::new(p, i), size });
                         report.max_jump = report.max_jump.max(size);
                         r
@@ -226,9 +230,9 @@ fn backward_pass_csr(
             continue;
         }
         let delta = jump.size;
-        let t_pre = Time::from_ps(col[k]) - delta;
+        let t_pre = Time::from_ps(col[k]).saturating_sub(delta);
         let window = delta.scale(params.backward_window_factor);
-        let w_start = t_pre - window;
+        let w_start = t_pre.saturating_sub(window);
         // Walk backward applying min(ramp, cap, shift_of_successor).
         let mut shift_above = delta;
         for i in (0..k).rev() {
@@ -236,15 +240,20 @@ fn backward_pass_csr(
             if t_i <= w_start {
                 break;
             }
-            let frac = (t_i - w_start).as_ps() as f64 / window.as_ps().max(1) as f64;
+            let frac = t_i.saturating_since(w_start).as_ps() as f64
+                / window.as_ps().max(1) as f64;
             let ramp = delta.scale(frac.clamp(0.0, 1.0));
             let mut cap = Dur::MAX;
             let (dsts, lats) = graph.out_of(base + i as u32);
             for (&dst, &lat) in dsts.iter().zip(lats) {
-                cap = cap.min(Time::from_ps(snapshot[dst as usize]) - Dur::from_ps(lat) - t_i);
+                cap = cap.min(
+                    Time::from_ps(snapshot[dst as usize])
+                        .saturating_sub(Dur::from_ps(lat))
+                        .saturating_since(t_i),
+                );
             }
             let shift = ramp.min(cap).min(shift_above).max(Dur::ZERO);
-            col[i] = (t_i + shift).as_ps();
+            col[i] = t_i.saturating_add(shift).as_ps();
             shift_above = shift;
             if shift == Dur::ZERO {
                 break;
@@ -327,6 +336,52 @@ mod tests {
         let mut cols = TraceColumns::gather(&t);
         let err = controlled_logical_clock_columnar_csr(&mut cols, &graph, &ClcParams::default());
         assert!(matches!(err, Err(ClcError::CyclicTrace)));
+    }
+
+    #[test]
+    fn i64_edge_timestamps_do_not_panic_and_engines_agree() {
+        use simclock::Time;
+        use tracefmt::{EventKind, Rank, RegionId, Tag};
+        // Timestamps pinned to the i64 edges: the remote bound, the
+        // amortized-gap arithmetic and the backward-window extrapolation
+        // all overflow plain i64 ops here. Saturating kernels must accept
+        // the trace, and every engine must agree bit for bit.
+        let mut t = Trace::for_ranks(2);
+        t.procs[0].push(Time::from_ps(i64::MIN + 3), EventKind::Enter { region: RegionId(0) });
+        t.procs[0].push(
+            Time::from_ps(i64::MAX - 2),
+            EventKind::Send { to: Rank(1), tag: Tag(0), bytes: 0 },
+        );
+        t.procs[1].push(Time::from_ps(i64::MIN), EventKind::Enter { region: RegionId(0) });
+        t.procs[1].push(
+            Time::from_ps(i64::MIN + 10),
+            EventKind::Recv { from: Rank(0), tag: Tag(0), bytes: 0 },
+        );
+        t.procs[1].push(Time::from_ps(i64::MAX - 1), EventKind::Exit { region: RegionId(0) });
+        let params = ClcParams::default();
+
+        let mut aos = t.clone();
+        let ra = controlled_logical_clock(&mut aos, &LMIN, &params).unwrap();
+
+        let graph = graph_of(&t);
+        let mut cols = TraceColumns::gather(&t);
+        let rc = controlled_logical_clock_columnar_csr(&mut cols, &graph, &params).unwrap();
+
+        let mut rep_cols = TraceColumns::gather(&t);
+        let (rr, _) = crate::clc::replay::controlled_logical_clock_replay_csr(
+            &mut rep_cols,
+            &graph,
+            &params,
+        )
+        .unwrap();
+
+        assert_eq!(ra.n_jumps(), rc.n_jumps());
+        assert_eq!(rc.n_jumps(), rr.n_jumps());
+        assert_eq!(ra.max_jump, rc.max_jump);
+        for (id, e) in aos.iter_events() {
+            assert_eq!(cols.time(id), e.time, "columnar vs aos at {id:?}");
+            assert_eq!(rep_cols.time(id), e.time, "replay vs aos at {id:?}");
+        }
     }
 
     #[test]

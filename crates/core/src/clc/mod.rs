@@ -366,8 +366,9 @@ pub(crate) fn forward_pass(
                             if send.i() >= pc[send.p()] {
                                 break 'events; // send not yet corrected
                             }
-                            remote =
-                                Some(trace.time(send) + lmin.l_min(from, my_rank));
+                            remote = Some(
+                                trace.time(send).saturating_add(lmin.l_min(from, my_rank)),
+                            );
                         }
                     }
                     EventKind::CollEnd { .. } => {
@@ -379,7 +380,9 @@ pub(crate) fn forward_pass(
                                 if jbegin.i() >= pc[jbegin.p()] {
                                     break 'events; // dependency pending
                                 }
-                                let c = trace.time(jbegin) + lmin.l_min(jrank, my_rank);
+                                let c = trace
+                                    .time(jbegin)
+                                    .saturating_add(lmin.l_min(jrank, my_rank));
                                 bound = Some(bound.map_or(c, |b: Time| b.max(c)));
                             }
                             remote = bound;
@@ -388,16 +391,19 @@ pub(crate) fn forward_pass(
                     _ => {}
                 }
 
-                // Amortized local candidate.
+                // Amortized local candidate. Saturating arithmetic: traces
+                // may carry timestamps at the `i64` edges, where plain ops
+                // debug-panic; saturation equals the plain result whenever
+                // no overflow occurs.
                 let candidate = if i == 0 {
                     orig
                 } else {
-                    let gap = (orig - prev_orig[p]).max(Dur::ZERO);
-                    orig.max(prev_corr[p] + gap.scale(mu))
+                    let gap = orig.saturating_since(prev_orig[p]).max(Dur::ZERO);
+                    orig.max(prev_corr[p].saturating_add(gap.scale(mu)))
                 };
                 let corrected = match remote {
                     Some(r) if r > candidate => {
-                        let size = r - candidate;
+                        let size = r.saturating_since(candidate);
                         report.jumps.push(Jump { event: id, size });
                         report.max_jump = report.max_jump.max(size);
                         r
@@ -473,9 +479,9 @@ pub(crate) fn backward_pass_proc(
             continue;
         }
         let delta = jump.size;
-        let t_pre = pt.events[k].time - delta;
+        let t_pre = pt.events[k].time.saturating_sub(delta);
         let window = delta.scale(params.backward_window_factor);
-        let w_start = t_pre - window;
+        let w_start = t_pre.saturating_sub(window);
         // Walk backward applying min(ramp, cap, shift_of_successor).
         let mut shift_above = delta;
         for i in (0..k).rev() {
@@ -483,25 +489,31 @@ pub(crate) fn backward_pass_proc(
             if t_i <= w_start {
                 break;
             }
-            let frac = (t_i - w_start).as_ps() as f64 / window.as_ps().max(1) as f64;
+            let frac = t_i.saturating_since(w_start).as_ps() as f64
+                / window.as_ps().max(1) as f64;
             let ramp = delta.scale(frac.clamp(0.0, 1.0));
             let id = EventId::new(p, i);
             let mut cap = Dur::MAX;
             if let Some(&(recv, to)) = deps.recv_of.get(&id) {
-                cap = cap
-                    .min(snapshot[recv.p()][recv.i()] - lmin.l_min(my_rank, to) - t_i);
+                cap = cap.min(
+                    snapshot[recv.p()][recv.i()]
+                        .saturating_sub(lmin.l_min(my_rank, to))
+                        .saturating_since(t_i),
+                );
             }
             if let Some(&(inst_idx, pos)) = deps.begin_info.get(&id) {
                 let inst = &deps.insts[inst_idx];
                 for j in inst.dependents_of_begin(pos) {
                     let (jrank, _, jend) = inst.members[j];
                     cap = cap.min(
-                        snapshot[jend.p()][jend.i()] - lmin.l_min(my_rank, jrank) - t_i,
+                        snapshot[jend.p()][jend.i()]
+                            .saturating_sub(lmin.l_min(my_rank, jrank))
+                            .saturating_since(t_i),
                     );
                 }
             }
             let shift = ramp.min(cap).min(shift_above).max(Dur::ZERO);
-            pt.events[i].time = t_i + shift;
+            pt.events[i].time = t_i.saturating_add(shift);
             shift_above = shift;
             if shift == Dur::ZERO {
                 break;

@@ -281,12 +281,15 @@ fn replay_worker(
         let candidate = if i == 0 {
             orig
         } else {
-            let gap = (orig - prev_orig).max(Dur::ZERO);
-            orig.max(prev_corr + gap.scale(mu))
+            let gap = orig.saturating_since(prev_orig).max(Dur::ZERO);
+            orig.max(prev_corr.saturating_add(gap.scale(mu)))
         };
         let corrected = match remote {
             Some(r) if r > candidate => {
-                jumps.push(Jump { event: EventId::new(p, i), size: r - candidate });
+                jumps.push(Jump {
+                    event: EventId::new(p, i),
+                    size: r.saturating_since(candidate),
+                });
                 r
             }
             _ => candidate,
@@ -298,7 +301,7 @@ fn replay_worker(
         // Publish the corrected time along every out-edge.
         let (dsts, lats) = graph.out_of(base + i as u32);
         for (&dst, &lat) in dsts.iter().zip(lats) {
-            let bound = (corrected + Dur::from_ps(lat)).as_ps();
+            let bound = corrected.saturating_add(Dur::from_ps(lat)).as_ps();
             if dst >= base && ((dst - base) as usize) < len {
                 // Same timeline: the local-cycle check guarantees the
                 // consumer lies ahead of us in program order.

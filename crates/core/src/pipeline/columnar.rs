@@ -61,6 +61,8 @@ pub(super) fn run(
             cols
         }
     };
+    // Batch residency: every timeline's full i64 lane is live at once.
+    stats.peak_resident_column_bytes = 8 * n_events as u64;
 
     // Freeze the timestamp-independent census state once: event ids
     // resolved to flat-array offsets, bounds baked into dense lanes,

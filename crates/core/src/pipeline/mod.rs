@@ -30,9 +30,13 @@
 mod columnar;
 mod parallel;
 mod stats;
+mod windowed;
 
 pub use parallel::ParallelConfig;
 pub use stats::{PipelineStats, StageStats, StageTotals};
+pub use windowed::{
+    synchronize_stream_incremental, synchronize_stream_incremental_with_cancel, IncrementalReport,
+};
 
 use crate::clc::{ClcError, ClcParams, ClcReport};
 use crate::interp::{LinearInterpolation, OffsetAlignment, TimestampMap};

@@ -105,6 +105,13 @@ pub struct PipelineStats {
     pub stages: Vec<StageStats>,
     /// Wall-clock seconds for the whole pipeline.
     pub total_seconds: f64,
+    /// Peak bytes of timestamp column slabs resident at once. The batch
+    /// engines gather every timeline's `i64` lane up front, so this is
+    /// `8 × n_events`; the incremental windowed engine retires segments as
+    /// their finalization horizon clears and reports its true high-water
+    /// mark, which stays O(window) as the trace grows. 0 on the AoS path,
+    /// which keeps no separate column slabs.
+    pub peak_resident_column_bytes: u64,
 }
 
 impl PipelineStats {
@@ -132,7 +139,10 @@ impl PipelineStats {
 
     /// Render a compact per-stage table (used by the experiments binary).
     pub fn render(&self) -> String {
-        let mut out = format!("pipeline: {} worker(s), {:.3}s total\n", self.workers, self.total_seconds);
+        let mut out = format!(
+            "pipeline: {} worker(s), {:.3}s total, peak columns {} B\n",
+            self.workers, self.total_seconds, self.peak_resident_column_bytes
+        );
         for s in &self.stages {
             out.push_str(&format!(
                 "  {:<16} {:>10} items  {:>8} shards  {:>12.0} items/s  merge wait {:.4}s\n",

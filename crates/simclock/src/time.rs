@@ -117,6 +117,22 @@ impl Time {
         Time(self.0.saturating_add(d.0))
     }
 
+    /// Saturating subtraction of a span.
+    #[inline]
+    pub fn saturating_sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+
+    /// Saturating span from `earlier` to `self` (`self - earlier`, clamped
+    /// to the representable range instead of wrapping or panicking).
+    ///
+    /// The CLC kernels run over tenant-supplied timestamps, which may sit
+    /// at the `i64` edges; plain `Time - Time` debug-panics there.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
     /// Round down to an integer multiple of `res` (no-op for `res <= 1 ps`).
     ///
     /// Models the finite resolution of a timer: `gettimeofday()` cannot
@@ -231,6 +247,18 @@ impl Dur {
     #[inline]
     pub fn scale(self, f: f64) -> Dur {
         Dur((self.0 as f64 * f).round() as i64)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
     }
 }
 
@@ -410,5 +438,27 @@ mod tests {
         let d = Dur::from_us(10);
         assert_eq!(d.scale(0.5), Dur::from_us(5));
         assert_eq!(d.scale(1e-6), Dur::from_ps(10));
+    }
+
+    #[test]
+    fn saturating_ops_clamp_at_the_edges() {
+        assert_eq!(Time::MAX.saturating_add(Dur::from_ps(1)), Time::MAX);
+        assert_eq!(Time::MIN.saturating_sub(Dur::from_ps(1)), Time::MIN);
+        assert_eq!(Time::MAX.saturating_since(Time::MIN), Dur::MAX);
+        assert_eq!(
+            Time::MIN.saturating_since(Time::MAX),
+            Dur::from_ps(i64::MIN)
+        );
+        assert_eq!(Dur::MAX.saturating_add(Dur::from_ps(1)), Dur::MAX);
+        assert_eq!(
+            Dur::from_ps(i64::MIN).saturating_sub(Dur::from_ps(1)),
+            Dur::from_ps(i64::MIN)
+        );
+        // Away from the edges the saturating forms are the plain ops.
+        let t = Time::from_us(5);
+        let d = Dur::from_us(2);
+        assert_eq!(t.saturating_add(d), t + d);
+        assert_eq!(t.saturating_sub(d), t - d);
+        assert_eq!(t.saturating_since(Time::from_us(1)), Dur::from_us(4));
     }
 }

@@ -16,7 +16,8 @@
 
 use crate::workload::WorkItem;
 use clocksync::{
-    synchronize_stream_with_cancel, synchronize_with_cancel, CancelToken, PipelineError,
+    synchronize_stream_incremental_with_cancel, synchronize_stream_with_cancel,
+    synchronize_with_cancel, CancelToken, PipelineError,
 };
 use syncd::{Counter, JobError, JobInput, JobOutcome, JobSpec, MetricsSnapshot};
 use tracefmt::Trace;
@@ -170,6 +171,27 @@ pub fn run_oracle(spec: &JobSpec, fair_share: usize) -> Oracle {
             &cancel,
         )
         .map(|(trace, _)| trace),
+        JobInput::StreamIncremental {
+            chunks,
+            window_events,
+        } => {
+            let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+            synchronize_stream_incremental_with_cancel(
+                &refs,
+                &spec.init,
+                fin,
+                lmin,
+                &pipeline,
+                *window_events,
+                &cancel,
+            )
+            // The oracle compares *traces*, so decode the emitted frames
+            // the same way the checker decodes the job's frames below.
+            .and_then(|(frames, _)| {
+                tracefmt::io::from_binary_columnar(frames.concat().into())
+                    .map_err(PipelineError::Codec)
+            })
+        }
     };
     match result {
         Ok(trace) => Oracle::Success(Box::new(trace)),
@@ -197,9 +219,24 @@ pub fn check_job(id: u64, t: &TrackedOutcome<'_>, fair_share: usize) -> Option<S
             if success.attempts == 0 {
                 return Some(format!("job {id} completed with zero attempts"));
             }
+            // An incremental job's corrected output is its emitted frames;
+            // decode them so the same trace comparison applies.
+            let got = match &t.item.spec.input {
+                JobInput::StreamIncremental { .. } => {
+                    match tracefmt::io::from_binary_columnar(success.frames.concat().into()) {
+                        Ok(trace) => trace,
+                        Err(e) => {
+                            return Some(format!(
+                                "job {id} completed but its emitted frames do not decode: {e}"
+                            ));
+                        }
+                    }
+                }
+                _ => success.trace.clone(),
+            };
             match run_oracle(&t.item.spec, fair_share) {
                 Oracle::Success(direct) => {
-                    if !traces_identical(&success.trace, &direct) {
+                    if !traces_identical(&got, &direct) {
                         return Some(format!(
                             "job {id} completed but its trace differs from the direct pipeline call"
                         ));

@@ -70,9 +70,10 @@ fn job_trace(rng: &mut StdRng, procs: usize, msgs: usize) -> (Trace, Measurement
 
 /// Generate `jobs` work items from `seed`. Roughly a third arrive as
 /// columnar streams (half `DTC2`, half the zero-copy `DTC3` variant), a
-/// quarter of those poisoned at the byte level; jobs carry a mix of
-/// priorities, deadlines, retry-budget overrides, and parallel pipeline
-/// configs.
+/// quarter of those poisoned at the byte level and a third of them run
+/// through the incremental windowed engine with a small random window;
+/// jobs carry a mix of priorities, deadlines, retry-budget overrides, and
+/// parallel pipeline configs.
 pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
     let mut rng = StdRng::seed_from_u64(seed);
     let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(UniformLatency(Dur::from_us(4)));
@@ -105,7 +106,17 @@ pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
                     };
                     chunks = FaultInjector::new().with(fault).apply(&chunks);
                 }
-                JobInput::Stream(chunks)
+                if rng.gen_bool(1.0 / 3.0) {
+                    // The incremental engine must survive the same chaos
+                    // as the batch stream path: both wire versions, byte
+                    // poisoning, cancellation, deadlines, retries.
+                    JobInput::StreamIncremental {
+                        chunks,
+                        window_events: rng.gen_range(1usize..64),
+                    }
+                } else {
+                    JobInput::Stream(chunks)
+                }
             } else {
                 JobInput::Trace(trace)
             };
@@ -156,6 +167,13 @@ mod tests {
                     assert_eq!(t.n_events(), u.n_events())
                 }
                 (JobInput::Stream(c), JobInput::Stream(d)) => assert_eq!(c, d),
+                (
+                    JobInput::StreamIncremental { chunks: c, window_events: v },
+                    JobInput::StreamIncremental { chunks: d, window_events: w },
+                ) => {
+                    assert_eq!(c, d);
+                    assert_eq!(v, w);
+                }
                 _ => panic!("input kind diverged between runs"),
             }
         }
@@ -168,9 +186,14 @@ mod tests {
             .iter()
             .filter(|i| matches!(i.spec.input, JobInput::Stream(_)))
             .count();
+        let incremental = items
+            .iter()
+            .filter(|i| matches!(i.spec.input, JobInput::StreamIncremental { .. }))
+            .count();
         let poisoned = items.iter().filter(|i| i.poisoned).count();
         let deadlines = items.iter().filter(|i| i.spec.deadline.is_some()).count();
         assert!(streams > 0 && streams < 64);
+        assert!(incremental > 0, "no incremental jobs in the workload");
         assert!(poisoned > 0);
         assert!(deadlines > 0);
         // Both wire versions must be represented among the streams.
@@ -178,7 +201,8 @@ mod tests {
             items
                 .iter()
                 .filter(|i| match &i.spec.input {
-                    JobInput::Stream(chunks) => chunks
+                    JobInput::Stream(chunks)
+                    | JobInput::StreamIncremental { chunks, .. } => chunks
                         .first()
                         .is_some_and(|c| c.starts_with(magic)),
                     JobInput::Trace(_) => false,

@@ -51,26 +51,45 @@ pub fn estimate_job_cost(input: &JobInput) -> JobCost {
                 mixed: false,
             }
         }
-        JobInput::Stream(chunks) => {
-            let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
-            // A stream whose headers were unreadable (or cut off) still
-            // occupies its own bytes; floor the event estimate on the
-            // encoded size so garbage input cannot claim to be free. A
-            // complete header scan is authoritative — v3 frames carry
-            // more bytes per event than the floor's divisor assumes, so
-            // flooring a fully-scanned stream would overcharge it.
-            let events = if est.complete {
-                est.events
-            } else {
-                est.events.max(est.bytes / 24)
-            };
-            JobCost {
-                bytes: PER_JOB_BASE + est.bytes + events * record,
-                events,
-                complete: est.complete,
-                mixed: est.mixed,
-            }
-        }
+        JobInput::Stream(chunks) => stream_cost(chunks, false),
+        JobInput::StreamIncremental { chunks, .. } => stream_cost(chunks, true),
+    }
+}
+
+/// Header-scan pricing shared by both stream job modes.
+///
+/// `emits_frames` is the incremental mode: the windowed engine keeps only
+/// O(window) timestamp columns resident, but it re-encodes the whole
+/// stream as corrected frames that accumulate until the submitter takes
+/// them, so the job pins roughly input + output bytes. The per-event
+/// record charge stays — message matching and the CSR dependency graph
+/// are O(trace) structural metadata on that path too.
+fn stream_cost(chunks: &[Vec<u8>], emits_frames: bool) -> JobCost {
+    let record = std::mem::size_of::<EventRecord>() as u64 + PER_EVENT_OVERHEAD;
+    let est = estimate_columnar_stream(chunks.iter().map(|c| c.as_slice()));
+    // A stream whose headers were unreadable (or cut off) still occupies
+    // its own bytes; floor the event estimate on the encoded size so
+    // garbage input cannot claim to be free. A *clean* complete scan is
+    // authoritative — v3 frames carry more bytes per event than the
+    // floor's divisor assumes, so flooring it would overcharge — but
+    // `complete` alone is not clean: bytes after the trailer mean the
+    // decoder will reject the stream, so a dirty tail keeps the floor
+    // (trailing garbage must never under-charge the budget).
+    let events = if est.complete && est.trailing_bytes == 0 {
+        est.events
+    } else {
+        est.events.max(est.bytes / 24)
+    };
+    let stream_bytes = if emits_frames {
+        est.bytes.saturating_mul(2)
+    } else {
+        est.bytes
+    };
+    JobCost {
+        bytes: PER_JOB_BASE + stream_bytes + events * record,
+        events,
+        complete: est.complete,
+        mixed: est.mixed,
     }
 }
 
@@ -225,6 +244,47 @@ mod tests {
         assert!(!cost.complete);
         assert!(cost.events >= 4096 / 24);
         assert!(cost.bytes > 4096);
+    }
+
+    #[test]
+    fn trailing_garbage_cannot_under_charge() {
+        // Regression: a tiny valid stream with a large garbage tail scans
+        // `complete` (the trailer WAS seen), but the decoder will reject
+        // it — admission must price the tail, not trust the few events
+        // the headers announce.
+        let small = tiny_trace(4);
+        let valid = to_binary_columnar_blocked(&small, 16).to_vec();
+        let mut dirty = valid.clone();
+        dirty.extend(std::iter::repeat_n(0xA5u8, 64 * 1024));
+        let total = dirty.len() as u64;
+        let cost = estimate_job_cost(&JobInput::Stream(vec![dirty]));
+        assert!(cost.complete, "trailer was present, scan is complete");
+        assert!(
+            cost.events >= total / 24,
+            "byte floor must hold: {} events for {} bytes",
+            cost.events,
+            total
+        );
+        // And it must charge strictly more than the clean stream alone.
+        let clean = estimate_job_cost(&JobInput::Stream(vec![valid]));
+        assert!(cost.bytes > clean.bytes + 64 * 1024);
+    }
+
+    #[test]
+    fn incremental_job_cost_covers_input_and_output() {
+        let trace = tiny_trace(64);
+        let chunks = vec![to_binary_columnar_v3_blocked(&trace, 16).to_vec()];
+        let stream = estimate_job_cost(&JobInput::Stream(chunks.clone()));
+        let incremental = estimate_job_cost(&JobInput::StreamIncremental {
+            chunks,
+            window_events: 32,
+        });
+        assert_eq!(incremental.events, stream.events);
+        assert!(incremental.complete && !incremental.mixed);
+        // The incremental job accumulates corrected output frames on top
+        // of its pinned input, so it must be priced above the plain
+        // stream job.
+        assert!(incremental.bytes > stream.bytes);
     }
 
     #[test]

@@ -56,6 +56,18 @@ pub enum JobInput {
     /// reader. The service estimates its memory cost from the block
     /// headers alone before admitting the job.
     Stream(Vec<Vec<u8>>),
+    /// DTC2/DTC3 chunks run through the incremental windowed engine
+    /// ([`clocksync::synchronize_stream_incremental`]): corrected
+    /// timestamps come back as re-encoded stream frames in
+    /// [`JobSuccess::frames`] instead of a decoded [`Trace`], and the
+    /// engine keeps only O(`window_events`) timestamp columns resident.
+    StreamIncremental {
+        /// The input stream, chunked as it arrived.
+        chunks: Vec<Vec<u8>>,
+        /// Forward-pass burst and lane-segment width, in events. Must be
+        /// at least 1 or the attempt fails typed.
+        window_events: usize,
+    },
 }
 
 impl JobInput {
@@ -64,6 +76,7 @@ impl JobInput {
         match self {
             JobInput::Trace(_) => "trace",
             JobInput::Stream(_) => "stream",
+            JobInput::StreamIncremental { .. } => "stream-incremental",
         }
     }
 }
@@ -212,10 +225,20 @@ impl std::error::Error for JobError {}
 /// A finished job's payload.
 #[derive(Debug, Clone)]
 pub struct JobSuccess {
-    /// The synchronized trace.
+    /// The synchronized trace. Empty for a
+    /// [`JobInput::StreamIncremental`] job, whose corrected output is
+    /// [`frames`](Self::frames) — the whole point of that mode is that the
+    /// trace is never materialized in memory.
     pub trace: Trace,
-    /// The pipeline's violation censuses and stats.
+    /// The pipeline's violation censuses and stats. For an incremental
+    /// job the censuses are empty placeholders (that engine skips them);
+    /// the stats — including the true `peak_resident_column_bytes`
+    /// high-water mark — are real.
     pub report: PipelineReport,
+    /// Corrected-stream frames from a [`JobInput::StreamIncremental`]
+    /// job: concatenated, they are a well-formed `DTC2`/`DTC3` stream.
+    /// Empty for the other job modes.
+    pub frames: Vec<Vec<u8>>,
     /// Attempts it took (1 = no retry).
     pub attempts: u32,
     /// Time spent queued before the first attempt.

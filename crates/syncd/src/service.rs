@@ -40,7 +40,8 @@ use crate::job::{
 use crate::metrics::{Counter, MetricsRegistry, MetricsSnapshot};
 use crate::runtime::{AttemptProbe, RealRuntime, Runtime};
 use clocksync::{
-    synchronize_stream_with_cancel, synchronize_with_cancel, CancelToken, PipelineError,
+    synchronize_stream_incremental_with_cancel, synchronize_stream_with_cancel,
+    synchronize_with_cancel, CancelToken, PipelineError,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -579,7 +580,7 @@ impl JobRun {
             crate::job::JobInput::Trace(trace) => {
                 let mut work = trace.clone();
                 synchronize_with_cancel(&mut work, &spec.init, fin, lmin, pipeline, &cancel)
-                    .map(|report| (work, report))
+                    .map(|report| (work, report, Vec::new()))
             }
             crate::job::JobInput::Stream(chunks) => synchronize_stream_with_cancel(
                 chunks.iter().map(|c| c.as_slice()),
@@ -588,12 +589,34 @@ impl JobRun {
                 lmin,
                 pipeline,
                 &cancel,
-            ),
+            )
+            .map(|(trace, report)| (trace, report, Vec::new())),
+            crate::job::JobInput::StreamIncremental {
+                chunks,
+                window_events,
+            } => {
+                let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+                synchronize_stream_incremental_with_cancel(
+                    &refs,
+                    &spec.init,
+                    fin,
+                    lmin,
+                    pipeline,
+                    *window_events,
+                    &cancel,
+                )
+                // The corrected output IS the frames; the empty trace is
+                // documented on `JobSuccess::trace`.
+                .map(|(frames, inc)| {
+                    (tracefmt::Trace::for_ranks(0), inc.to_pipeline_report(), frames)
+                })
+            }
         }));
         match result {
-            Ok(Ok((trace, report))) => AttemptOutcome::Done(Box::new(JobSuccess {
+            Ok(Ok((trace, report, frames))) => AttemptOutcome::Done(Box::new(JobSuccess {
                 trace,
                 report,
+                frames,
                 attempts: self.attempts,
                 queue_wait: self.queue_wait,
                 run_time: shared.runtime.now().saturating_sub(t0),
@@ -744,6 +767,81 @@ mod tests {
         assert_eq!(m.counter(Counter::ServiceCrashes), 0);
         // The budget charge is released once the job is done.
         assert_eq!(m.admitted_bytes, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn incremental_stream_job_streams_corrected_frames() {
+        let (trace, init, fin) = fixture(40);
+        let mut direct = trace.clone();
+        synchronize(
+            &mut direct,
+            &init,
+            Some(&fin),
+            &UniformLatency(Dur::from_us(1)),
+            &PipelineConfig::default(),
+        )
+        .unwrap();
+
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let service = SyncService::start_default();
+        let handle = service
+            .submit(JobSpec::new(
+                JobInput::StreamIncremental {
+                    chunks: chunked(&bytes, 64),
+                    window_events: 8,
+                },
+                init,
+                Some(fin),
+                lmin(),
+                PipelineConfig::default(),
+            ))
+            .unwrap();
+        let success = handle.wait().expect("incremental job succeeds");
+        // The corrected trace comes back as stream frames, not records.
+        assert_eq!(success.trace.n_procs(), 0);
+        assert!(!success.frames.is_empty());
+        assert!(success.report.stats.peak_resident_column_bytes > 0);
+        let back =
+            tracefmt::io::from_binary_columnar(success.frames.concat().into()).unwrap();
+        for dp in &direct.procs {
+            let wp = back
+                .procs
+                .iter()
+                .find(|p| p.location == dp.location)
+                .expect("timeline present in re-decoded output");
+            assert_eq!(dp.events.len(), wp.events.len());
+            for (d, w) in dp.events.iter().zip(&wp.events) {
+                assert_eq!(d.time, w.time);
+            }
+        }
+        assert_eq!(service.metrics().counter(Counter::Completed), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_window_incremental_job_fails_typed() {
+        let (trace, init, fin) = fixture(4);
+        let bytes = to_binary_columnar_blocked(&trace, 16);
+        let service = SyncService::start(ServiceConfig {
+            max_retries: 0,
+            ..ServiceConfig::default()
+        });
+        let handle = service
+            .submit(JobSpec::new(
+                JobInput::StreamIncremental {
+                    chunks: chunked(&bytes, 64),
+                    window_events: 0,
+                },
+                init,
+                Some(fin),
+                lmin(),
+                PipelineConfig::default(),
+            ))
+            .unwrap();
+        let failure = handle.wait().expect_err("zero window must fail");
+        assert!(matches!(failure.error, JobError::Pipeline(_)));
+        assert_eq!(service.metrics().admitted_bytes, 0);
         service.shutdown();
     }
 

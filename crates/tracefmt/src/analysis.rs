@@ -97,6 +97,71 @@ pub fn consume_recvs(trace: &Trace, p: usize, pending: &mut PendingSends, out: &
     }
 }
 
+/// Per-event message matcher: the streaming face of [`match_messages`].
+///
+/// Callers that never materialize a [`Trace`] (block-directory scans over
+/// an on-disk stream) feed events one at a time in the same two-pass order
+/// the batch function uses — every timeline's sends in program order, then
+/// every timeline's receives in program order — and [`finish`] yields a
+/// [`Matching`] bit-identical to the batch result.
+///
+/// [`finish`]: MessageMatcher::finish
+#[derive(Debug, Default)]
+pub struct MessageMatcher {
+    pending: PendingSends,
+    out: Matching,
+}
+
+impl MessageMatcher {
+    /// Fresh matcher with no pending sends.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pass 1: feed event `i` of timeline `p` (whose location rank is
+    /// `from`). Non-`Send` kinds are ignored.
+    pub fn feed_send(&mut self, from: Rank, p: usize, i: usize, kind: &EventKind) {
+        if let EventKind::Send { to, tag, bytes } = *kind {
+            self.pending
+                .entry((from, to, tag.0))
+                .or_default()
+                .push_back((EventId::new(p, i), bytes));
+        }
+    }
+
+    /// Pass 2: feed event `i` of timeline `p` (whose location rank is
+    /// `to`). Non-`Recv` kinds are ignored; receives consume pending sends
+    /// FIFO, per MPI's non-overtaking rule.
+    pub fn feed_recv(&mut self, to: Rank, p: usize, i: usize, kind: &EventKind) {
+        if let EventKind::Recv { from, tag, .. } = *kind {
+            let recv = EventId::new(p, i);
+            match self
+                .pending
+                .get_mut(&(from, to, tag.0))
+                .and_then(|q| q.pop_front())
+            {
+                Some((send, bytes)) => self.out.messages.push(MessageMatch {
+                    send,
+                    recv,
+                    from,
+                    to,
+                    bytes,
+                }),
+                None => self.out.unmatched_recvs.push(recv),
+            }
+        }
+    }
+
+    /// Drain leftover sends into `unmatched_sends` and return the matching.
+    pub fn finish(mut self) -> Matching {
+        for q in self.pending.values() {
+            self.out.unmatched_sends.extend(q.iter().map(|&(id, _)| id));
+        }
+        self.out.unmatched_sends.sort();
+        self.out
+    }
+}
+
 /// Match sends to receives by (source, destination, tag) in FIFO order.
 ///
 /// The trace's timelines are indexed by rank position in `trace.procs`;
@@ -106,24 +171,22 @@ pub fn match_messages(trace: &Trace) -> Matching {
     // FIFO queues of pending sends per (from, to, tag), collected in
     // per-timeline order (which is program order, the order MPI's
     // non-overtaking rule speaks about).
-    let mut pending: PendingSends = HashMap::new();
-    let mut out = Matching::default();
+    let mut m = MessageMatcher::new();
     for p in 0..trace.n_procs() {
-        for (key, id, bytes) in collect_sends(trace, p) {
-            pending.entry(key).or_default().push_back((id, bytes));
+        let from = trace.procs[p].location.rank;
+        for (i, e) in trace.procs[p].events.iter().enumerate() {
+            m.feed_send(from, p, i, &e.kind);
         }
     }
 
     // Second pass: receives consume sends FIFO.
     for p in 0..trace.n_procs() {
-        consume_recvs(trace, p, &mut pending, &mut out);
+        let to = trace.procs[p].location.rank;
+        for (i, e) in trace.procs[p].events.iter().enumerate() {
+            m.feed_recv(to, p, i, &e.kind);
+        }
     }
-
-    for q in pending.values() {
-        out.unmatched_sends.extend(q.iter().map(|&(id, _)| id));
-    }
-    out.unmatched_sends.sort();
-    out
+    m.finish()
 }
 
 /// One member's participation in a collective instance.
@@ -175,6 +238,68 @@ pub struct CollCall {
     pub root: Option<Rank>,
 }
 
+/// Per-event collective call scanner for one timeline: the streaming face
+/// of [`collect_collective_calls`]. Feed every event of timeline `p` in
+/// program order; [`finish`] yields the per-communicator call lists the
+/// batch scan would have produced, ready for
+/// [`assemble_collective_instances`].
+///
+/// [`finish`]: CollectiveScanner::finish
+#[derive(Debug)]
+pub struct CollectiveScanner {
+    p: usize,
+    rank: Rank,
+    out: HashMap<CommId, Vec<CollCall>>,
+    // comm -> open call stack position for this proc.
+    open: HashMap<CommId, usize>,
+}
+
+impl CollectiveScanner {
+    /// Scanner for timeline `p` whose location rank is `rank`.
+    pub fn new(p: usize, rank: Rank) -> Self {
+        Self {
+            p,
+            rank,
+            out: HashMap::new(),
+            open: HashMap::new(),
+        }
+    }
+
+    /// Feed event `i` of the timeline. Errors on a `CollEnd` with no open
+    /// `CollBegin` on the same communicator.
+    pub fn feed(&mut self, i: usize, kind: &EventKind) -> Result<(), String> {
+        match *kind {
+            EventKind::CollBegin { op, comm, root, .. } => {
+                let list = self.out.entry(comm).or_default();
+                self.open.insert(comm, list.len());
+                list.push(CollCall {
+                    rank: self.rank,
+                    begin: EventId::new(self.p, i),
+                    end: None,
+                    op,
+                    root,
+                });
+            }
+            EventKind::CollEnd { comm, .. } => {
+                let p = self.p;
+                let idx = *self
+                    .open
+                    .get(&comm)
+                    .ok_or_else(|| format!("CollEnd without CollBegin at proc {p}"))?;
+                self.out.get_mut(&comm).expect("open implies list")[idx].end =
+                    Some(EventId::new(self.p, i));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The per-communicator call lists, in call order.
+    pub fn finish(self) -> HashMap<CommId, Vec<CollCall>> {
+        self.out
+    }
+}
+
 /// Scan timeline `p` for collective calls, grouped per communicator in
 /// call order. One shard of [`match_collectives`]'s scan pass. Errors on a
 /// `CollEnd` with no open `CollBegin` on the same communicator.
@@ -183,33 +308,11 @@ pub fn collect_collective_calls(
     p: usize,
 ) -> Result<HashMap<CommId, Vec<CollCall>>, String> {
     let pt = &trace.procs[p];
-    let rank = pt.location.rank;
-    let mut out: HashMap<CommId, Vec<CollCall>> = HashMap::new();
-    // comm -> open call stack position for this proc.
-    let mut open: HashMap<CommId, usize> = HashMap::new();
+    let mut scanner = CollectiveScanner::new(p, pt.location.rank);
     for (i, e) in pt.events.iter().enumerate() {
-        match e.kind {
-            EventKind::CollBegin { op, comm, root, .. } => {
-                let list = out.entry(comm).or_default();
-                open.insert(comm, list.len());
-                list.push(CollCall {
-                    rank,
-                    begin: EventId::new(p, i),
-                    end: None,
-                    op,
-                    root,
-                });
-            }
-            EventKind::CollEnd { comm, .. } => {
-                let idx = *open
-                    .get(&comm)
-                    .ok_or_else(|| format!("CollEnd without CollBegin at proc {p}"))?;
-                out.get_mut(&comm).expect("open implies list")[idx].end = Some(EventId::new(p, i));
-            }
-            _ => {}
-        }
+        scanner.feed(i, &e.kind)?;
     }
-    Ok(out)
+    Ok(scanner.finish())
 }
 
 /// Zip the per-timeline call lists of one communicator into instances:

@@ -1385,6 +1385,14 @@ pub struct StreamEstimate {
     /// Admission control rejects such input with a typed error instead of
     /// letting the decoder trip over it mid-job.
     pub mixed: bool,
+    /// Bytes following the end-of-stream trailer: garbage, or a
+    /// concatenated second stream. Zero for a cleanly terminated stream.
+    /// The decoder proper rejects any such bytes, so `complete` alone does
+    /// NOT mean the job will decode — admission must treat a stream with a
+    /// dirty tail like an incomplete one and keep the byte-derived floor
+    /// under its event estimate, or trailing garbage would under-charge
+    /// the budget for a job that is guaranteed to fail.
+    pub trailing_bytes: u64,
 }
 
 /// Scan a `DTC2` chunk stream's *frame headers only*, without decoding any
@@ -1413,6 +1421,8 @@ pub fn estimate_columnar_stream<'a>(
     // Absolute offset of the next byte the scan will consume — fixes the
     // pad of each v3 frame (the pad depends only on the frame's offset).
     let mut off = 0u64;
+    // Absolute offset just past the end-of-stream trailer, once seen.
+    let mut trailer_end: Option<u64> = None;
     for chunk in chunks {
         est.bytes += chunk.len() as u64;
         if (est.complete && tail_checked) || aborted {
@@ -1466,6 +1476,7 @@ pub fn estimate_columnar_stream<'a>(
             let payload_len = rd_u32(&carry, 12) as usize;
             if rd_u32(&carry, 0) == u32::MAX && rd_u32(&carry, 4) == u32::MAX {
                 est.complete = true;
+                trailer_end = Some(off);
                 need = 4; // peek at whatever follows for a foreign magic
                 continue;
             }
@@ -1498,7 +1509,359 @@ pub fn estimate_columnar_stream<'a>(
             skip = pad as u64 + n_events as u64 * 8 + payload_len as u64;
         }
     }
+    if let Some(end) = trailer_end {
+        est.trailing_bytes = est.bytes.saturating_sub(end);
+    }
     est
+}
+
+// ------------------------------------------- stream random access ----
+
+/// Zero-copy random access over a sequence of borrowed byte chunks — the
+/// storage view the incremental synchronization pipeline reads a columnar
+/// stream through. The chunks are never concatenated; a read that falls
+/// inside one chunk borrows it directly, and only reads crossing a chunk
+/// boundary copy into the caller's scratch buffer.
+#[derive(Debug)]
+pub struct ChunkStore<'a> {
+    chunks: &'a [&'a [u8]],
+    /// `starts[i]` = absolute offset of `chunks[i]`; one extra trailing
+    /// entry holds the total byte count.
+    starts: Vec<u64>,
+}
+
+impl<'a> ChunkStore<'a> {
+    /// Build the offset directory (one prefix sum per chunk).
+    pub fn new(chunks: &'a [&'a [u8]]) -> ChunkStore<'a> {
+        let mut starts = Vec::with_capacity(chunks.len() + 1);
+        let mut at = 0u64;
+        for c in chunks {
+            starts.push(at);
+            at += c.len() as u64;
+        }
+        starts.push(at);
+        ChunkStore { chunks, starts }
+    }
+
+    /// Total bytes across all chunks.
+    pub fn len(&self) -> u64 {
+        *self.starts.last().expect("has sentinel")
+    }
+
+    /// True when the store holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow `len` bytes at absolute offset `off`. In-chunk ranges are
+    /// returned without copying; ranges crossing a chunk boundary are
+    /// assembled into `scratch` first.
+    ///
+    /// # Panics
+    /// When `off + len` exceeds [`ChunkStore::len`] — callers index with
+    /// offsets from a validated [`StreamIndex`], so an out-of-range read
+    /// is a logic error, not an input error.
+    pub fn read<'s>(&self, off: u64, len: usize, scratch: &'s mut Vec<u8>) -> &'s [u8]
+    where
+        'a: 's,
+    {
+        assert!(
+            off + len as u64 <= self.len(),
+            "ChunkStore read out of range: {off}+{len} > {}",
+            self.len()
+        );
+        if len == 0 {
+            return &[];
+        }
+        // Last chunk starting at or before `off`.
+        let ci = self.starts.partition_point(|&s| s <= off) - 1;
+        let in_off = (off - self.starts[ci]) as usize;
+        let chunk = self.chunks[ci];
+        if in_off + len <= chunk.len() {
+            return &chunk[in_off..in_off + len];
+        }
+        scratch.clear();
+        scratch.reserve(len);
+        let mut ci = ci;
+        let mut in_off = in_off;
+        while scratch.len() < len {
+            let chunk = self.chunks[ci];
+            let take = (len - scratch.len()).min(chunk.len() - in_off);
+            scratch.extend_from_slice(&chunk[in_off..in_off + take]);
+            ci += 1;
+            in_off = 0;
+        }
+        scratch
+    }
+}
+
+/// Directory entry for one block frame found by [`index_columnar_chunks`]:
+/// where the frame's segments live in the stream and which run of its
+/// timeline's events it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Index into [`StreamIndex::locations`] (first-seen timeline order,
+    /// the same order [`TraceBuilder`] assigns).
+    pub timeline: u32,
+    /// Index, within the timeline, of the block's first event.
+    pub first_idx: u64,
+    /// Events in the block.
+    pub n_events: u32,
+    /// Absolute stream offset of the timestamp segment
+    /// (`n_events * 8` bytes; big-endian on v2, 8-aligned little-endian
+    /// on v3).
+    pub times_off: u64,
+    /// Absolute stream offset of the kind/args payload (variable-stride
+    /// records on v2; the kind-code run followed by the fixed-stride args
+    /// records on v3).
+    pub payload_off: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+/// A header-level directory of a *complete, well-formed* columnar stream:
+/// every block frame located and attributed to its timeline, without any
+/// timestamp or payload byte having been decoded.
+///
+/// Unlike [`estimate_columnar_stream`] — which is deliberately tolerant —
+/// the indexer is strict: it enforces the same magic negotiation, header
+/// ceilings, trailer counters and no-data-after-trailer rule as
+/// [`StreamDecoder`], so a stream that indexes cleanly is one the decoder
+/// would accept in full. The incremental pipeline builds on this: random
+/// access to any block's segments via a [`ChunkStore`], with the input
+/// bytes staying wherever the caller put them.
+#[derive(Debug, Clone)]
+pub struct StreamIndex {
+    /// Wire version negotiated from the magic.
+    pub version: ColumnarVersion,
+    /// Timelines in first-seen order.
+    pub locations: Vec<Location>,
+    /// Every block frame, in stream order.
+    pub blocks: Vec<BlockMeta>,
+    /// Per timeline, the indices into `blocks` of its frames, in stream
+    /// (= program) order.
+    pub proc_blocks: Vec<Vec<u32>>,
+    /// Per timeline, its total event count.
+    pub proc_lens: Vec<u64>,
+    /// Total stream length in bytes.
+    pub total_bytes: u64,
+}
+
+impl StreamIndex {
+    /// Total events across all timelines.
+    pub fn n_events(&self) -> u64 {
+        self.proc_lens.iter().sum()
+    }
+}
+
+/// Index a columnar stream presented as byte chunks. See [`StreamIndex`]
+/// for the strictness contract; errors mirror [`StreamDecoder`]'s.
+pub fn index_columnar_chunks(chunks: &[&[u8]]) -> Result<StreamIndex, CodecError> {
+    let store = ChunkStore::new(chunks);
+    let total = store.len();
+    let mut scratch = Vec::new();
+    if total < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let magic = rd_u32(store.read(0, 4, &mut scratch), 0);
+    let version = match magic {
+        MAGIC_COLUMNAR => ColumnarVersion::V2,
+        MAGIC_COLUMNAR_V3 => ColumnarVersion::V3,
+        _ => return Err(CodecError::BadField("magic".into())),
+    };
+    let mut idx = StreamIndex {
+        version,
+        locations: Vec::new(),
+        blocks: Vec::new(),
+        proc_blocks: Vec::new(),
+        proc_lens: Vec::new(),
+        total_bytes: total,
+    };
+    let mut index: std::collections::HashMap<Location, u32> = std::collections::HashMap::new();
+    let mut off = 4u64;
+    let mut events_seen = 0u64;
+    let mut blocks_seen = 0u64;
+    loop {
+        if off + 16 > total {
+            return Err(CodecError::Truncated);
+        }
+        let header = store.read(off, 16, &mut scratch);
+        let (rank, thread) = (rd_u32(header, 0), rd_u32(header, 4));
+        let n_events = rd_u32(header, 8) as usize;
+        let payload_len = rd_u32(header, 12) as usize;
+        if rank == u32::MAX && thread == u32::MAX {
+            // End-of-stream trailer; counters must match what we saw.
+            if n_events as u32 != events_seen as u32 || payload_len as u32 != blocks_seen as u32 {
+                return Err(CodecError::BadField("end-of-stream counter mismatch".into()));
+            }
+            off += 16;
+            if off != total {
+                return Err(CodecError::BadField("data after end-of-stream trailer".into()));
+            }
+            return Ok(idx);
+        }
+        let pad = match version {
+            ColumnarVersion::V2 => {
+                check_block_header(rank, thread, n_events, payload_len)?;
+                0
+            }
+            ColumnarVersion::V3 => {
+                check_block_header_v3(rank, thread, n_events, payload_len)?;
+                v3_pad(off)
+            }
+        };
+        let times_off = off + 16 + pad as u64;
+        let payload_off = times_off + n_events as u64 * 8;
+        let frame_end = payload_off + payload_len as u64;
+        if frame_end > total {
+            return Err(CodecError::Truncated);
+        }
+        let location = Location { rank: Rank(rank), thread: ThreadId(thread) };
+        let p = *index.entry(location).or_insert_with(|| {
+            idx.locations.push(location);
+            idx.proc_blocks.push(Vec::new());
+            idx.proc_lens.push(0);
+            (idx.locations.len() - 1) as u32
+        });
+        idx.proc_blocks[p as usize].push(idx.blocks.len() as u32);
+        idx.blocks.push(BlockMeta {
+            timeline: p,
+            first_idx: idx.proc_lens[p as usize],
+            n_events: n_events as u32,
+            times_off,
+            payload_off,
+            payload_len: payload_len as u32,
+        });
+        idx.proc_lens[p as usize] += n_events as u64;
+        events_seen += n_events as u64;
+        blocks_seen += 1;
+        off = frame_end;
+    }
+}
+
+/// Decode one block's raw timestamp segment (as addressed by
+/// [`BlockMeta::times_off`]) into picosecond values appended to `out`.
+pub fn decode_block_times(version: ColumnarVersion, seg: &[u8], out: &mut Vec<i64>) {
+    debug_assert!(seg.len().is_multiple_of(8));
+    match version {
+        ColumnarVersion::V2 => out.extend(
+            seg.chunks_exact(8).map(|c| i64::from_be_bytes(c.try_into().expect("exact chunk"))),
+        ),
+        ColumnarVersion::V3 => out.extend(
+            seg.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("exact chunk"))),
+        ),
+    }
+}
+
+/// Decode one block's kind/args payload (as addressed by
+/// [`BlockMeta::payload_off`]) into event kinds appended to `out`.
+pub fn decode_block_kinds(
+    version: ColumnarVersion,
+    payload: &[u8],
+    n_events: usize,
+    out: &mut Vec<EventKind>,
+) -> Result<(), CodecError> {
+    out.reserve(n_events);
+    match version {
+        ColumnarVersion::V2 => {
+            let mut at = 0usize;
+            for _ in 0..n_events {
+                out.push(decode_one_kind(payload, &mut at)?);
+            }
+            if at != payload.len() {
+                return Err(CodecError::BadField("block payload length".into()));
+            }
+        }
+        ColumnarVersion::V3 => {
+            if payload.len() != n_events * V3_RECORD_BYTES {
+                return Err(CodecError::BadField("block payload length".into()));
+            }
+            let (codes, args) = payload.split_at(n_events);
+            for (&code, rec) in codes.iter().zip(args.chunks_exact(V3_ARGS_BYTES)) {
+                out.push(decode_kind_v3(code, rec.try_into().expect("exact chunk"))?);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Incremental encoder for the columnar formats — the write-side twin of
+/// [`StreamDecoder`]. Emits the stream as a sequence of self-contained
+/// byte chunks (magic, then one chunk per frame, then the trailer) whose
+/// concatenation is a well-formed `DTC2`/`DTC3` stream; v3 pads are
+/// derived from the running output offset exactly as the block encoders
+/// derive them, so a re-emitted stream with the same block structure and
+/// payload bytes is bit-identical to the original.
+#[derive(Debug)]
+pub struct FrameWriter {
+    version: ColumnarVersion,
+    /// Output stream offset of the next chunk (fixes v3 pads).
+    pos: u64,
+    events: u64,
+    blocks: u64,
+}
+
+impl FrameWriter {
+    /// Start a stream: returns the writer and the magic chunk.
+    pub fn new(version: ColumnarVersion) -> (FrameWriter, Vec<u8>) {
+        let magic = match version {
+            ColumnarVersion::V2 => MAGIC_COLUMNAR,
+            ColumnarVersion::V3 => MAGIC_COLUMNAR_V3,
+        };
+        (
+            FrameWriter { version, pos: 4, events: 0, blocks: 0 },
+            magic.to_be_bytes().to_vec(),
+        )
+    }
+
+    /// Encode one block frame. `payload` must already be this version's
+    /// wire payload for exactly `times_ps.len()` events (variable-stride
+    /// records on v2; the kind-code run followed by the args records on
+    /// v3) — re-emitting a decoded block passes its payload bytes through
+    /// verbatim.
+    pub fn frame(&mut self, location: Location, times_ps: &[i64], payload: &[u8]) -> Vec<u8> {
+        let n = times_ps.len();
+        let pad = match self.version {
+            ColumnarVersion::V2 => 0,
+            ColumnarVersion::V3 => {
+                debug_assert_eq!(payload.len(), n * V3_RECORD_BYTES);
+                v3_pad(self.pos)
+            }
+        };
+        let mut out = Vec::with_capacity(16 + pad + n * 8 + payload.len());
+        out.extend_from_slice(&location.rank.0.to_be_bytes());
+        out.extend_from_slice(&location.thread.0.to_be_bytes());
+        out.extend_from_slice(&(n as u32).to_be_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.resize(out.len() + pad, 0);
+        match self.version {
+            ColumnarVersion::V2 => {
+                for &ps in times_ps {
+                    out.extend_from_slice(&ps.to_be_bytes());
+                }
+            }
+            ColumnarVersion::V3 => {
+                for &ps in times_ps {
+                    out.extend_from_slice(&ps.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(payload);
+        self.pos += out.len() as u64;
+        self.events += n as u64;
+        self.blocks += 1;
+        out
+    }
+
+    /// Finish the stream: returns the end-of-stream trailer chunk.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&u32::MAX.to_be_bytes());
+        out.extend_from_slice(&u32::MAX.to_be_bytes());
+        out.extend_from_slice(&(self.events as u32).to_be_bytes());
+        out.extend_from_slice(&(self.blocks as u32).to_be_bytes());
+        out
+    }
 }
 
 /// Decode the columnar format — v2 or v3, negotiated from the magic — in
@@ -2115,6 +2478,214 @@ mod tests {
         glued.extend_from_slice(&v2);
         let est = estimate_columnar_stream(std::iter::once(&glued[..]));
         assert!(est.complete && !est.mixed);
+    }
+
+    #[test]
+    fn stream_estimate_reports_trailing_bytes() {
+        let t = sample_trace();
+        for bytes in [to_binary_columnar_blocked(&t, 2), to_binary_columnar_v3_blocked(&t, 2)] {
+            // Clean stream: no trailing bytes, at any chunking.
+            for chunk_size in [1, 3, 7, bytes.len()] {
+                let est = estimate_columnar_stream(bytes.chunks(chunk_size));
+                assert!(est.complete);
+                assert_eq!(est.trailing_bytes, 0, "chunks of {chunk_size}");
+            }
+            // Trailing garbage after a valid trailer: still `complete`
+            // (the trailer WAS seen), but the tail is reported so
+            // admission can refuse to trust the header-announced totals —
+            // the decoder proper will reject this stream.
+            for garbage_len in [1usize, 3, 4, 17] {
+                let mut dirty = bytes.to_vec();
+                dirty.extend(std::iter::repeat_n(0xA5u8, garbage_len));
+                for chunk_size in [1, 5, dirty.len()] {
+                    let est = estimate_columnar_stream(dirty.chunks(chunk_size));
+                    assert!(est.complete);
+                    assert!(!est.mixed);
+                    assert_eq!(est.bytes, dirty.len() as u64);
+                    assert_eq!(
+                        est.trailing_bytes, garbage_len as u64,
+                        "garbage {garbage_len}, chunks of {chunk_size}"
+                    );
+                }
+            }
+            // Same-version concatenation: not `mixed`, but the whole
+            // second stream is trailing — admission must not price this
+            // as the first stream's totals alone.
+            let mut glued = bytes.to_vec();
+            glued.extend_from_slice(&bytes);
+            let est = estimate_columnar_stream(std::iter::once(&glued[..]));
+            assert!(est.complete && !est.mixed);
+            assert_eq!(est.trailing_bytes, bytes.len() as u64);
+            // Truncated stream: no trailer, so no trailing bytes.
+            let est = estimate_columnar_stream(std::iter::once(&bytes[..bytes.len() - 1]));
+            assert!(!est.complete);
+            assert_eq!(est.trailing_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn chunk_store_reads_across_boundaries() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let pieces: Vec<&[u8]> = vec![&data[..7], &data[7..7], &data[7..100], &data[100..]];
+        let store = ChunkStore::new(&pieces);
+        assert_eq!(store.len(), 256);
+        let mut scratch = Vec::new();
+        for off in [0usize, 3, 6, 7, 50, 99, 100, 255] {
+            for len in [0usize, 1, 2, 8, 100] {
+                if off + len > 256 {
+                    continue;
+                }
+                let got = store.read(off as u64, len, &mut scratch).to_vec();
+                assert_eq!(got, &data[off..off + len], "read {off}+{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_agrees_with_streaming_decode() {
+        let t = sample_trace();
+        for (bytes, version) in [
+            (to_binary_columnar_blocked(&t, 3), ColumnarVersion::V2),
+            (to_binary_columnar_v3_blocked(&t, 3), ColumnarVersion::V3),
+        ] {
+            for chunk_size in [1usize, 7, 16, bytes.len()] {
+                let pieces: Vec<&[u8]> = bytes.chunks(chunk_size).collect();
+                let idx = index_columnar_chunks(&pieces).unwrap();
+                assert_eq!(idx.version, version);
+                assert_eq!(idx.total_bytes, bytes.len() as u64);
+                assert_eq!(idx.n_events(), t.n_events() as u64);
+                assert_eq!(idx.locations.len(), t.n_procs());
+                // Rebuild the whole trace through the random-access lane
+                // and compare with the reference decoder.
+                let store = ChunkStore::new(&pieces);
+                let mut scratch = Vec::new();
+                let mut builder = TraceBuilder::new();
+                for b in &idx.blocks {
+                    let loc = idx.locations[b.timeline as usize];
+                    let mut times = Vec::new();
+                    let seg =
+                        store.read(b.times_off, b.n_events as usize * 8, &mut scratch);
+                    decode_block_times(version, seg, &mut times);
+                    let mut kinds = Vec::new();
+                    let payload =
+                        store.read(b.payload_off, b.payload_len as usize, &mut scratch);
+                    decode_block_kinds(version, payload, b.n_events as usize, &mut kinds)
+                        .unwrap();
+                    let mut col = TimeColumn::with_capacity(times.len());
+                    col.extend_from_ps(&times);
+                    builder.push_block(TimelineBlock { location: loc, times: col, kinds });
+                }
+                let back = builder.finish();
+                assert!(traces_equal(&t, &back), "chunks of {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_strict_about_malformed_streams() {
+        let t = sample_trace();
+        let bytes = to_binary_columnar_v3_blocked(&t, 2);
+        // Every truncation is typed.
+        for cut in 0..bytes.len() {
+            let pieces: Vec<&[u8]> = vec![&bytes[..cut]];
+            assert!(
+                matches!(
+                    index_columnar_chunks(&pieces),
+                    Err(CodecError::Truncated) | Err(CodecError::BadField(_))
+                ),
+                "cut at {cut} accepted"
+            );
+        }
+        // Data after the trailer is rejected (the decoder's rule).
+        let mut dirty = bytes.to_vec();
+        dirty.push(0);
+        let pieces: Vec<&[u8]> = vec![&dirty];
+        assert!(matches!(index_columnar_chunks(&pieces), Err(CodecError::BadField(_))));
+        // Bad magic.
+        let pieces: Vec<&[u8]> = vec![&[0xde, 0xad, 0xbe, 0xef]];
+        assert!(matches!(index_columnar_chunks(&pieces), Err(CodecError::BadField(_))));
+        // Corrupted trailer counter.
+        let mut corrupt = bytes.to_vec();
+        let at = corrupt.len() - 8; // events-low32 field of the trailer
+        corrupt[at] ^= 1;
+        let pieces: Vec<&[u8]> = vec![&corrupt];
+        assert!(matches!(index_columnar_chunks(&pieces), Err(CodecError::BadField(_))));
+    }
+
+    #[test]
+    fn frame_writer_reemits_bit_identically() {
+        let t = sample_trace();
+        for (bytes, version) in [
+            (to_binary_columnar_blocked(&t, 3), ColumnarVersion::V2),
+            (to_binary_columnar_v3_blocked(&t, 3), ColumnarVersion::V3),
+        ] {
+            let pieces: Vec<&[u8]> = bytes.chunks(13).collect();
+            let idx = index_columnar_chunks(&pieces).unwrap();
+            let store = ChunkStore::new(&pieces);
+            let mut scratch = Vec::new();
+            let (mut writer, mut out) = FrameWriter::new(version);
+            for b in &idx.blocks {
+                let loc = idx.locations[b.timeline as usize];
+                let mut times = Vec::new();
+                let seg = store.read(b.times_off, b.n_events as usize * 8, &mut scratch);
+                decode_block_times(version, seg, &mut times);
+                let payload = store
+                    .read(b.payload_off, b.payload_len as usize, &mut scratch)
+                    .to_vec();
+                out.extend_from_slice(&writer.frame(loc, &times, &payload));
+            }
+            out.extend_from_slice(&writer.finish());
+            assert_eq!(&out[..], &bytes[..], "{version:?} re-emission diverged");
+        }
+    }
+
+    /// Satellite pin for the partial-frame buffering paths: splitting the
+    /// stream into exactly two pieces at *every* byte boundary — including
+    /// every split inside a v3 alignment pad and every split landing
+    /// exactly on an 8-byte timestamp-segment boundary — must decode
+    /// identically to the one-shot decode, on both the full-decode and the
+    /// times-only lanes.
+    #[test]
+    fn two_piece_split_at_every_boundary_decodes_identically() {
+        // Block size 1 and an odd trace shape maximize pad-phase variety:
+        // consecutive v3 frames land on different (mod 8) offsets.
+        let t = sample_trace();
+        for bytes in [
+            to_binary_columnar_blocked(&t, 1),
+            to_binary_columnar_v3_blocked(&t, 1),
+            to_binary_columnar_v3_blocked(&t, 3),
+        ] {
+            let reference = from_binary_columnar(bytes.clone()).unwrap();
+            for cut in 0..=bytes.len() {
+                let mut dec = StreamDecoder::new();
+                let mut builder = TraceBuilder::new();
+                dec.feed_into(&bytes[..cut], &mut builder).unwrap();
+                dec.feed_into(&bytes[cut..], &mut builder).unwrap();
+                dec.finish().unwrap();
+                let (back, cols) = builder.finish_parts();
+                assert!(traces_equal(&reference, &back), "split at {cut}");
+                assert_eq!(cols.n_events(), reference.n_events(), "split at {cut}");
+
+                let mut dec = StreamDecoder::new();
+                let mut times = TimesBuilder::new();
+                dec.feed_times_into(&bytes[..cut], &mut times).unwrap();
+                dec.feed_times_into(&bytes[cut..], &mut times).unwrap();
+                dec.finish().unwrap();
+                let (_locs, tcols) = times.finish();
+                for (id, e) in reference.iter_events() {
+                    assert_eq!(tcols.time(id), e.time, "times lane, split at {cut}");
+                }
+            }
+            // Chunks of exactly 8 bytes: every timestamp element boundary
+            // in a v3 segment is also a chunk boundary.
+            let mut dec = StreamDecoder::new();
+            let mut builder = TraceBuilder::new();
+            for piece in bytes.chunks(8) {
+                dec.feed_into(piece, &mut builder).unwrap();
+            }
+            dec.finish().unwrap();
+            assert!(traces_equal(&reference, &builder.finish()), "8-byte chunking");
+        }
     }
 
     #[test]

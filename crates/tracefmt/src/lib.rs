@@ -36,8 +36,8 @@ pub mod violation;
 pub use analysis::{
     assemble_collective_instances, collect_collective_calls, collect_sends, consume_recvs,
     match_collectives, match_messages, match_parallel_regions, CollCall, CollMember,
-    CollectiveInstance, Matching, MessageMatch, ParallelRegion, PendingSends, RegionThread,
-    SendKey,
+    CollectiveInstance, CollectiveScanner, Matching, MessageMatch, MessageMatcher, ParallelRegion,
+    PendingSends, RegionThread, SendKey,
 };
 pub use census::{CensusPlan, PlanBuildError};
 pub use column::{TimeColumn, TimeSource, TraceColumns};

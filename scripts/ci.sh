@@ -14,7 +14,9 @@
 #    gates below fail the script if the parallel-CLC speedup over serial
 #    or the SIMD census-kernel / v3-ingest throughput regresses; the
 #    syncd smoke run refreshes BENCH_syncd.json and a sanity gate checks
-#    its report
+#    its report; the incremental smoke run refreshes
+#    BENCH_incremental.json and the residency gate fails the script if
+#    the windowed engine's resident columns stop being O(window)
 # 5. VOPR chaos campaign: 500 seeded simulation schedules against the
 #    stepped service (5000 with DRIFT_STRESS=1); any failing seed is
 #    shrunk, written to vopr-failure-<seed>.simt, and printed with a
@@ -56,6 +58,9 @@ cargo bench -p bench --bench ingest -- --test
 
 echo "==> bench check: cargo bench -p bench --bench syncd_throughput -- --test"
 cargo bench -p bench --bench syncd_throughput -- --test
+
+echo "==> bench check: cargo bench -p bench --bench incremental -- --test"
+cargo bench -p bench --bench incremental -- --test
 
 # Perf smoke gate: the replay CLC must not fall behind serial where real
 # cores exist. One worker runs per process timeline, so on a single-core
@@ -106,6 +111,31 @@ fi
 echo "    v3 ingest ${v3_times_eps} events/s (full streamed decode ${v3_streamed_eps}), ${v3_speedup}x over v2 streamed"
 if ! awk -v s="$v3_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
     echo "perf gate: v3 zero-copy ingest ${v3_speedup}x < 2.0x over v2 streamed decode" >&2
+    exit 1
+fi
+
+# Residency gate: the incremental windowed engine's whole contract is
+# that its resident timestamp columns are O(window), not O(trace). The
+# bench runs the same workload at 1x and 10x the events; the measured
+# column high-water mark must stay (near) flat across that growth, and
+# must undercut the batch engine's 8 x n_events gather at the 10x scale.
+# Both ratios are machine-independent (bytes, not seconds), so the gate
+# holds at every CPU count.
+echo "==> residency gate: O(window) columns from BENCH_incremental.json"
+res_growth=$(sed -n 's/.*"residency_growth_under_10x": \([0-9.]*\).*/\1/p' BENCH_incremental.json)
+res_margin=$(sed -n 's/.*"batch_over_windowed_resident": \([0-9.]*\).*/\1/p' BENCH_incremental.json)
+res_peak=$(sed -n 's/.*"large_peak_resident_bytes": \([0-9]*\).*/\1/p' BENCH_incremental.json)
+if [[ -z "$res_growth" || -z "$res_margin" || -z "$res_peak" ]]; then
+    echo "residency gate: could not read fields from BENCH_incremental.json" >&2
+    exit 1
+fi
+echo "    peak ${res_peak} B, growth under 10x events ${res_growth}x, batch/windowed ${res_margin}x"
+if ! awk -v g="$res_growth" 'BEGIN { exit !(g < 2.0) }'; then
+    echo "residency gate: windowed columns grew ${res_growth}x under 10x events (must stay < 2.0x)" >&2
+    exit 1
+fi
+if ! awk -v m="$res_margin" 'BEGIN { exit !(m >= 4.0) }'; then
+    echo "residency gate: windowed columns only ${res_margin}x below the batch gather (need >= 4.0x)" >&2
     exit 1
 fi
 

@@ -8,9 +8,9 @@
 //! [`StreamDecoder`]: drift_lab::tracefmt::io::StreamDecoder
 
 use drift_lab::tracefmt::io::{
-    from_binary, from_binary_columnar, from_text, to_binary, to_binary_columnar_blocked,
-    to_binary_columnar_v3_blocked, to_text, to_text_writer, CodecError, StreamDecoder,
-    TimesBuilder, TraceBuilder,
+    from_binary, from_binary_columnar, from_text, index_columnar_chunks, to_binary,
+    to_binary_columnar_blocked, to_binary_columnar_v3_blocked, to_text, to_text_writer,
+    CodecError, StreamDecoder, TimesBuilder, TraceBuilder,
 };
 use drift_lab::tracefmt::{CollOp, CommId, EventKind, Rank, RegionId, Tag, Trace, TraceColumns};
 use drift_lab::simclock::Time;
@@ -269,6 +269,51 @@ proptest! {
                         "finish() accepted a truncated stream at cut={}", cut);
                 }
             }
+        }
+    }
+
+    /// A chunk boundary that splits a DTC3 alignment pad, lands exactly on
+    /// an 8-byte times-segment boundary, or falls anywhere inside a frame
+    /// header must not change what the streaming decoder produces. The
+    /// uniform-chunk-size property above reaches these offsets only by
+    /// accident; here every such cut is exercised deliberately as a
+    /// two-piece split and compared against the one-shot decode.
+    #[test]
+    fn v3_pad_and_alignment_splits_decode_identically(
+        trace in arb_small_trace(),
+        block in 1usize..6,
+    ) {
+        let bytes = to_binary_columnar_v3_blocked(&trace, block);
+        let expected = from_binary_columnar(bytes.clone()).expect("one-shot decodes");
+        let idx = index_columnar_chunks(&[&bytes[..]]).expect("well-formed stream indexes");
+
+        // Every 8-byte segment boundary, the stream ends, and — per frame —
+        // a window sweeping across the header and its alignment pad up to
+        // the first times byte.
+        let mut cuts: Vec<usize> = (0..=bytes.len()).step_by(8).collect();
+        cuts.push(bytes.len());
+        for b in &idx.blocks {
+            let start = b.times_off as usize;
+            for c in start.saturating_sub(24)..=start.min(bytes.len()) {
+                cuts.push(c);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        for cut in cuts {
+            let mut dec = StreamDecoder::new();
+            let mut builder = TraceBuilder::new();
+            for piece in [&bytes[..cut], &bytes[cut..]] {
+                for blk in dec.feed(piece).expect("split stream decodes") {
+                    builder.push_block(blk);
+                }
+            }
+            dec.finish().expect("split stream complete");
+            let (back, _) = builder.finish_parts();
+            prop_assert!(first_difference(&expected, &back).is_none(),
+                "two-piece split at {} diverged: {:?}",
+                cut, first_difference(&expected, &back));
         }
     }
 }

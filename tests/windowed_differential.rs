@@ -1,0 +1,210 @@
+//! Differential matrix for the incremental windowed engine: for every
+//! window size × drift model × pre-synchronisation mode × worker request,
+//! streaming a columnar trace through
+//! [`synchronize_stream_incremental`] and re-decoding the emitted frames
+//! must be *bit-identical* to decoding the whole stream and running the
+//! batch [`synchronize`] — corrected timestamps, the jump set (compared in
+//! canonical order; the batch report lists discovery order), `max_jump`,
+//! and the moved/total event counts.
+//!
+//! The windowed engine is sequential by design, so the worker dimension
+//! pins that a requested [`ParallelConfig`] is *ignored without changing
+//! results*, mirroring the batch engine's any-worker-count guarantee.
+//!
+//! `DRIFT_STRESS=1` widens the matrix with a 6000-message trace size.
+
+mod common;
+
+use common::drifted_trace;
+use drift_lab::clocksync::{
+    synchronize, synchronize_stream_incremental, ClcParams, ParallelConfig, PipelineConfig,
+    PreSync, TimestampStorage,
+};
+use drift_lab::prelude::*;
+use drift_lab::tracefmt::io::{
+    from_binary_columnar, to_binary_columnar_blocked, to_binary_columnar_v3_blocked,
+};
+
+/// Run the incremental engine over `bytes` in awkward 4096-byte chunks and
+/// re-decode the concatenated output frames.
+fn run_windowed(
+    bytes: &[u8],
+    init: &[Option<OffsetMeasurement>],
+    fin: &[Option<OffsetMeasurement>],
+    lmin: &UniformLatency,
+    cfg: &PipelineConfig,
+    window: usize,
+    ctx: &str,
+) -> (Trace, drift_lab::clocksync::IncrementalReport) {
+    let chunks: Vec<&[u8]> = bytes.chunks(4096).collect();
+    let (out, rep) =
+        synchronize_stream_incremental(&chunks, init, Some(fin), lmin, cfg, window)
+            .unwrap_or_else(|e| panic!("{ctx}: incremental run failed: {e}"));
+    let back = from_binary_columnar(out.concat().into())
+        .unwrap_or_else(|e| panic!("{ctx}: emitted frames do not decode: {e}"));
+    (back, rep)
+}
+
+/// Frames are emitted in finalization order, so the re-decoded trace's
+/// timeline order can differ from the input's — match timelines by
+/// location, then require event-for-event identity.
+fn assert_times_match(batch: &Trace, back: &Trace, ctx: &str) {
+    assert_eq!(batch.n_procs(), back.n_procs(), "{ctx}: proc count");
+    for bp in &batch.procs {
+        let wp = back
+            .procs
+            .iter()
+            .find(|p| p.location == bp.location)
+            .unwrap_or_else(|| panic!("{ctx}: no timeline at {:?}", bp.location));
+        assert_eq!(
+            bp.events.len(),
+            wp.events.len(),
+            "{ctx}: event count at {:?}",
+            bp.location
+        );
+        for (i, (a, b)) in bp.events.iter().zip(&wp.events).enumerate() {
+            assert_eq!(a.kind, b.kind, "{ctx}: kind {i} at {:?}", bp.location);
+            assert_eq!(a.time, b.time, "{ctx}: time {i} at {:?}", bp.location);
+        }
+    }
+}
+
+/// Compare the incremental CLC report against the batch one. Jump order is
+/// schedule-dependent (the batch report lists discovery order, the
+/// incremental report canonical (timeline, index) order), so both sides
+/// are sorted before comparison; values must then be bit-identical.
+fn assert_clc_match(
+    batch: &drift_lab::clocksync::ClcReport,
+    inc: &drift_lab::clocksync::ClcReport,
+    ctx: &str,
+) {
+    let mut want = batch.jumps.clone();
+    want.sort_by_key(|j| (j.event.p(), j.event.i()));
+    assert_eq!(inc.jumps.len(), want.len(), "{ctx}: jump count");
+    for (a, b) in inc.jumps.iter().zip(&want) {
+        assert_eq!(a.event, b.event, "{ctx}: jump site");
+        assert_eq!(a.size, b.size, "{ctx}: jump size at {:?}", a.event);
+    }
+    assert_eq!(inc.max_jump, batch.max_jump, "{ctx}: max_jump");
+    assert_eq!(inc.events_moved, batch.events_moved, "{ctx}: events_moved");
+    assert_eq!(inc.events_total, batch.events_total, "{ctx}: events_total");
+}
+
+#[test]
+fn windowed_engine_differential_matrix() {
+    let stress = std::env::var("DRIFT_STRESS").is_ok_and(|v| v == "1");
+    let sizes: &[(usize, usize)] = if stress {
+        &[(3, 60), (5, 400), (8, 1500), (10, 6000)]
+    } else {
+        &[(3, 60), (5, 400), (8, 1500)]
+    };
+    let models = ["constant", "sinusoid", "randomwalk"];
+    let presyncs = [PreSync::None, PreSync::AlignOnly, PreSync::Linear];
+    let mut legs = 0usize;
+    for (si, &(procs, msgs)) in sizes.iter().enumerate() {
+        for (mi, model) in models.iter().enumerate() {
+            let seed = 73_000 + (si * 10 + mi) as u64;
+            let (base, init, fin, lmin) = drifted_trace(procs, msgs, model, seed);
+            let v3 = to_binary_columnar_v3_blocked(&base, 256);
+            let n = base.n_events();
+            // One sub-block window, two mid windows, one ≥ whole trace.
+            let windows = [1usize, 64, 4096, n.max(1)];
+            for presync in presyncs {
+                for workers in [None, Some(2usize)] {
+                    let cfg = PipelineConfig {
+                        presync,
+                        clc: Some(ClcParams::default()),
+                        parallel: workers
+                            .map(|w| ParallelConfig { workers: w, shard_size: 57 }),
+                        storage: TimestampStorage::Columnar,
+                    };
+                    let mut batch = base.clone();
+                    let report =
+                        synchronize(&mut batch, &init, Some(&fin), &lmin, &cfg)
+                            .unwrap_or_else(|e| {
+                                panic!("{procs}p/{msgs}m {model}: batch failed: {e}")
+                            });
+                    let bclc = report.clc.as_ref().expect("clc configured");
+                    for window in windows {
+                        let ctx = format!(
+                            "{procs}p/{msgs}m {model} {presync:?} workers={workers:?} \
+                             window={window}"
+                        );
+                        let (back, rep) =
+                            run_windowed(&v3, &init, &fin, &lmin, &cfg, window, &ctx);
+                        assert_times_match(&batch, &back, &ctx);
+                        let iclc = rep.clc.as_ref().expect("clc ran");
+                        assert_clc_match(bclc, iclc, &ctx);
+                        legs += 1;
+                    }
+                }
+            }
+        }
+    }
+    // The matrix must not silently collapse after a refactor.
+    let floor = sizes.len() * models.len() * presyncs.len() * 2 * 4;
+    assert!(legs >= floor, "windowed matrix ran only {legs} legs (expected {floor})");
+}
+
+#[test]
+fn windowed_engine_handles_v2_streams_in_the_matrix() {
+    for (mi, model) in ["constant", "sinusoid", "randomwalk"].iter().enumerate() {
+        let (base, init, fin, lmin) = drifted_trace(4, 200, model, 74_000 + mi as u64);
+        let v2 = to_binary_columnar_blocked(&base, 64);
+        let cfg = PipelineConfig {
+            presync: PreSync::Linear,
+            clc: Some(ClcParams::default()),
+            parallel: None,
+            storage: TimestampStorage::Columnar,
+        };
+        let mut batch = base.clone();
+        let report = synchronize(&mut batch, &init, Some(&fin), &lmin, &cfg).unwrap();
+        let bclc = report.clc.as_ref().expect("clc configured");
+        for window in [3usize, 128] {
+            let ctx = format!("v2 {model} window={window}");
+            let (back, rep) = run_windowed(&v2, &init, &fin, &lmin, &cfg, window, &ctx);
+            assert_times_match(&batch, &back, &ctx);
+            assert_clc_match(bclc, rep.clc.as_ref().expect("clc ran"), &ctx);
+            // The emitted stream must re-announce itself as v2.
+            // (run_windowed already proved it decodes.)
+            assert!(rep.frames > 0, "{ctx}: no frames emitted");
+        }
+    }
+}
+
+#[test]
+fn windowed_residency_stays_bounded_while_batch_grows() {
+    // Same drift model and window, 8× the messages: the windowed engine's
+    // column high-water mark must stay (near) flat while the batch
+    // engine's O(trace) residency scales with the input.
+    let cfg = PipelineConfig {
+        presync: PreSync::Linear,
+        clc: Some(ClcParams::default()),
+        parallel: None,
+        storage: TimestampStorage::Columnar,
+    };
+    let mut peaks = Vec::new();
+    for msgs in [400usize, 3200] {
+        let (base, init, fin, lmin) = drifted_trace(4, msgs, "sinusoid", 75_001);
+        let v3 = to_binary_columnar_v3_blocked(&base, 64);
+        let ctx = format!("residency msgs={msgs}");
+        let (_, rep) = run_windowed(&v3, &init, &fin, &lmin, &cfg, 64, &ctx);
+        let mut batch = base.clone();
+        let brep = synchronize(&mut batch, &init, Some(&fin), &lmin, &cfg).unwrap();
+        assert_eq!(
+            brep.stats.peak_resident_column_bytes,
+            8 * base.n_events() as u64,
+            "{ctx}: batch residency is O(trace) by construction"
+        );
+        peaks.push((rep.stats.peak_resident_column_bytes, base.n_events() as u64));
+    }
+    let (small_peak, small_n) = peaks[0];
+    let (large_peak, large_n) = peaks[1];
+    assert!(large_n >= 7 * small_n, "trace did not actually grow");
+    // 8× the events must cost well under 2× the resident columns.
+    assert!(
+        large_peak < small_peak * 2,
+        "windowed residency grew with the trace: {small_peak} B @ {small_n} events -> \
+         {large_peak} B @ {large_n} events"
+    );
+}
