@@ -7,6 +7,9 @@
 //! Run with `cargo bench -p bench --bench syncd_throughput` (add
 //! `-- --test` for the CI smoke run: fewer jobs, same report). Either way
 //! the summary is written to `BENCH_syncd.json` at the repository root.
+//! Timings are the median of three strictly alternating direct/service
+//! rounds (arXiv:1505.07734's methodology), so one noisy round cannot
+//! fail the gate.
 //!
 //! The overhead gate is CPU-aware like the other pipeline benches: with
 //! multiple cores the service's concurrent executors should come out
@@ -102,20 +105,12 @@ fn make_spec(
     .with_priority(Priority::Normal)
 }
 
-fn main() {
-    let test_mode = std::env::args().any(|a| a == "--test");
-    let (jobs, msgs) = if test_mode { (24, 800) } else { (96, 2500) };
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(UniformLatency(Dur::from_us(4)));
-
-    let set = job_set(jobs, msgs);
-    println!("syncd: {jobs} jobs, {} events total, {cpus} cpu(s)", set.events);
-
-    // Baseline: the same jobs run back-to-back through the pipeline
-    // directly, no service in between.
+/// One direct-baseline pass: the same jobs back-to-back through the
+/// pipeline, no service in between.
+fn run_direct(set: &JobSet, lmin: &Arc<dyn MinLatency + Send + Sync>) -> f64 {
     let t0 = Instant::now();
     for spec in &set.specs {
-        let s = make_spec(spec, &lmin);
+        let s = make_spec(spec, lmin);
         let mut work = match s.input {
             JobInput::Trace(t) => t,
             JobInput::StreamIncremental { .. } => {
@@ -138,9 +133,17 @@ fn main() {
             .expect("direct run");
         std::hint::black_box(&work);
     }
-    let t_direct = t0.elapsed();
+    t0.elapsed().as_secs_f64()
+}
 
-    // Service run: submit everything, then wait for all outcomes.
+/// One service pass: submit everything to a fresh service, wait for all
+/// outcomes. Returns the wall time and latency quantiles from the
+/// service's own histogram.
+fn run_service(
+    set: &JobSet,
+    lmin: &Arc<dyn MinLatency + Send + Sync>,
+    jobs: usize,
+) -> (f64, f64, f64) {
     let service = SyncService::start(ServiceConfig {
         queue_capacity: jobs.max(64),
         ..ServiceConfig::default()
@@ -149,34 +152,85 @@ fn main() {
     let handles: Vec<_> = set
         .specs
         .iter()
-        .map(|spec| service.submit(make_spec(spec, &lmin)).expect("admitted"))
+        .map(|spec| service.submit(make_spec(spec, lmin)).expect("admitted"))
         .collect();
     for h in handles {
         h.wait().expect("bench job succeeds");
     }
-    let t_service = t0.elapsed();
+    let elapsed = t0.elapsed().as_secs_f64();
     let m = service.metrics();
     service.shutdown();
-
     assert_eq!(m.counter(Counter::Completed), jobs as u64);
     assert_eq!(m.counter(Counter::Failed), 0);
     assert_eq!(m.counter(Counter::ServiceCrashes), 0);
+    (elapsed, m.job_latency.quantile(0.5), m.job_latency.quantile(0.99))
+}
 
-    let jobs_per_sec = jobs as f64 / t_service.as_secs_f64();
-    let direct_jobs_per_sec = jobs as f64 / t_direct.as_secs_f64();
-    let events_per_sec = set.events as f64 / t_service.as_secs_f64();
-    let speedup = jobs_per_sec / direct_jobs_per_sec;
-    let p50 = m.job_latency.quantile(0.5);
-    let p99 = m.job_latency.quantile(0.99);
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    xs[xs.len() / 2]
+}
 
-    println!("  direct baseline  {direct_jobs_per_sec:>9.1} jobs/s  ({t_direct:?})");
-    println!("  service          {jobs_per_sec:>9.1} jobs/s  ({t_service:?})");
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (jobs, msgs) = if test_mode { (24, 800) } else { (96, 2500) };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let lmin: Arc<dyn MinLatency + Send + Sync> = Arc::new(UniformLatency(Dur::from_us(4)));
+
+    let set = job_set(jobs, msgs);
+    println!("syncd: {jobs} jobs, {} events total, {cpus} cpu(s)", set.events);
+
+    // Median of 3 rounds, sides strictly alternating (direct, service,
+    // direct, service, ...): alternation puts both sides under the same
+    // slowly-varying host conditions (thermal state, cache pollution from
+    // neighbours) instead of giving one side a quiet machine and the
+    // other a busy one, and the median discards a single noisy round
+    // rather than averaging it in — the measurement methodology argued
+    // for in "Reliable benchmarking: requirements and solutions"
+    // (arXiv:1505.07734).
+    const ROUNDS: usize = 3;
+    let mut direct_times = Vec::with_capacity(ROUNDS);
+    let mut service_times = Vec::with_capacity(ROUNDS);
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    let (mut p50, mut p99) = (0.0, 0.0);
+    for round in 0..ROUNDS {
+        let d = run_direct(&set, &lmin);
+        let (s, r50, r99) = run_service(&set, &lmin, jobs);
+        println!(
+            "  round {}: direct {:.3}s, service {:.3}s, ratio {:.3}x",
+            round + 1,
+            d,
+            s,
+            d / s
+        );
+        direct_times.push(d);
+        service_times.push(s);
+        ratios.push(d / s);
+        // Quantiles from the last round (any round is representative; the
+        // histogram resets with its service).
+        p50 = r50;
+        p99 = r99;
+    }
+    let t_direct = median(&mut direct_times);
+    let t_service = median(&mut service_times);
+    // The gated ratio is the median of the *per-round* ratios, not the
+    // ratio of medians: each round's sides ran adjacently, so their
+    // quotient cancels that round's host conditions.
+    let speedup = median(&mut ratios);
+
+    let jobs_per_sec = jobs as f64 / t_service;
+    let direct_jobs_per_sec = jobs as f64 / t_direct;
+    let events_per_sec = set.events as f64 / t_service;
+
+    println!("  direct baseline  {direct_jobs_per_sec:>9.1} jobs/s  (median {t_direct:.3}s)");
+    println!("  service          {jobs_per_sec:>9.1} jobs/s  (median {t_service:.3}s)");
     println!("  service          {events_per_sec:>9.0} events/s");
-    println!("  service/direct throughput ratio: {speedup:.2}x");
+    println!("  service/direct throughput ratio: {speedup:.2}x (median of {ROUNDS} rounds)");
     println!("  job latency p50 {p50:.4}s  p99 {p99:.4}s");
 
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"events\": {},\n  \"cpus\": {cpus},\n  \
+         \"rounds\": {ROUNDS},\n  \
          \"direct_jobs_per_sec\": {direct_jobs_per_sec:.2},\n  \
          \"service_jobs_per_sec\": {jobs_per_sec:.2},\n  \
          \"service_events_per_sec\": {events_per_sec:.0},\n  \

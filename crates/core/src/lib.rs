@@ -51,7 +51,8 @@ pub use lamport::{lamport_timestamps, satisfies_lamport_condition};
 pub use offset::{estimate_offset, error_bound, OffsetMeasurement, ProbeSample};
 pub use pipeline::{
     synchronize, synchronize_stream, synchronize_stream_incremental,
-    synchronize_stream_incremental_with_cancel, synchronize_stream_with_cancel,
+    synchronize_stream_incremental_with_cancel, synchronize_stream_incremental_with_sink,
+    synchronize_stream_with_cancel,
     synchronize_with_cancel, CancelProbe, CancelToken, IncrementalReport, ParallelConfig,
     PipelineConfig, PipelineError, PipelineReport, PipelineStats,
     PreSync, StageReport, StageStats, StageTotals, TimestampStorage, TraceAnalysis,

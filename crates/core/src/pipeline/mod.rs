@@ -35,7 +35,8 @@ mod windowed;
 pub use parallel::ParallelConfig;
 pub use stats::{PipelineStats, StageStats, StageTotals};
 pub use windowed::{
-    synchronize_stream_incremental, synchronize_stream_incremental_with_cancel, IncrementalReport,
+    synchronize_stream_incremental, synchronize_stream_incremental_with_cancel,
+    synchronize_stream_incremental_with_sink, IncrementalReport,
 };
 
 use crate::clc::{ClcError, ClcParams, ClcReport};

@@ -65,6 +65,10 @@ use tracefmt::{
     EventId, EventKind, LatencyTable, Matching, MessageMatcher, MinLatency, Rank,
 };
 
+/// A finalized-chunk consumer for the streaming entry point: called with
+/// `(index, chunk)` in dense order; returning `false` aborts the run.
+pub type FrameSink<'a> = dyn Fn(u64, &[u8]) -> bool + 'a;
+
 /// Outcome of an incremental windowed run: what [`PipelineReport`] is to
 /// the batch entry points, minus the censuses (see the module docs).
 ///
@@ -491,6 +495,45 @@ fn backward_walk(p: usize, wj: &WJump, graph: &DepGraph, postb: &mut [Lane], sna
     }
 }
 
+/// Where corrected output chunks go: accumulated in memory (the default),
+/// or handed to a caller sink chunk by chunk *while the run progresses* —
+/// the seam the network service streams `CorrectedFrame`s through. Chunk
+/// indices are dense from 0 (the magic chunk) through the trailer, and the
+/// sequence is deterministic for a given input, so a retried run re-emits
+/// identical chunks at identical indices and the sink can deduplicate with
+/// a high-water mark. A sink returning `false` aborts the run with
+/// [`PipelineError::Cancelled`] (a stalled consumer cancels *its own* job,
+/// never wedges the engine).
+enum Emit<'a> {
+    Collect(Vec<Vec<u8>>),
+    Sink {
+        sink: &'a (dyn Fn(u64, &[u8]) -> bool + 'a),
+        next: u64,
+    },
+}
+
+impl Emit<'_> {
+    fn push(&mut self, chunk: Vec<u8>) -> Result<(), PipelineError> {
+        match self {
+            Emit::Collect(out) => out.push(chunk),
+            Emit::Sink { sink, next } => {
+                if !sink(*next, &chunk) {
+                    return Err(PipelineError::Cancelled);
+                }
+                *next += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn into_chunks(self) -> Vec<Vec<u8>> {
+        match self {
+            Emit::Collect(out) => out,
+            Emit::Sink { .. } => Vec::new(),
+        }
+    }
+}
+
 /// Everything [`apply_and_emit`] returns besides the stats its caller
 /// records.
 struct ApplyOutcome {
@@ -525,6 +568,7 @@ fn apply_and_emit(
     window: usize,
     cancel: &CancelToken,
     mem: &mut MemGauge,
+    sink: Option<&FrameSink<'_>>,
 ) -> Result<ApplyOutcome, PipelineError> {
     let n = index.locations.len();
     let w = window as u64;
@@ -570,7 +614,11 @@ fn apply_and_emit(
 
     let mut report = ClcReport::default();
     let (mut writer, magic) = FrameWriter::new(index.version);
-    let mut out = vec![magic];
+    let mut out = match sink {
+        Some(sink) => Emit::Sink { sink, next: 0 },
+        None => Emit::Collect(Vec::new()),
+    };
+    out.push(magic)?;
     let mut frames = 0usize;
     let mut events = 0u64;
     let mut emit_seconds = 0f64;
@@ -773,12 +821,13 @@ fn apply_and_emit(
                     times.push(v);
                 }
                 let payload = store.read(bm.payload_off, bm.payload_len as usize, &mut scratch);
-                out.push(writer.frame(index.locations[p], &times, payload));
+                let frame = writer.frame(index.locations[p], &times, payload);
                 frames += 1;
                 events += bm.n_events as u64;
                 emitted[p] = end;
                 emit_block[p] += 1;
                 emit_seconds += te.elapsed().as_secs_f64();
+                out.push(frame)?;
                 progressed = true;
             }
 
@@ -809,7 +858,7 @@ fn apply_and_emit(
         }
     }
 
-    out.push(writer.finish());
+    out.push(writer.finish())?;
     for p in 0..n {
         orig[p].drain(mem);
         snap[p].drain(mem);
@@ -818,7 +867,7 @@ fn apply_and_emit(
     }
     report.events_total = index.n_events() as usize;
     report.jumps.sort_by_key(|j| (j.event.p(), j.event.i()));
-    Ok(ApplyOutcome { out, report, frames, events, emit_seconds })
+    Ok(ApplyOutcome { out: out.into_chunks(), report, frames, events, emit_seconds })
 }
 
 /// The CLC-less path: re-emit every block in stream order with its presync
@@ -829,9 +878,14 @@ fn passthrough_emit(
     maps: Option<&[PresyncMap]>,
     cancel: &CancelToken,
     mem: &mut MemGauge,
+    sink: Option<&FrameSink<'_>>,
 ) -> Result<(Vec<Vec<u8>>, usize, u64), PipelineError> {
     let (mut writer, magic) = FrameWriter::new(index.version);
-    let mut out = vec![magic];
+    let mut out = match sink {
+        Some(sink) => Emit::Sink { sink, next: 0 },
+        None => Emit::Collect(Vec::new()),
+    };
+    out.push(magic)?;
     let mut frames = 0usize;
     let mut events = 0u64;
     let mut scratch = Vec::new();
@@ -848,13 +902,14 @@ fn passthrough_emit(
             maps[p].map_col(&mut times);
         }
         let payload = store.read(bm.payload_off, bm.payload_len as usize, &mut scratch);
-        out.push(writer.frame(index.locations[p], &times, payload));
+        let frame = writer.frame(index.locations[p], &times, payload);
         frames += 1;
         events += bm.n_events as u64;
         mem.free(bytes);
+        out.push(frame)?;
     }
-    out.push(writer.finish());
-    Ok((out, frames, events))
+    out.push(writer.finish())?;
+    Ok((out.into_chunks(), frames, events))
 }
 
 /// Run the pipeline incrementally over a chunked columnar stream and
@@ -902,6 +957,44 @@ pub fn synchronize_stream_incremental_with_cancel(
     cfg: &PipelineConfig,
     window_events: usize,
     cancel: &CancelToken,
+) -> Result<(Vec<Vec<u8>>, IncrementalReport), PipelineError> {
+    run_incremental(chunks, init, fin, lmin, cfg, window_events, cancel, None)
+}
+
+/// [`synchronize_stream_incremental_with_cancel`] that *streams* the
+/// corrected chunks to `sink` as they finalize instead of accumulating
+/// them: `sink(index, chunk)` is called with dense indices from 0 (the
+/// magic chunk) through the trailer, in order, while the run progresses.
+/// The chunk sequence is deterministic for a given input, so a retried
+/// run re-emits identical chunks at identical indices — a sink can resume
+/// from a high-water mark. Returning `false` from the sink aborts the run
+/// with [`PipelineError::Cancelled`]. The returned report's `frames` and
+/// `events` count what was emitted; no chunks are retained in memory.
+#[allow(clippy::too_many_arguments)]
+pub fn synchronize_stream_incremental_with_sink(
+    chunks: &[&[u8]],
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+    window_events: usize,
+    cancel: &CancelToken,
+    sink: &FrameSink<'_>,
+) -> Result<IncrementalReport, PipelineError> {
+    run_incremental(chunks, init, fin, lmin, cfg, window_events, cancel, Some(sink))
+        .map(|(_, report)| report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_incremental(
+    chunks: &[&[u8]],
+    init: &[Option<OffsetMeasurement>],
+    fin: Option<&[Option<OffsetMeasurement>]>,
+    lmin: &dyn MinLatency,
+    cfg: &PipelineConfig,
+    window_events: usize,
+    cancel: &CancelToken,
+    sink: Option<&FrameSink<'_>>,
 ) -> Result<(Vec<Vec<u8>>, IncrementalReport), PipelineError> {
     let t_total = Instant::now();
     cancel.check()?;
@@ -962,7 +1055,8 @@ pub fn synchronize_stream_incremental_with_cancel(
     let (out, clc, frames, events) = match &cfg.clc {
         None => {
             let t0 = Instant::now();
-            let (out, frames, events) = passthrough_emit(&index, &store, maps, cancel, &mut mem)?;
+            let (out, frames, events) =
+                passthrough_emit(&index, &store, maps, cancel, &mut mem, sink)?;
             stats.stages.push(StageStats::sharded(
                 "emit",
                 events as usize,
@@ -1002,6 +1096,7 @@ pub fn synchronize_stream_incremental_with_cancel(
             let t0 = Instant::now();
             let oc = apply_and_emit(
                 &index, &store, maps, &graph, params, &walks, window_events, cancel, &mut mem,
+                sink,
             )?;
             stats.stages.push(StageStats {
                 name: "clc:apply",

@@ -9,13 +9,15 @@
 //! vopr --seed 1234               # one seed, verbose, with replay check
 //! vopr --replay vopr-failure-1234.simt   # replay a written trace
 //! vopr --jobs 16                 # workload size per seed
+//! vopr --net-seeds 200           # connection-fault campaign (netchaos)
 //! ```
 //!
 //! Exit code 0 = every seed passed; 1 = at least one invariant broke
 //! (the failing seed and a copy-pasteable repro command are printed).
 
 use simsched::{
-    decode_trace, encode_trace, replay, run_random, shrink_prefix, SimConfig, SimReport,
+    decode_trace, encode_trace, replay, run_net_chaos, run_random, shrink_prefix,
+    NetChaosConfig, SimConfig, SimReport,
 };
 use std::process::ExitCode;
 
@@ -25,6 +27,7 @@ struct Args {
     single: Option<u64>,
     replay_path: Option<String>,
     jobs: Option<usize>,
+    net_seeds: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         single: None,
         replay_path: None,
         jobs: None,
+        net_seeds: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +64,13 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--replay" => args.replay_path = Some(value("--replay")?),
+            "--net-seeds" => {
+                args.net_seeds = Some(
+                    value("--net-seeds")?
+                        .parse()
+                        .map_err(|e| format!("--net-seeds: {e}"))?,
+                )
+            }
             "--jobs" => {
                 args.jobs = Some(
                     value("--jobs")?
@@ -220,13 +231,40 @@ fn run_campaign(args: &Args, cfg: &SimConfig) -> bool {
     true
 }
 
+/// The connection-fault campaign: seeded chaos at the network edge
+/// rather than inside the scheduler.
+fn run_net_campaign(start: u64, seeds: u64) -> bool {
+    let cfg = NetChaosConfig::default();
+    let mut clean = 0usize;
+    let mut faulted = 0usize;
+    let t0 = std::time::Instant::now();
+    for seed in start..start + seeds {
+        let rep = run_net_chaos(seed, &cfg);
+        if let Some(v) = rep.violation {
+            println!("net seed {seed} FAILED: {v}");
+            println!(
+                "  reproduce:   cargo run -p simsched --bin vopr -- --net-seeds 1 --start {seed}"
+            );
+            return false;
+        }
+        clean += rep.clean_ok;
+        faulted += rep.faulted;
+    }
+    println!(
+        "vopr: {seeds} net seeds passed every invariant ({clean} clean sessions \
+         bit-identical, {faulted} faulted sessions contained) in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+    true
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("vopr: {e}");
             eprintln!(
-                "usage: vopr [--seeds N] [--start S] [--seed X] [--replay FILE] [--jobs J]"
+                "usage: vopr [--seeds N] [--start S] [--seed X] [--replay FILE] [--jobs J] [--net-seeds N]"
             );
             return ExitCode::from(2);
         }
@@ -234,6 +272,8 @@ fn main() -> ExitCode {
     let cfg = config(&args);
     let ok = if let Some(path) = &args.replay_path {
         run_replay_file(path, &cfg)
+    } else if let Some(seeds) = args.net_seeds {
+        run_net_campaign(args.start, seeds)
     } else if let Some(seed) = args.single {
         run_single(seed, &cfg)
     } else {

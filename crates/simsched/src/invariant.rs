@@ -199,7 +199,7 @@ pub fn run_oracle(spec: &JobSpec, fair_share: usize) -> Oracle {
     }
 }
 
-fn traces_identical(a: &Trace, b: &Trace) -> bool {
+pub(crate) fn traces_identical(a: &Trace, b: &Trace) -> bool {
     a.procs.len() == b.procs.len()
         && a.procs.iter().zip(&b.procs).all(|(p, q)| {
             p.events.len() == q.events.len()

@@ -19,6 +19,11 @@
 //!   completed job against a direct pipeline call on the same input).
 //! * [`shrink`] — failing schedules shrink to a minimal decision prefix;
 //!   the `(seed, prefix)` pair replays the failure exactly.
+//! * [`netchaos`] — seeded *connection*-fault campaigns against the
+//!   network layer over an in-memory transport: fragmented reads, slow
+//!   senders, mid-stream disconnects in both directions, corrupted
+//!   sessions — checked for leak-freedom, crash-freedom, well-formed
+//!   replies, and bit-identity of the clean sessions in the mix.
 //! * `vopr` — the campaign binary:
 //!   `cargo run -p simsched --bin vopr -- --seeds 2000`.
 //!
@@ -38,6 +43,7 @@
 pub mod decision;
 pub mod harness;
 pub mod invariant;
+pub mod netchaos;
 pub mod rt;
 pub mod shrink;
 pub mod workload;
@@ -45,5 +51,6 @@ pub mod workload;
 pub use decision::{decode_trace, encode_trace, Decision, FaultOp, TraceError};
 pub use harness::{install_quiet_crash_hook, replay, run_random, SimConfig, SimReport};
 pub use invariant::Violation;
+pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport};
 pub use rt::SimRuntime;
 pub use shrink::{shrink_prefix, Shrunk};

@@ -32,7 +32,11 @@ type Measurements = Vec<Option<OffsetMeasurement>>;
 /// A causally valid multi-rank trace with skewed linear clocks, plus
 /// matching init/finalize offset measurements (same construction as the
 /// syncd benches, scaled down for simulation).
-fn job_trace(rng: &mut StdRng, procs: usize, msgs: usize) -> (Trace, Measurements, Measurements) {
+pub(crate) fn job_trace(
+    rng: &mut StdRng,
+    procs: usize,
+    msgs: usize,
+) -> (Trace, Measurements, Measurements) {
     let offsets: Vec<i64> = (0..procs)
         .map(|p| if p == 0 { 0 } else { rng.gen_range(-400i64..400) })
         .collect();

@@ -1,0 +1,238 @@
+//! `syncdctl` — the small network CLI for `syncd`.
+//!
+//! ```text
+//! syncdctl ping   --addr HOST:PORT --token TOKEN
+//! syncdctl submit --addr HOST:PORT --token TOKEN [--procs N] [--msgs N]
+//!                 [--seed N] [--incremental WINDOW] [--presync none|align|linear]
+//!                 [--workers N] [--v3] [--priority high|normal|low]
+//! ```
+//!
+//! `submit` generates a synthetic drifted trace (the same construction the
+//! integration fixtures use: true-timeline messages recorded through
+//! drifting clocks), uploads it, and prints the job summary — a one-command
+//! end-to-end smoke of the wire path.
+
+use clocksync::OffsetMeasurement;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::{ConstantDrift, DriftModel, Dur, SinusoidalDrift, Time};
+use syncd_client::{JobRequest, SyncClient};
+use syncd_wire::{WireJobConfig, WireLatency, WireMode};
+use tracefmt::io::{to_binary_columnar_blocked, to_binary_columnar_v3_blocked};
+use tracefmt::{EventKind, Rank, Tag, Trace};
+
+struct Args {
+    map: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut map = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    map.push((name.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { map, flags }
+    }
+    fn get(&self, name: &str) -> Option<&str> {
+        self.map
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+    fn num(&self, name: &str, default: u64) -> u64 {
+        self.get(name).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| die(&format!("--{name} wants a number, got {v}")))
+        })
+    }
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("syncdctl: {msg}");
+    std::process::exit(2);
+}
+
+/// A causally valid message trace recorded through drifting clocks, plus
+/// init/finalize offset probes — a compact cousin of the test fixtures.
+fn drifted_fixture(
+    procs: usize,
+    msgs: usize,
+    seed: u64,
+) -> (
+    Trace,
+    Vec<Option<OffsetMeasurement>>,
+    Vec<Option<OffsetMeasurement>>,
+    i64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let drifts: Vec<Option<Box<dyn DriftModel>>> = (0..procs)
+        .map(|p| -> Option<Box<dyn DriftModel>> {
+            if p == 0 {
+                None
+            } else if p % 2 == 0 {
+                Some(Box::new(ConstantDrift::new(rng.gen_range(-40e-6..40e-6))))
+            } else {
+                Some(Box::new(SinusoidalDrift::new(
+                    rng.gen_range(1e-6..20e-6),
+                    rng.gen_range(0.5..3.0),
+                    rng.gen_range(0.0..1.0),
+                )))
+            }
+        })
+        .collect();
+    let offsets: Vec<i64> = (0..procs)
+        .map(|p| if p == 0 { 0 } else { rng.gen_range(-800i64..800) })
+        .collect();
+    let local_at = |p: usize, true_us: i64| -> i64 {
+        let wander = drifts[p]
+            .as_ref()
+            .map_or(0, |d| (d.integrated(Time::from_us(true_us)) * 1e6).round() as i64);
+        true_us + offsets[p] + wander
+    };
+    let lmin_us = rng.gen_range(2i64..15);
+    let mut trace = Trace::for_ranks(procs);
+    let mut now = vec![0i64; procs];
+    for m in 0..msgs {
+        let from = rng.gen_range(0usize..procs);
+        let to = (from + rng.gen_range(1usize..procs)) % procs;
+        let send_true = now[from] + rng.gen_range(5i64..80);
+        now[from] = send_true;
+        let recv_true = send_true.max(now[to]) + lmin_us + rng.gen_range(0i64..40);
+        now[to] = recv_true;
+        trace.procs[from].push(
+            Time::from_us(local_at(from, send_true)),
+            EventKind::Send { to: Rank(to as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+        trace.procs[to].push(
+            Time::from_us(local_at(to, recv_true)),
+            EventKind::Recv { from: Rank(from as u32), tag: Tag(m as u32), bytes: 64 },
+        );
+    }
+    let end = *now.iter().max().unwrap_or(&0) + 100;
+    let measure = |p: usize, true_us: i64, err: i64| {
+        if p == 0 {
+            return None;
+        }
+        let local = local_at(p, true_us);
+        Some(OffsetMeasurement {
+            worker_time: Time::from_us(local),
+            offset: Dur::from_us(true_us - local + err),
+            rtt: Dur::from_us(12),
+        })
+    };
+    let errs: Vec<i64> = (0..procs).map(|_| rng.gen_range(-6i64..6)).collect();
+    let init = (0..procs).map(|p| measure(p, 0, errs[p])).collect();
+    let fin = (0..procs).map(|p| measure(p, end, -errs[p])).collect();
+    (trace, init, fin, lmin_us)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str).unwrap_or("");
+    let args = Args::parse(&argv[argv.len().min(1)..]);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7440").to_string();
+    let token = args.get("token").unwrap_or("default").to_string();
+    match cmd {
+        "ping" => {
+            let client = SyncClient::connect(&addr, &token)
+                .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+            println!("syncd at {addr}: ok, initial credit {} bytes", client.credit());
+        }
+        "submit" => {
+            let procs = args.num("procs", 8) as usize;
+            let msgs = args.num("msgs", 2000) as usize;
+            let seed = args.num("seed", 42);
+            let (trace, init, fin, lmin_us) = drifted_fixture(procs.max(2), msgs, seed);
+            let stream = if args.flag("v3") {
+                to_binary_columnar_v3_blocked(&trace, 256).to_vec()
+            } else {
+                to_binary_columnar_blocked(&trace, 256).to_vec()
+            };
+            let mut config = WireJobConfig {
+                mode: if let Some(w) = args.get("incremental") {
+                    WireMode::Incremental {
+                        window_events: w.parse().unwrap_or_else(|_| die("bad --incremental")),
+                    }
+                } else {
+                    WireMode::Batch
+                },
+                priority: match args.get("priority").unwrap_or("normal") {
+                    "high" => 0,
+                    "normal" => 1,
+                    "low" => 2,
+                    other => die(&format!("unknown priority {other}")),
+                },
+                presync: match args.get("presync").unwrap_or("linear") {
+                    "none" => 0,
+                    "align" => 1,
+                    "linear" => 2,
+                    other => die(&format!("unknown presync {other}")),
+                },
+                lmin: WireLatency::Uniform(Dur::from_us(lmin_us).as_ps()),
+                ..WireJobConfig::new(&Default::default(), WireLatency::Uniform(0))
+            };
+            if let Some(w) = args.get("workers") {
+                config.parallel = Some(syncd_wire::WireParallel {
+                    workers: w.parse().unwrap_or_else(|_| die("bad --workers")),
+                    shard_size: 512,
+                });
+            }
+            config = config.with_measurements(&init, Some(&fin));
+            let mut client = SyncClient::connect(&addr, &token)
+                .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+            let req = JobRequest { config, chunks: vec![stream] };
+            match client.submit(&req) {
+                Ok(outcome) => {
+                    let s = outcome.summary;
+                    println!(
+                        "job ok: attempts={} queue_wait_us={} run_time_us={} \
+                         jumps={} max_jump_ps={} moved={}/{} frames={} \
+                         out_chunks={} out_bytes={}",
+                        s.attempts,
+                        s.queue_wait_us,
+                        s.run_time_us,
+                        s.n_jumps,
+                        s.max_jump_ps,
+                        s.events_moved,
+                        s.events_total,
+                        s.frames,
+                        outcome.stream.len(),
+                        outcome.stream.iter().map(Vec::len).sum::<usize>(),
+                    );
+                    if s.census_present {
+                        println!(
+                            "censuses: raw={} after_presync={} after_clc={}",
+                            s.raw_violations,
+                            s.after_presync_violations,
+                            s.after_clc_violations,
+                        );
+                    }
+                }
+                Err(e) => die(&format!("submit failed: {e}")),
+            }
+        }
+        other => {
+            die(&format!(
+                "unknown command {other:?}; usage: syncdctl <ping|submit> --addr HOST:PORT \
+                 --token TOKEN [options]"
+            ));
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Blocking client for the `syncd` network protocol.
+
+#![warn(missing_docs)]
+
+mod client;
+
+pub use client::{ClientError, JobOutcome, JobRequest, JobSummary, SyncClient};

@@ -81,6 +81,15 @@ impl JobInput {
     }
 }
 
+/// Where a [`JobInput::StreamIncremental`] job's corrected chunks go
+/// *while the job runs*: `sink(index, chunk)` with dense indices from 0
+/// (the magic chunk) through the trailer. The chunk sequence is
+/// deterministic for a given input, so after a transparent retry the sink
+/// sees the same chunks at the same indices again and can skip everything
+/// below its high-water mark. Returning `false` cancels the attempt (the
+/// network server uses this as the stalled-reader cutoff).
+pub type FrameSink = Arc<dyn Fn(u64, &[u8]) -> bool + Send + Sync>;
+
 /// Everything the service needs to run one synchronization job.
 ///
 /// `Clone` is cheap for the shared parts (`lmin` is an `Arc`) but deep for
@@ -105,6 +114,10 @@ pub struct JobSpec {
     pub deadline: Option<Duration>,
     /// Retry budget override (None = service default).
     pub max_retries: Option<u32>,
+    /// Streaming output sink for a [`JobInput::StreamIncremental`] job
+    /// (None = corrected chunks accumulate in [`JobSuccess::frames`]).
+    /// Ignored by the other job modes.
+    pub frame_sink: Option<FrameSink>,
 }
 
 impl JobSpec {
@@ -125,6 +138,7 @@ impl JobSpec {
             priority: Priority::default(),
             deadline: None,
             max_retries: None,
+            frame_sink: None,
         }
     }
 
@@ -143,6 +157,13 @@ impl JobSpec {
     /// Override the retry budget.
     pub fn with_max_retries(mut self, n: u32) -> Self {
         self.max_retries = Some(n);
+        self
+    }
+
+    /// Stream an incremental job's corrected chunks through `sink` while
+    /// the job runs instead of accumulating them in the success payload.
+    pub fn with_frame_sink(mut self, sink: FrameSink) -> Self {
+        self.frame_sink = Some(sink);
         self
     }
 }
@@ -337,6 +358,25 @@ impl JobHandle {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    /// Block until the job finishes or `timeout` passes, whichever is
+    /// first; returns whether the outcome is available. Wakes on the
+    /// executor's completion notify, so a finishing job is observed in
+    /// microseconds rather than a poll interval — the network layer's
+    /// result loop leans on this to keep job completion off any polling
+    /// cadence.
+    pub fn wait_for(&self, timeout: std::time::Duration) -> bool {
+        let slot = self.state.done.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_some() {
+            return true;
+        }
+        let (slot, _timed_out) = self
+            .state
+            .cv
+            .wait_timeout(slot, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        slot.is_some()
     }
 
     /// Block until the job finishes and take its outcome.

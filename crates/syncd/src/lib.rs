@@ -67,6 +67,8 @@ pub mod admission;
 pub mod fault;
 pub mod job;
 pub mod metrics;
+pub mod net;
+pub mod router;
 pub mod runtime;
 pub mod service;
 pub mod step;
@@ -78,6 +80,11 @@ pub use job::{
     Priority, SubmitError,
 };
 pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use net::{
+    NetServer, NetServerConfig, ReadOutcome, ScriptedTransport, TcpTransport, TenantConfig,
+    Transport,
+};
+pub use router::{JobRouter, RouterConfig};
 pub use runtime::{AttemptProbe, RealRuntime, Runtime};
 pub use service::{ServiceConfig, SyncService};
 pub use step::{StepEvent, StepService};

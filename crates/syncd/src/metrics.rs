@@ -44,11 +44,23 @@ pub enum Counter {
     /// Executor threads lost to an escaped panic. Stays 0 unless fault
     /// isolation itself failed — the CI smoke test asserts on it.
     ServiceCrashes,
+    /// Network connections accepted (handshake completed).
+    NetConnections,
+    /// Connections refused at the handshake (bad token, bad magic,
+    /// version mismatch, or a tenant over its connection quota).
+    NetAuthFailures,
+    /// Jobs submitted over the network that reached admission.
+    NetJobs,
+    /// Connections that ended with a protocol violation or a mid-job
+    /// client disconnect (every admission charge they held was released).
+    NetDisconnects,
+    /// Queued jobs the router's balancer moved between nodes.
+    RouterSteals,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 16] = [
         Counter::Accepted,
         Counter::RejectedQueueFull,
         Counter::RejectedOverBudget,
@@ -60,6 +72,11 @@ impl Counter {
         Counter::DeadlineExceeded,
         Counter::JobPanics,
         Counter::ServiceCrashes,
+        Counter::NetConnections,
+        Counter::NetAuthFailures,
+        Counter::NetJobs,
+        Counter::NetDisconnects,
+        Counter::RouterSteals,
     ];
 
     /// The exporter name of this counter.
@@ -76,6 +93,11 @@ impl Counter {
             Counter::DeadlineExceeded => "syncd_jobs_deadline_exceeded_total",
             Counter::JobPanics => "syncd_job_panics_total",
             Counter::ServiceCrashes => "syncd_service_crashes_total",
+            Counter::NetConnections => "syncd_net_connections_total",
+            Counter::NetAuthFailures => "syncd_net_auth_failures_total",
+            Counter::NetJobs => "syncd_net_jobs_total",
+            Counter::NetDisconnects => "syncd_net_disconnects_total",
+            Counter::RouterSteals => "syncd_router_steals_total",
         }
     }
 

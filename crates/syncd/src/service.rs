@@ -40,9 +40,10 @@ use crate::job::{
 use crate::metrics::{Counter, MetricsRegistry, MetricsSnapshot};
 use crate::runtime::{AttemptProbe, RealRuntime, Runtime};
 use clocksync::{
-    synchronize_stream_incremental_with_cancel, synchronize_stream_with_cancel,
-    synchronize_with_cancel, CancelToken, PipelineError,
+    synchronize_stream_incremental_with_cancel, synchronize_stream_incremental_with_sink,
+    synchronize_stream_with_cancel, synchronize_with_cancel, CancelToken, PipelineError,
 };
+use simclock::Time;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -233,6 +234,61 @@ impl Shared {
         self.metrics.admitted_bytes_add(-(cost as i64));
     }
 
+    /// Charge `bytes` against the memory budget if (and only if) they fit
+    /// right now. The network layer reserves its per-connection ingest
+    /// window through this, so buffered-but-not-yet-submitted stream bytes
+    /// are accounted exactly like admitted jobs; pair every successful
+    /// reservation with a [`Shared::release`].
+    pub(crate) fn try_reserve(&self, bytes: u64) -> bool {
+        let mut inner = self.lock();
+        if inner.shutdown || inner.admitted.saturating_add(bytes) > self.cfg.memory_budget_bytes
+        {
+            return false;
+        }
+        inner.admitted += bytes;
+        self.metrics.admitted_bytes_add(bytes as i64);
+        true
+    }
+
+    /// Remove up to `n` queued tickets from the *back* of the lowest
+    /// classes — the work-stealing donor side. The tickets leave this
+    /// node's accounting entirely (queue gauge and admission charge); the
+    /// router re-charges them on the recipient via [`Shared::inject`].
+    pub(crate) fn steal(&self, n: usize) -> Vec<Queued<Ticket>> {
+        let mut inner = self.lock();
+        let stolen = inner.queue.steal_back(n);
+        for entry in &stolen {
+            inner.admitted -= entry.cost;
+            self.metrics.queue_depth_add(-1);
+            self.metrics.admitted_bytes_add(-(entry.cost as i64));
+        }
+        stolen
+    }
+
+    /// Accept a ticket stolen from another node: re-charge its cost here
+    /// and queue it. Refused (ticket handed back, boxed to keep the Err
+    /// small) when this node is shut down, its queue is full, or the
+    /// charge does not fit its budget — the balancer then returns the
+    /// ticket to its donor.
+    pub(crate) fn inject(&self, entry: Queued<Ticket>) -> Result<(), Box<Queued<Ticket>>> {
+        {
+            let mut inner = self.lock();
+            if inner.shutdown
+                || inner.queue.is_full()
+                || inner.admitted.saturating_add(entry.cost) > self.cfg.memory_budget_bytes
+            {
+                return Err(Box::new(entry));
+            }
+            inner.admitted += entry.cost;
+            self.metrics.queue_depth_add(1);
+            self.metrics.admitted_bytes_add(entry.cost as i64);
+            let priority = entry.job.spec.priority;
+            inner.queue.push(priority, entry);
+        }
+        self.cv.notify_one();
+        Ok(())
+    }
+
     /// Fail everything still queued with [`JobError::Shutdown`] (the
     /// abandon-queue shutdown path). Returns how many jobs were failed.
     pub(crate) fn drain_shutdown(&self) -> usize {
@@ -339,6 +395,12 @@ impl SyncService {
     /// A point-in-time copy of every service metric.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The shared core — the seam the network front end and the job
+    /// router build on.
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
     /// Stop accepting jobs, let the executors *drain* the queue, and join
@@ -557,8 +619,7 @@ impl JobRun {
         RunStep::Finished { ok }
     }
 
-    fn attempt(&self, shared: &Shared, probe: Option<&AttemptProbe>) -> AttemptOutcome {
-        let spec = &self.ticket.spec;
+    fn attempt(&mut self, shared: &Shared, probe: Option<&AttemptProbe>) -> AttemptOutcome {
         let t0 = shared.runtime.now();
         let mut cancel =
             CancelToken::none().with_flag(Arc::clone(&self.ticket.state.cancel));
@@ -571,20 +632,39 @@ impl JobRun {
         if let Some(probe) = probe {
             cancel = cancel.with_probe(Arc::clone(probe));
         }
+        // The pipeline rewrites timestamps only — never event structure —
+        // so retry isolation does not need a full `Trace::clone` per
+        // attempt (the seam that cost ~10% over direct calls). Instead the
+        // attempt runs in place, and when a retry is still possible we keep
+        // an 8-byte-per-event timestamp snapshot to roll a failed attempt
+        // back bit-exactly. When this is the last permitted attempt no
+        // snapshot is taken at all.
+        let retry_possible = self.attempts < self.max_attempts;
+        let spec = &mut self.ticket.spec;
+        let snapshot: Option<Vec<Vec<Time>>> = match (&spec.input, retry_possible) {
+            (crate::job::JobInput::Trace(trace), true) => Some(snapshot_times(trace)),
+            _ => None,
+        };
+        let init = &spec.init;
         let fin = spec.fin.as_deref();
         let lmin = &*spec.lmin;
         let pipeline = &self.pipeline;
-        // Each attempt works on a fresh copy of the input, so a failed or
-        // half-rewritten attempt never leaks into the retry.
-        let result = catch_unwind(AssertUnwindSafe(|| match &spec.input {
+        let frame_sink = spec.frame_sink.clone();
+        let input = &mut spec.input;
+        let result = catch_unwind(AssertUnwindSafe(|| match input {
             crate::job::JobInput::Trace(trace) => {
-                let mut work = trace.clone();
-                synchronize_with_cancel(&mut work, &spec.init, fin, lmin, pipeline, &cancel)
-                    .map(|report| (work, report, Vec::new()))
+                synchronize_with_cancel(trace, init, fin, lmin, pipeline, &cancel).map(
+                    |report| {
+                        // Move the corrected trace out; the ticket keeps an
+                        // empty husk (the job is finished either way).
+                        let done = std::mem::replace(trace, tracefmt::Trace::for_ranks(0));
+                        (done, report, Vec::new())
+                    },
+                )
             }
             crate::job::JobInput::Stream(chunks) => synchronize_stream_with_cancel(
                 chunks.iter().map(|c| c.as_slice()),
-                &spec.init,
+                init,
                 fin,
                 lmin,
                 pipeline,
@@ -596,20 +676,37 @@ impl JobRun {
                 window_events,
             } => {
                 let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
-                synchronize_stream_incremental_with_cancel(
-                    &refs,
-                    &spec.init,
-                    fin,
-                    lmin,
-                    pipeline,
-                    *window_events,
-                    &cancel,
-                )
-                // The corrected output IS the frames; the empty trace is
-                // documented on `JobSuccess::trace`.
-                .map(|(frames, inc)| {
-                    (tracefmt::Trace::for_ranks(0), inc.to_pipeline_report(), frames)
-                })
+                match frame_sink.as_deref() {
+                    // A sink (the network layer) takes the corrected frames
+                    // as they are sealed; nothing is collected in memory.
+                    Some(sink) => synchronize_stream_incremental_with_sink(
+                        &refs,
+                        init,
+                        fin,
+                        lmin,
+                        pipeline,
+                        *window_events,
+                        &cancel,
+                        sink,
+                    )
+                    .map(|inc| {
+                        (tracefmt::Trace::for_ranks(0), inc.to_pipeline_report(), Vec::new())
+                    }),
+                    None => synchronize_stream_incremental_with_cancel(
+                        &refs,
+                        init,
+                        fin,
+                        lmin,
+                        pipeline,
+                        *window_events,
+                        &cancel,
+                    )
+                    // The corrected output IS the frames; the empty trace is
+                    // documented on `JobSuccess::trace`.
+                    .map(|(frames, inc)| {
+                        (tracefmt::Trace::for_ranks(0), inc.to_pipeline_report(), frames)
+                    }),
+                }
             }
         }));
         match result {
@@ -631,14 +728,57 @@ impl JobRun {
                     AttemptOutcome::Terminal(JobError::DeadlineExceeded)
                 }
             }
-            Ok(Err(err)) => AttemptOutcome::Retryable(JobError::Pipeline(err)),
+            Ok(Err(err)) => {
+                self.rollback(snapshot);
+                AttemptOutcome::Retryable(JobError::Pipeline(err))
+            }
             Err(payload) => {
+                self.rollback(snapshot);
                 shared.metrics.inc(Counter::JobPanics);
                 let msg = panic_message(payload.as_ref());
                 AttemptOutcome::Retryable(JobError::Panicked(msg))
             }
         }
     }
+
+    /// Undo a failed in-place attempt so the retry starts from the
+    /// submitted timestamps, bit for bit.
+    fn rollback(&mut self, snapshot: Option<Vec<Vec<Time>>>) {
+        if let (Some(snap), crate::job::JobInput::Trace(trace)) =
+            (snapshot, &mut self.ticket.spec.input)
+        {
+            restore_times(trace, &snap);
+        }
+    }
+}
+
+/// Per-timeline timestamp copy — the only state the pipeline mutates.
+fn snapshot_times(trace: &tracefmt::Trace) -> Vec<Vec<Time>> {
+    trace
+        .procs
+        .iter()
+        .map(|p| p.events.iter().map(|e| e.time).collect())
+        .collect()
+}
+
+fn restore_times(trace: &mut tracefmt::Trace, snap: &[Vec<Time>]) {
+    debug_assert_eq!(trace.procs.len(), snap.len());
+    for (proc, times) in trace.procs.iter_mut().zip(snap) {
+        debug_assert_eq!(proc.events.len(), times.len());
+        for (event, &t) in proc.events.iter_mut().zip(times) {
+            event.time = t;
+        }
+    }
+}
+
+/// Last resort for a stolen ticket no node would take back (every queue
+/// filled up mid-flight): resolve its handle typed instead of dropping
+/// the submitter into an eternal `wait`.
+pub(crate) fn fail_stolen(entry: Queued<Ticket>) {
+    entry.job.state.finish(Err(JobFailure {
+        error: JobError::Shutdown,
+        attempts: 0,
+    }));
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

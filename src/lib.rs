@@ -68,6 +68,8 @@ pub use mpisim;
 pub use netsim;
 pub use simclock;
 pub use syncd;
+pub use syncd_client;
+pub use syncd_wire;
 pub use tracefmt;
 pub use workloads;
 

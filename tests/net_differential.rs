@@ -1,0 +1,404 @@
+//! Differential guarantees for the network layer: a job submitted through
+//! `syncd-client` over a real loopback socket produces **bit-identical**
+//! output — corrected timestamps, jump set, max jump, typed errors — to
+//! the same job run in process, across the storage × workers × presync ×
+//! {batch, incremental} grid, under contention, and around mid-job client
+//! disconnects. The router test pins that placement (including work
+//! stealing) never changes results.
+
+mod common;
+
+use common::{assert_identical, drifted_trace};
+use drift_lab::clocksync::{
+    synchronize, synchronize_stream_incremental, OffsetMeasurement, ParallelConfig,
+    PipelineConfig, PreSync, TimestampStorage,
+};
+use drift_lab::syncd::{
+    chunked, Counter, Fault, FaultInjector, JobInput, JobRouter, JobSpec, NetServer,
+    NetServerConfig, RouterConfig, ServiceConfig, TenantConfig,
+};
+use drift_lab::syncd_client::{ClientError, JobRequest, SyncClient};
+use drift_lab::syncd_wire::{ErrorCode, WireJobConfig, WireLatency, WireMode};
+use drift_lab::tracefmt::io::{
+    from_binary_columnar, to_binary_columnar_blocked, to_binary_columnar_v3_blocked,
+};
+use drift_lab::tracefmt::{MinLatency, UniformLatency};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn configs() -> Vec<(String, PipelineConfig)> {
+    let mut out = Vec::new();
+    for storage in [TimestampStorage::Aos, TimestampStorage::Columnar] {
+        for workers in [1usize, 2] {
+            for presync in [PreSync::AlignOnly, PreSync::Linear] {
+                let cfg = PipelineConfig {
+                    presync,
+                    parallel: (workers > 1)
+                        .then_some(ParallelConfig { workers, shard_size: 64 }),
+                    storage,
+                    ..PipelineConfig::default()
+                };
+                out.push((format!("{storage:?}/w{workers}/{presync:?}"), cfg));
+            }
+        }
+    }
+    out
+}
+
+fn request(
+    cfg: &PipelineConfig,
+    lmin: UniformLatency,
+    init: &[Option<OffsetMeasurement>],
+    fin: &[Option<OffsetMeasurement>],
+    mode: WireMode,
+    chunks: Vec<Vec<u8>>,
+) -> JobRequest {
+    let config = WireJobConfig {
+        mode,
+        ..WireJobConfig::new(cfg, WireLatency::Uniform(lmin.0.as_ps()))
+            .with_measurements(init, Some(fin))
+    };
+    JobRequest { config, chunks }
+}
+
+fn test_server() -> NetServer {
+    NetServer::start_loopback(NetServerConfig {
+        tenants: vec![TenantConfig::new("tok")],
+        ingest_window: 1 << 20,
+        service: ServiceConfig {
+            executors: 2,
+            pool_workers: 4,
+            ..ServiceConfig::default()
+        },
+    })
+    .expect("bind loopback")
+}
+
+/// Batch jobs over the socket across the whole grid: the returned stream
+/// decodes to exactly the direct pipeline's corrected trace, and the
+/// summary's census and jump statistics equal the direct report's.
+#[test]
+fn loopback_batch_matches_direct_across_the_grid() {
+    let (trace, init, fin, lmin) = drifted_trace(4, 300, "sinusoid", 42);
+    let v2 = to_binary_columnar_blocked(&trace, 32).to_vec();
+    let server = test_server();
+    let mut client = SyncClient::connect(server.local_addr(), "tok").expect("connect");
+
+    for (label, cfg) in configs() {
+        let mut direct = trace.clone();
+        let report = synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg)
+            .unwrap_or_else(|e| panic!("{label}: direct run failed: {e}"));
+
+        let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![v2.clone()]);
+        let out = client
+            .submit(&req)
+            .unwrap_or_else(|e| panic!("{label}: socket job failed: {e}"));
+
+        let returned = from_binary_columnar(out.stream.concat().into())
+            .unwrap_or_else(|e| panic!("{label}: returned stream does not decode: {e}"));
+        assert_identical(&direct, &returned, &format!("{label} (over socket)"));
+
+        assert!(out.summary.census_present, "{label}: batch runs censuses");
+        assert_eq!(
+            out.summary.raw_violations as usize,
+            report.raw.total_violations(),
+            "{label}: raw census"
+        );
+        let clc = report.clc.as_ref().expect("default config runs the CLC");
+        assert_eq!(out.summary.n_jumps as usize, clc.jumps.len(), "{label}: jump count");
+        assert_eq!(out.summary.max_jump_ps, clc.max_jump.as_ps(), "{label}: max jump");
+        assert_eq!(out.jumps.len(), clc.jumps.len(), "{label}: jump frames");
+        for (w, j) in out.jumps.iter().zip(&clc.jumps) {
+            assert_eq!((w.proc, w.idx), (j.event.proc, j.event.idx), "{label}: jump id");
+            assert_eq!(w.size_ps, j.size.as_ps(), "{label}: jump size");
+        }
+    }
+    server.shutdown();
+}
+
+/// Incremental jobs stream corrected frames back while running; their
+/// concatenation must be byte-identical to the in-process incremental
+/// engine's output, for both DTC2 and DTC3 inputs.
+#[test]
+fn loopback_incremental_streams_identical_bytes() {
+    let (trace, init, fin, lmin) = drifted_trace(3, 400, "randomwalk", 9);
+    let inputs = [
+        ("v2", to_binary_columnar_blocked(&trace, 64).to_vec()),
+        ("v3", to_binary_columnar_v3_blocked(&trace, 64).to_vec()),
+    ];
+    let server = test_server();
+    let mut client = SyncClient::connect(server.local_addr(), "tok").expect("connect");
+
+    for window in [128usize, 1024] {
+        for (which, bytes) in &inputs {
+            let label = format!("{which}/win{window}");
+            let cfg = PipelineConfig::default();
+            let refs = [bytes.as_slice()];
+            let (direct_frames, direct_rep) = synchronize_stream_incremental(
+                &refs,
+                &init,
+                Some(&fin),
+                &lmin,
+                &cfg,
+                window,
+            )
+            .unwrap_or_else(|e| panic!("{label}: direct incremental failed: {e}"));
+
+            let req = request(
+                &cfg,
+                lmin,
+                &init,
+                &fin,
+                WireMode::Incremental { window_events: window as u64 },
+                vec![bytes.clone()],
+            );
+            let out = client
+                .submit(&req)
+                .unwrap_or_else(|e| panic!("{label}: socket job failed: {e}"));
+
+            assert_eq!(
+                out.stream.concat(),
+                direct_frames.concat(),
+                "{label}: streamed bytes diverge from the in-process engine"
+            );
+            assert_eq!(
+                out.summary.frames as usize,
+                direct_frames.len(),
+                "{label}: frame count"
+            );
+            assert!(!out.summary.census_present, "{label}: incremental skips censuses");
+            if let Some(clc) = &direct_rep.clc {
+                assert_eq!(out.summary.n_jumps as usize, clc.jumps.len(), "{label}: jumps");
+                assert_eq!(out.summary.max_jump_ps, clc.max_jump.as_ps(), "{label}: max");
+            }
+        }
+    }
+    server.shutdown();
+}
+
+/// Concurrent clients contending for the same small executor pool all get
+/// bit-identical results, and sequential jobs reuse one connection.
+#[test]
+fn loopback_contention_and_connection_reuse() {
+    let (trace, init, fin, lmin) = drifted_trace(3, 200, "constant", 77);
+    let bytes = to_binary_columnar_blocked(&trace, 32).to_vec();
+    let cfg = PipelineConfig::default();
+    let mut direct = trace.clone();
+    synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct");
+
+    let server = test_server();
+    let addr = server.local_addr();
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let (bytes, init, fin, cfg) = (bytes.clone(), init.clone(), fin.clone(), cfg.clone());
+            std::thread::spawn(move || {
+                let mut client = SyncClient::connect(addr, "tok").expect("connect");
+                let mut streams = Vec::new();
+                // Two sequential jobs per connection: credit must carry over.
+                for _ in 0..2 {
+                    let req =
+                        request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![bytes.clone()]);
+                    streams.push(client.submit(&req).expect("job").stream.concat());
+                }
+                streams
+            })
+        })
+        .collect();
+    for t in threads {
+        for stream in t.join().expect("client thread") {
+            let returned = from_binary_columnar(stream.into()).expect("decode");
+            assert_identical(&direct, &returned, "contended socket job");
+        }
+    }
+    let m = server.metrics();
+    assert_eq!(m.counter(Counter::NetJobs), 6);
+    assert_eq!(m.counter(Counter::NetAuthFailures), 0);
+    server.shutdown();
+}
+
+/// Typed failures cross the wire as typed error frames: auth, malformed
+/// input (a poisoned stream fails its retry budget), and tenant quotas.
+#[test]
+fn loopback_errors_are_typed() {
+    let (trace, init, fin, lmin) = drifted_trace(2, 120, "constant", 5);
+    let bytes = to_binary_columnar_blocked(&trace, 16).to_vec();
+    let server = NetServer::start_loopback(NetServerConfig {
+        tenants: vec![
+            TenantConfig::new("tok"),
+            TenantConfig {
+                token: "small".into(),
+                max_job_bytes: 256,
+                max_connections: 64,
+            },
+        ],
+        ingest_window: 1 << 20,
+        service: ServiceConfig {
+            executors: 1,
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Unknown token.
+    match SyncClient::connect(addr, "wrong") {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::AuthFailed),
+        Err(other) => panic!("expected AuthFailed, got {other:?}"),
+        Ok(_) => panic!("expected AuthFailed, got a connection"),
+    }
+
+    // Poisoned stream: admission lets a subtly corrupt stream through and
+    // the pipeline fails typed after its retries.
+    let poisoned = FaultInjector::new()
+        .with(Fault::FlipByte { at: bytes.len() / 2, xor: 0x40 })
+        .apply(&chunked(&bytes, 64));
+    let mut client = SyncClient::connect(addr, "tok").expect("connect");
+    let cfg = PipelineConfig::default();
+    let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, poisoned);
+    match client.submit(&req) {
+        Err(ClientError::Remote { code, .. }) => {
+            assert!(
+                matches!(code, ErrorCode::Pipeline | ErrorCode::Panicked | ErrorCode::Malformed),
+                "poisoned job must fail typed, got {code:?}"
+            );
+        }
+        other => panic!("expected typed remote error, got {other:?}"),
+    }
+
+    // Tenant upload quota.
+    let mut client = SyncClient::connect(addr, "small").expect("connect");
+    let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![bytes.clone()]);
+    match client.submit(&req) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, ErrorCode::QuotaExceeded),
+        // The server closes after the error frame; a racing writer can see
+        // the close first.
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+
+    let m = server.metrics();
+    assert!(m.counter(Counter::NetAuthFailures) >= 1);
+    server.shutdown();
+}
+
+/// A client that vanishes mid-upload or mid-download never leaks an
+/// admission charge and never wedges an executor; the server keeps
+/// serving new clients with bit-identical results.
+#[test]
+fn loopback_mid_job_disconnects_release_everything() {
+    let (trace, init, fin, lmin) = drifted_trace(3, 300, "sinusoid", 11);
+    let bytes = to_binary_columnar_blocked(&trace, 32).to_vec();
+    let cfg = PipelineConfig::default();
+    let mut direct = trace.clone();
+    synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct");
+
+    let server = test_server();
+    let addr = server.local_addr();
+
+    // Vanish mid-upload (no ChunkEnd ever sent).
+    let client = SyncClient::connect(addr, "tok").expect("connect");
+    let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![bytes.clone()]);
+    client
+        .submit_truncated(&req, bytes.len() / 2)
+        .expect("truncated upload");
+
+    // Vanish mid-download of an incremental job's corrected stream.
+    let client = SyncClient::connect(addr, "tok").expect("connect");
+    let req = request(
+        &cfg,
+        lmin,
+        &init,
+        &fin,
+        WireMode::Incremental { window_events: 64 },
+        vec![bytes.clone()],
+    );
+    client.submit_abandon_result(&req, 1).expect("abandoned download");
+
+    // Both disconnects must be noticed and fully released.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = server.metrics();
+        if m.counter(Counter::NetDisconnects) >= 2 && m.admitted_bytes == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnects not fully released: disconnects={} admitted={}",
+            m.counter(Counter::NetDisconnects),
+            m.admitted_bytes
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The service is healthy: a fresh client gets a bit-identical result.
+    let mut client = SyncClient::connect(addr, "tok").expect("connect");
+    let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![bytes]);
+    let out = client.submit(&req).expect("job after disconnects");
+    let returned = from_binary_columnar(out.stream.concat().into()).expect("decode");
+    assert_identical(&direct, &returned, "job after disconnects");
+    server.shutdown();
+}
+
+/// Pile every job onto one hash-ring node with a single hot key: the
+/// balancer must move work to the idle node, and every result must be
+/// bit-identical to the direct run regardless of where it executed.
+#[test]
+fn router_steals_work_and_placement_never_changes_bits() {
+    let (trace, init, fin, lmin) = drifted_trace(3, 400, "randomwalk", 21);
+    let cfg = PipelineConfig::default();
+    let mut direct = trace.clone();
+    synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct");
+
+    let router = JobRouter::start(RouterConfig {
+        nodes: 2,
+        replicas: 64,
+        steal_interval: Duration::from_millis(1),
+        steal_threshold: 2,
+        node: ServiceConfig {
+            executors: 1,
+            pool_workers: 1,
+            queue_capacity: 64,
+            ..ServiceConfig::default()
+        },
+    });
+    // A key pinned to node 0 — all jobs hash there; only stealing can
+    // move any of them to node 1.
+    let hot = (0..)
+        .map(|i| format!("hot-{i}"))
+        .find(|k| router.node_for(k) == 0)
+        .expect("some key lands on node 0");
+
+    let lmin_arc: Arc<dyn MinLatency + Send + Sync> = Arc::new(lmin);
+    let handles: Vec<_> = (0..24)
+        .map(|_| {
+            router
+                .submit_keyed(
+                    &hot,
+                    JobSpec::new(
+                        JobInput::Trace(trace.clone()),
+                        init.clone(),
+                        Some(fin.clone()),
+                        Arc::clone(&lmin_arc),
+                        cfg.clone(),
+                    ),
+                )
+                .expect("router admits the job")
+        })
+        .collect();
+
+    for (i, h) in handles.into_iter().enumerate() {
+        let ok = h
+            .wait()
+            .unwrap_or_else(|f| panic!("routed job {i} failed: {}", f.error));
+        assert_identical(&direct, &ok.trace, &format!("routed job {i}"));
+    }
+    assert!(
+        router.rebalances() > 0,
+        "a 24-deep queue next to an idle node must trigger stealing"
+    );
+    let stolen = router.metrics(1).counter(Counter::RouterSteals);
+    assert!(stolen > 0, "node 1 should have received stolen tickets");
+    router.shutdown();
+}
