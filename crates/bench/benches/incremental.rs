@@ -96,6 +96,7 @@ fn main() {
         clc: Some(ClcParams::default()),
         parallel: None,
         storage: TimestampStorage::Columnar,
+        ..PipelineConfig::default()
     };
     let init = vec![None; PROCS];
     let lmin = UniformLatency(Dur::from_us(1));

@@ -53,9 +53,9 @@ pub use pipeline::{
     synchronize, synchronize_stream, synchronize_stream_incremental,
     synchronize_stream_incremental_with_cancel, synchronize_stream_incremental_with_sink,
     synchronize_stream_with_cancel,
-    synchronize_with_cancel, CancelProbe, CancelToken, IncrementalReport, ParallelConfig,
-    PipelineConfig, PipelineError, PipelineReport, PipelineStats,
-    PreSync, StageReport, StageStats, StageTotals, TimestampStorage, TraceAnalysis,
+    synchronize_with_cancel, CancelProbe, CancelToken, IncrementalReport, OnlineSpec,
+    ParallelConfig, PipelineConfig, PipelineError, PipelineReport, PipelineStats,
+    PreSync, StageReport, StageStats, StageTotals, SyncMethod, TimestampStorage, TraceAnalysis,
 };
 pub use predict::{normal_cdf, safe_run_length, violation_probability, WanderModel};
 pub use vector::{vector_timestamps, VectorStamp};

@@ -32,8 +32,9 @@ use tracefmt::{CensusPlan, LatencyTable, Trace, TraceColumns};
 /// `pre_cols` carries columns produced by streaming ingest (already
 /// recorded as an `"ingest"` stage); when absent, a `"gather"` stage
 /// builds them from the trace. `graph` is the pre-lowered CSR dependency
-/// graph (always present when `cfg.clc` is). The trace's records are only
-/// touched again by the final `"scatter"` stage.
+/// graph (always present when a CLC will actually run under the
+/// configured method). The trace's records are only touched again by the
+/// final `"scatter"` stage.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run(
     trace: &mut Trace,
@@ -84,6 +85,33 @@ pub(super) fn run(
 
     let raw = census_stage_planned("census:raw", &plan, &cols, par, stats);
 
+    // Online correction replaces presync and the CLC: stateful lanes over
+    // the dense columns, one timeline after another — the exact same
+    // per-timeline call sequence as the AoS engine's `map_times` walk, so
+    // the two layouts stay bit-identical. Sequential by construction
+    // (filter state); the censuses still shard.
+    if let Some(spec) = cfg.online() {
+        cancel.check()?;
+        let t0 = Instant::now();
+        let mut corr = spec.corrector();
+        for (p, col) in cols.iter_mut_slices() {
+            let lane = corr.lane_mut(p);
+            for t in col.iter_mut() {
+                *t = lane.map_next(*t);
+            }
+        }
+        stats
+            .stages
+            .push(StageStats::sequential("online", n_events, t0.elapsed()));
+        let after_online = census_stage_planned("census:online", &plan, &cols, par, stats);
+        let t0 = Instant::now();
+        cols.scatter_into(trace);
+        stats
+            .stages
+            .push(StageStats::sequential("scatter", n_events, t0.elapsed()));
+        return Ok((raw, after_online, None, None));
+    }
+
     // Pre-synchronisation: tight per-column loops.
     let after_presync = match maps {
         None => raw.clone(),
@@ -111,8 +139,9 @@ pub(super) fn run(
         }
     };
 
-    // CLC cleanup on the columns.
-    let (after_clc, clc) = match &cfg.clc {
+    // CLC cleanup on the columns (gated on the method: Interp stops
+    // after presync).
+    let (after_clc, clc) = match cfg.effective_clc() {
         None => (None, None),
         Some(params) => {
             cancel.check()?;

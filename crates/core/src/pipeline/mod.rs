@@ -42,6 +42,7 @@ pub use windowed::{
 use crate::clc::{ClcError, ClcParams, ClcReport};
 use crate::interp::{LinearInterpolation, OffsetAlignment, TimestampMap};
 use crate::offset::OffsetMeasurement;
+use onlinesync::{KalmanParams, OnlineCorrector, ProbeFix};
 use simclock::Time;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -83,6 +84,69 @@ pub enum TimestampStorage {
     Columnar,
 }
 
+/// Which synchronization *method* rewrites the timestamps — the paper's
+/// postmortem schemes, or the model-based online corrector.
+///
+/// The method selects the timestamp-rewriting stages; the censuses around
+/// them are method-independent. `Interp` and `Clc` share the presync
+/// stage configured by [`PipelineConfig::presync`]; `Online` replaces it
+/// (and the CLC) with the recursive filter correction.
+#[derive(Debug, Clone, Default)]
+pub enum SyncMethod {
+    /// Postmortem interpolation only: run the configured presync stage
+    /// and stop. [`PipelineConfig::clc`] is ignored.
+    Interp,
+    /// Postmortem presync followed by the CLC (the default — the exact
+    /// behaviour of every earlier revision of this pipeline; the CLC
+    /// stage still runs only when [`PipelineConfig::clc`] is `Some`).
+    #[default]
+    Clc,
+    /// Model-based online correction: one per-pair drift Kalman filter
+    /// per timeline, fed by that timeline's probe schedule, maps every
+    /// timestamp through the filter state current at that event. Presync
+    /// and CLC are skipped; the online census lands in
+    /// [`PipelineReport::after_presync`].
+    Online(OnlineSpec),
+}
+
+/// Inputs of [`SyncMethod::Online`]: the per-process probe schedules and
+/// the filter tuning.
+#[derive(Debug, Clone)]
+pub struct OnlineSpec {
+    /// Probe schedule per process (index = process). Processes beyond the
+    /// end of the vector, or with an empty schedule, get the identity
+    /// correction — index 0 (the reference) is normally empty. Behind an
+    /// `Arc` so cloning a [`PipelineConfig`] never copies probe data.
+    pub probes: Arc<Vec<Vec<OffsetMeasurement>>>,
+    /// Filter tuning (process/measurement noise model).
+    pub kalman: KalmanParams,
+}
+
+impl OnlineSpec {
+    /// Spec with the default filter tuning.
+    pub fn new(probes: Vec<Vec<OffsetMeasurement>>) -> Self {
+        OnlineSpec {
+            probes: Arc::new(probes),
+            kalman: KalmanParams::default(),
+        }
+    }
+
+    /// Instantiate the per-timeline correction lanes.
+    pub(crate) fn corrector(&self) -> OnlineCorrector {
+        OnlineCorrector::new(
+            self.probes
+                .iter()
+                .map(|ps| {
+                    ps.iter()
+                        .map(|m| ProbeFix::new(m.worker_time, m.offset, m.rtt))
+                        .collect()
+                })
+                .collect(),
+            self.kalman,
+        )
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -96,6 +160,8 @@ pub struct PipelineConfig {
     /// Timestamp storage layout for the hot stages (columnar by default;
     /// bit-identical either way).
     pub storage: TimestampStorage,
+    /// Synchronization method (postmortem presync + CLC by default).
+    pub method: SyncMethod,
 }
 
 impl Default for PipelineConfig {
@@ -105,6 +171,25 @@ impl Default for PipelineConfig {
             clc: Some(ClcParams::default()),
             parallel: None,
             storage: TimestampStorage::default(),
+            method: SyncMethod::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// CLC parameters that will actually run under the configured method.
+    pub(crate) fn effective_clc(&self) -> Option<&ClcParams> {
+        match self.method {
+            SyncMethod::Clc => self.clc.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The online spec, when the method is [`SyncMethod::Online`].
+    pub(crate) fn online(&self) -> Option<&OnlineSpec> {
+        match &self.method {
+            SyncMethod::Online(spec) => Some(spec),
+            _ => None,
         }
     }
 }
@@ -235,6 +320,9 @@ pub enum PipelineError {
     /// The run was cancelled (or its deadline passed) at a cooperative
     /// checkpoint; the trace may be partially rewritten.
     Cancelled,
+    /// The requested configuration is not supported by this entry point
+    /// (e.g. the online method on the incremental windowed engine).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -245,6 +333,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Clc(e) => write!(f, "CLC failed: {e}"),
             PipelineError::Codec(e) => write!(f, "trace ingest failed: {e}"),
             PipelineError::Cancelled => write!(f, "run cancelled"),
+            PipelineError::Unsupported(s) => write!(f, "unsupported configuration: {s}"),
         }
     }
 }
@@ -615,9 +704,10 @@ fn synchronize_impl(
     // Lower the analysis into the CSR dependency graph whenever a CLC
     // engine that consumes it will run (the columnar kernels and the
     // batched replay; the sequential AoS path keeps the map-based
-    // reference implementation).
+    // reference implementation). The method gates this: Interp and
+    // Online never run a CLC, whatever `cfg.clc` says.
     let replay = sharded_match;
-    let graph = if cfg.clc.is_some()
+    let graph = if cfg.effective_clc().is_some()
         && (cfg.storage == TimestampStorage::Columnar || replay)
     {
         let t0 = Instant::now();
@@ -635,7 +725,13 @@ fn synchronize_impl(
         None
     };
 
-    let maps = build_presync_maps(cfg.presync, init, fin)?;
+    // The online method replaces presync wholesale; don't demand
+    // finalize measurements it will never read.
+    let maps = if cfg.online().is_some() {
+        None
+    } else {
+        build_presync_maps(cfg.presync, init, fin)?
+    };
     cancel.check()?;
 
     let (raw, after_presync, after_clc, clc) = match cfg.storage {
@@ -677,6 +773,23 @@ fn run_aos(
 
     let raw = census_stage("census:raw", &*trace, analysis, table, par, stats);
 
+    // Online correction replaces presync: one stateful lane per timeline,
+    // probes interleaved by worker time. The lanes are inherently
+    // sequential *within* a timeline (filter state), and `map_times`
+    // visits timelines one after another in event order, so this stage
+    // always runs on one thread; the censuses still shard.
+    if let Some(spec) = cfg.online() {
+        cancel.check()?;
+        let t0 = Instant::now();
+        let mut corr = spec.corrector();
+        trace.map_times(|p, t| Time::from_ps(corr.map_next(p, t.as_ps())));
+        stats
+            .stages
+            .push(StageStats::sequential("online", n_events, t0.elapsed()));
+        let after_online = census_stage("census:online", &*trace, analysis, table, par, stats);
+        return Ok((raw, after_online, None, None));
+    }
+
     // Pre-synchronisation.
     let after_presync = match maps {
         None => raw.clone(),
@@ -701,8 +814,8 @@ fn run_aos(
         }
     };
 
-    // CLC cleanup.
-    let (after_clc, clc) = match &cfg.clc {
+    // CLC cleanup (gated on the method: Interp stops after presync).
+    let (after_clc, clc) = match cfg.effective_clc() {
         None => (None, None),
         Some(params) => {
             cancel.check()?;
@@ -1001,6 +1114,124 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rep.after_clc.unwrap().total_violations(), 0);
+    }
+
+    /// Probe schedule matching `skewed_trace`'s worker: master − worker
+    /// is exactly −500 µs the whole run.
+    fn worker_probes() -> Vec<Vec<OffsetMeasurement>> {
+        let probe = |w_us: i64| OffsetMeasurement {
+            worker_time: Time::from_us(w_us),
+            offset: Dur::from_us(-500),
+            rtt: Dur::from_us(10),
+        };
+        vec![Vec::new(), vec![probe(0), probe(5_000), probe(11_000)]]
+    }
+
+    #[test]
+    fn interp_method_skips_the_clc_even_when_configured() {
+        let mut t = skewed_trace();
+        let init = vec![None, measurements(-530, 0)];
+        let fin = vec![None, measurements(-530, 10_000)];
+        let cfg = PipelineConfig {
+            method: SyncMethod::Interp,
+            clc: Some(ClcParams::default()),
+            ..PipelineConfig::default()
+        };
+        let rep = synchronize(&mut t, &init, Some(&fin), &LMIN, &cfg).unwrap();
+        // Inaccurate probes leave residual violations — and with the
+        // interp method nothing cleans them up.
+        assert!(rep.after_presync.total_violations() > 0);
+        assert!(rep.after_clc.is_none());
+        assert!(rep.clc.is_none());
+        assert!(rep.stats.stage("clc").is_none());
+        assert!(rep.stats.stage("lower").is_none());
+    }
+
+    #[test]
+    fn online_method_corrects_through_the_filter() {
+        for storage in [TimestampStorage::Aos, TimestampStorage::Columnar] {
+            let mut t = skewed_trace();
+            let cfg = PipelineConfig {
+                method: SyncMethod::Online(OnlineSpec::new(worker_probes())),
+                storage,
+                ..PipelineConfig::default()
+            };
+            // No init/fin interpolation data at all: the online method
+            // must not demand finalize measurements.
+            let rep = synchronize(&mut t, &[None, None], None, &LMIN, &cfg).unwrap();
+            assert_eq!(rep.raw.p2p.reversed, 10, "{storage:?}");
+            assert_eq!(
+                rep.after_presync.total_violations(),
+                0,
+                "{storage:?}: online census"
+            );
+            assert!(rep.after_clc.is_none() && rep.clc.is_none());
+            assert!(rep.stats.stage("online").is_some());
+            assert!(rep.stats.stage("census:online").is_some());
+            assert!(rep.stats.stage("presync").is_none());
+            assert!(rep.stats.stage("clc").is_none());
+        }
+    }
+
+    #[test]
+    fn online_method_is_bit_identical_across_storages_and_workers() {
+        let run = |storage, workers: Option<usize>| {
+            let mut t = skewed_trace();
+            let cfg = PipelineConfig {
+                method: SyncMethod::Online(OnlineSpec::new(worker_probes())),
+                storage,
+                parallel: workers.map(|w| ParallelConfig { workers: w, shard_size: 3 }),
+                ..PipelineConfig::default()
+            };
+            let rep = synchronize(&mut t, &[None, None], None, &LMIN, &cfg).unwrap();
+            (t, rep)
+        };
+        let (ref_trace, ref_rep) = run(TimestampStorage::Aos, None);
+        for storage in [TimestampStorage::Aos, TimestampStorage::Columnar] {
+            for workers in [None, Some(2)] {
+                let (t, rep) = run(storage, workers);
+                for (p, (a, b)) in ref_trace.procs.iter().zip(&t.procs).enumerate() {
+                    for (i, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
+                        assert_eq!(
+                            ea.time, eb.time,
+                            "proc {p} event {i}: {storage:?} workers={workers:?}"
+                        );
+                    }
+                }
+                assert_eq!(
+                    ref_rep.after_presync.total_violations(),
+                    rep.after_presync.total_violations()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_method_keeps_timelines_monotone() {
+        // A probe schedule that swings the offset estimate down sharply
+        // mid-run must not reorder any timeline against itself.
+        let mut t = skewed_trace();
+        let probes = vec![
+            Vec::new(),
+            vec![
+                OffsetMeasurement {
+                    worker_time: Time::from_us(0),
+                    offset: Dur::from_us(400),
+                    rtt: Dur::from_us(4),
+                },
+                OffsetMeasurement {
+                    worker_time: Time::from_us(5_000),
+                    offset: Dur::from_us(-900),
+                    rtt: Dur::from_us(4),
+                },
+            ],
+        ];
+        let cfg = PipelineConfig {
+            method: SyncMethod::Online(OnlineSpec::new(probes)),
+            ..PipelineConfig::default()
+        };
+        synchronize(&mut t, &[None, None], None, &LMIN, &cfg).unwrap();
+        assert!(t.is_locally_monotone(), "online correction broke local order");
     }
 
     #[test]

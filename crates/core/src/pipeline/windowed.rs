@@ -1026,7 +1026,17 @@ fn run_incremental(
             )));
         }
     }
-    if let Some(params) = &cfg.clc {
+    // The windowed engine keeps only O(window) timestamps resident; the
+    // online corrector's lanes are stateful over a *whole* timeline and
+    // its probe schedule, so the method is batch-only for now.
+    if cfg.online().is_some() {
+        return Err(PipelineError::Unsupported(
+            "SyncMethod::Online is not available on the incremental windowed \
+             engine; use the batch entry points"
+                .into(),
+        ));
+    }
+    if let Some(params) = cfg.effective_clc() {
         crate::clc::columnar::validate(params).map_err(PipelineError::Clc)?;
     }
     let ranks: Vec<Rank> = index.locations.iter().map(|l| l.rank).collect();
@@ -1052,7 +1062,7 @@ fn run_incremental(
     cancel.check()?;
 
     let mut mem = MemGauge::default();
-    let (out, clc, frames, events) = match &cfg.clc {
+    let (out, clc, frames, events) = match cfg.effective_clc() {
         None => {
             let t0 = Instant::now();
             let (out, frames, events) =
@@ -1148,6 +1158,7 @@ mod tests {
             clc,
             parallel: None,
             storage: TimestampStorage::Columnar,
+            ..PipelineConfig::default()
         }
     }
 

@@ -12,6 +12,7 @@
 //! | [`fig8`] | Fig. 8 (OpenMP POMP violations vs. team size) |
 //! | [`intranode`] | §IV intra-node noise finding |
 //! | [`clc_exp`] | §V constructive survey (CLC + baselines + extensions) |
+//! | [`online_exp`] | online filter vs. interp/CLC on static + churn scenarios |
 //! | [`ablations`] | probe-count / anchor / μ / network-load ablations |
 //! | [`predict_exp`] | analytical residual model vs. simulation |
 //! | [`csvout`] | CSV export (`--csv <dir>`) |
@@ -27,5 +28,6 @@ pub mod fig1_2_3;
 pub mod fig7;
 pub mod fig8;
 pub mod intranode;
+pub mod online_exp;
 pub mod predict_exp;
 pub mod tables;

@@ -1,7 +1,7 @@
 //! Command-line driver: `experiments <name>... [--fast] [--seed N] [--csv DIR]`.
 //!
 //! Names: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 table1 table2 intranode
-//! clc ablations predict timers all`. `--fast` shortens the long deviation runs and shrinks the
+//! clc online ablations predict timers all`. `--fast` shortens the long deviation runs and shrinks the
 //! application workloads so the whole campaign completes in well under a
 //! minute; without it the runs use the paper's full durations.
 
@@ -126,6 +126,26 @@ fn main() {
     }
     if has("clc") {
         clc_exp::print_clc(app_scale, seed + 60);
+    }
+    if has("online") {
+        let rows = online_exp::print_online(if fast { 600 } else { 2500 }, seed + 90);
+        if let Some(dir) = &csv_dir {
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.scenario.clone(),
+                        r.messages.to_string(),
+                        r.raw.to_string(),
+                        r.interp.to_string(),
+                        r.clc.to_string(),
+                        r.online.to_string(),
+                    ]
+                })
+                .collect();
+            csvout::save_rows(dir, "online", "scenario,messages,raw,interp,clc,online", &table)
+                .expect("csv written");
+        }
     }
     if has("ablations") {
         ablations::print_ablations(seed + 70);

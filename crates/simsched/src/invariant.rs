@@ -142,6 +142,7 @@ pub fn error_kind(e: &PipelineError) -> &'static str {
         PipelineError::Clc(_) => "clc",
         PipelineError::Codec(_) => "codec",
         PipelineError::Cancelled => "cancelled",
+        PipelineError::Unsupported(_) => "unsupported",
     }
 }
 

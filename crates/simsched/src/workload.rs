@@ -7,7 +7,8 @@
 //! [`harness`](crate::harness)), so shrinking a failing schedule never
 //! changes which jobs exist.
 
-use clocksync::{OffsetMeasurement, ParallelConfig, PipelineConfig};
+use clocksync::{OffsetMeasurement, OnlineSpec, ParallelConfig, PipelineConfig, SyncMethod};
+use onlinesync::NetworkConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simclock::{Dur, Time};
@@ -16,6 +17,7 @@ use std::time::Duration;
 use syncd::{chunked, Fault, FaultInjector, JobInput, JobSpec, Priority};
 use tracefmt::io::{to_binary_columnar_blocked, to_binary_columnar_v3_blocked};
 use tracefmt::{EventKind, MinLatency, Rank, Tag, Trace, UniformLatency};
+use workloads::churn_scenario;
 
 /// One workload job plus what the invariant checker needs to know about
 /// it.
@@ -72,10 +74,37 @@ pub(crate) fn job_trace(
     (trace, init, fin)
 }
 
+/// A churn-shaped job: dynamic membership, NTP islands, WAN links, and
+/// per-node probe schedules, scaled down to simulation size.
+fn churn_job(
+    rng: &mut StdRng,
+    msgs: usize,
+) -> (Trace, Measurements, Measurements, Vec<Vec<OffsetMeasurement>>) {
+    let cfg = NetworkConfig {
+        nodes: rng.gen_range(4usize..7),
+        horizon_s: 0.2,
+        probe_interval_ms: 10.0,
+        ..NetworkConfig::default()
+    };
+    let s = churn_scenario(cfg, msgs, rng.gen());
+    let conv = |m: &workloads::ProbeMeasurement| OffsetMeasurement {
+        worker_time: m.worker_time,
+        offset: m.offset,
+        rtt: m.rtt,
+    };
+    let init = s.init.iter().map(|m| m.as_ref().map(conv)).collect();
+    let fin = s.fin.iter().map(|m| m.as_ref().map(conv)).collect();
+    let probes = s.probes.iter().map(|ps| ps.iter().map(conv).collect()).collect();
+    (s.trace, init, fin, probes)
+}
+
 /// Generate `jobs` work items from `seed`. Roughly a third arrive as
 /// columnar streams (half `DTC2`, half the zero-copy `DTC3` variant), a
 /// quarter of those poisoned at the byte level and a third of them run
 /// through the incremental windowed engine with a small random window;
+/// a fifth of the traces come from the dynamic-membership churn scenario
+/// (NTP islands, joins/leaves, probe schedules), and a quarter of the
+/// non-incremental jobs run the online sync method instead of the CLC;
 /// jobs carry a mix of priorities, deadlines, retry-budget overrides, and
 /// parallel pipeline configs.
 pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
@@ -85,7 +114,19 @@ pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
         .map(|_| {
             let procs = rng.gen_range(2usize..5);
             let msgs = rng.gen_range(3usize..32);
-            let (trace, init, fin) = job_trace(&mut rng, procs, msgs);
+            let (trace, init, fin, probes) = if rng.gen_bool(0.2) {
+                churn_job(&mut rng, msgs.max(8))
+            } else {
+                let (trace, init, fin) = job_trace(&mut rng, procs, msgs);
+                // A two-probe schedule per worker (the init/fin anchors) is
+                // enough for the online filter on these linear clocks.
+                let probes = init
+                    .iter()
+                    .zip(&fin)
+                    .map(|(i, f)| i.iter().chain(f.iter()).copied().collect())
+                    .collect();
+                (trace, init, fin, probes)
+            };
 
             let as_stream = rng.gen_bool(1.0 / 3.0);
             let mut poisoned = false;
@@ -131,6 +172,11 @@ pub fn generate(seed: u64, jobs: usize) -> Vec<WorkItem> {
                     workers: rng.gen_range(1usize..8),
                     shard_size: rng.gen_range(8usize..64),
                 });
+            }
+            // The online method is batch-only (the windowed engine rejects
+            // it), so keep it off incremental jobs.
+            if !matches!(input, JobInput::StreamIncremental { .. }) && rng.gen_bool(0.25) {
+                pipeline.method = SyncMethod::Online(OnlineSpec::new(probes));
             }
 
             let mut spec = JobSpec::new(input, init, Some(fin), Arc::clone(&lmin), pipeline);
@@ -215,5 +261,35 @@ mod tests {
         };
         assert!(leading(b"DTC2") > 0, "no v2 streams in the workload");
         assert!(leading(b"DTC3") > 0, "no v3 streams in the workload");
+    }
+
+    #[test]
+    fn workload_mixes_sync_methods() {
+        let items = generate(5, 64);
+        let online = items
+            .iter()
+            .filter(|i| matches!(i.spec.pipeline.method, SyncMethod::Online(_)))
+            .count();
+        assert!(online > 0, "no online-method jobs in the workload");
+        assert!(online < 64, "every job went online");
+        // Online never rides the incremental engine, which rejects it.
+        for i in &items {
+            if matches!(i.spec.input, JobInput::StreamIncremental { .. }) {
+                assert!(
+                    !matches!(i.spec.pipeline.method, SyncMethod::Online(_)),
+                    "online method paired with an incremental job"
+                );
+            }
+        }
+        // Churn traces (more than 4 linear-clock procs never happen in
+        // job_trace, and churn probes are dense) must be represented.
+        let churny = items
+            .iter()
+            .filter(|i| match &i.spec.pipeline.method {
+                SyncMethod::Online(spec) => spec.probes.iter().any(|p| p.len() > 2),
+                _ => false,
+            })
+            .count();
+        assert!(churny > 0, "no churn-shaped online jobs in the workload");
     }
 }

@@ -4,6 +4,7 @@
 //! syncdctl ping   --addr HOST:PORT --token TOKEN
 //! syncdctl submit --addr HOST:PORT --token TOKEN [--procs N] [--msgs N]
 //!                 [--seed N] [--incremental WINDOW] [--presync none|align|linear]
+//!                 [--method interp|clc|online] [--churn]
 //!                 [--workers N] [--v3] [--priority high|normal|low]
 //! ```
 //!
@@ -11,15 +12,25 @@
 //! integration fixtures use: true-timeline messages recorded through
 //! drifting clocks), uploads it, and prints the job summary — a one-command
 //! end-to-end smoke of the wire path.
+//!
+//! `--method` selects the synchronization method the service runs: `interp`
+//! (offset interpolation only), `clc` (presync + controlled logical clock,
+//! the default), or `online` (the recursive drift/offset filter; the fixture's
+//! per-process probe schedules ride along in the job config). `--churn` swaps
+//! the static fixture for a dynamic-membership scenario: NTP islands behind
+//! WAN links, nodes joining and leaving mid-trace, and probe noise composed
+//! along an evolving sync spanning tree.
 
 use clocksync::OffsetMeasurement;
+use onlinesync::NetworkConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simclock::{ConstantDrift, DriftModel, Dur, SinusoidalDrift, Time};
 use syncd_client::{JobRequest, SyncClient};
-use syncd_wire::{WireJobConfig, WireLatency, WireMode};
+use syncd_wire::{WireJobConfig, WireLatency, WireMeasurement, WireMode};
 use tracefmt::io::{to_binary_columnar_blocked, to_binary_columnar_v3_blocked};
 use tracefmt::{EventKind, Rank, Tag, Trace};
+use workloads::churn_scenario;
 
 struct Args {
     map: Vec<(String, String)>,
@@ -69,18 +80,19 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Everything `submit` needs from a generated fixture.
+struct Fixture {
+    trace: Trace,
+    init: Vec<Option<OffsetMeasurement>>,
+    fin: Vec<Option<OffsetMeasurement>>,
+    /// Per-process probe schedules for `--method online`.
+    probes: Vec<Vec<OffsetMeasurement>>,
+    lmin_ps: i64,
+}
+
 /// A causally valid message trace recorded through drifting clocks, plus
 /// init/finalize offset probes — a compact cousin of the test fixtures.
-fn drifted_fixture(
-    procs: usize,
-    msgs: usize,
-    seed: u64,
-) -> (
-    Trace,
-    Vec<Option<OffsetMeasurement>>,
-    Vec<Option<OffsetMeasurement>>,
-    i64,
-) {
+fn drifted_fixture(procs: usize, msgs: usize, seed: u64) -> Fixture {
     let mut rng = StdRng::seed_from_u64(seed);
     let drifts: Vec<Option<Box<dyn DriftModel>>> = (0..procs)
         .map(|p| -> Option<Box<dyn DriftModel>> {
@@ -140,7 +152,37 @@ fn drifted_fixture(
     let errs: Vec<i64> = (0..procs).map(|_| rng.gen_range(-6i64..6)).collect();
     let init = (0..procs).map(|p| measure(p, 0, errs[p])).collect();
     let fin = (0..procs).map(|p| measure(p, end, -errs[p])).collect();
-    (trace, init, fin, lmin_us)
+    // A periodic probe schedule per worker for the online method, spanning
+    // the whole run (the interp path keeps using only init/fin).
+    let step = (end / 24).max(50);
+    let mut probes: Vec<Vec<OffsetMeasurement>> = vec![Vec::new(); procs];
+    for (p, lane) in probes.iter_mut().enumerate().skip(1) {
+        let mut at = step / 2;
+        while at <= end {
+            lane.extend(measure(p, at, rng.gen_range(-4i64..4)));
+            at += step;
+        }
+    }
+    Fixture { trace, init, fin, probes, lmin_ps: Dur::from_us(lmin_us).as_ps() }
+}
+
+/// A dynamic-membership fixture: the `workloads::churn` scenario reduced
+/// to the same shape the wire path ships.
+fn churn_fixture(procs: usize, msgs: usize, seed: u64) -> Fixture {
+    let cfg = NetworkConfig { nodes: procs.max(3), ..NetworkConfig::default() };
+    let s = churn_scenario(cfg, msgs, seed);
+    let conv = |m: &workloads::ProbeMeasurement| OffsetMeasurement {
+        worker_time: m.worker_time,
+        offset: m.offset,
+        rtt: m.rtt,
+    };
+    Fixture {
+        trace: s.trace,
+        init: s.init.iter().map(|m| m.as_ref().map(conv)).collect(),
+        fin: s.fin.iter().map(|m| m.as_ref().map(conv)).collect(),
+        probes: s.probes.iter().map(|ps| ps.iter().map(conv).collect()).collect(),
+        lmin_ps: s.lmin.0.as_ps(),
+    }
 }
 
 fn main() {
@@ -159,14 +201,27 @@ fn main() {
             let procs = args.num("procs", 8) as usize;
             let msgs = args.num("msgs", 2000) as usize;
             let seed = args.num("seed", 42);
-            let (trace, init, fin, lmin_us) = drifted_fixture(procs.max(2), msgs, seed);
-            let stream = if args.flag("v3") {
-                to_binary_columnar_v3_blocked(&trace, 256).to_vec()
+            let fixture = if args.flag("churn") {
+                churn_fixture(procs.max(3), msgs, seed)
             } else {
-                to_binary_columnar_blocked(&trace, 256).to_vec()
+                drifted_fixture(procs.max(2), msgs, seed)
+            };
+            let method: u8 = match args.get("method").unwrap_or("clc") {
+                "interp" => 0,
+                "clc" => 1,
+                "online" => 2,
+                other => die(&format!("unknown method {other}")),
+            };
+            let stream = if args.flag("v3") {
+                to_binary_columnar_v3_blocked(&fixture.trace, 256).to_vec()
+            } else {
+                to_binary_columnar_blocked(&fixture.trace, 256).to_vec()
             };
             let mut config = WireJobConfig {
                 mode: if let Some(w) = args.get("incremental") {
+                    if method == 2 {
+                        die("--method online is batch-only (the incremental engine rejects it)");
+                    }
                     WireMode::Incremental {
                         window_events: w.parse().unwrap_or_else(|_| die("bad --incremental")),
                     }
@@ -185,16 +240,24 @@ fn main() {
                     "linear" => 2,
                     other => die(&format!("unknown presync {other}")),
                 },
-                lmin: WireLatency::Uniform(Dur::from_us(lmin_us).as_ps()),
+                lmin: WireLatency::Uniform(fixture.lmin_ps),
+                method,
                 ..WireJobConfig::new(&Default::default(), WireLatency::Uniform(0))
             };
+            if method == 2 {
+                config.probes = fixture
+                    .probes
+                    .iter()
+                    .map(|ps| ps.iter().map(WireMeasurement::from_measurement).collect())
+                    .collect();
+            }
             if let Some(w) = args.get("workers") {
                 config.parallel = Some(syncd_wire::WireParallel {
                     workers: w.parse().unwrap_or_else(|_| die("bad --workers")),
                     shard_size: 512,
                 });
             }
-            config = config.with_measurements(&init, Some(&fin));
+            config = config.with_measurements(&fixture.init, Some(&fixture.fin));
             let mut client = SyncClient::connect(&addr, &token)
                 .unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
             let req = JobRequest { config, chunks: vec![stream] };
@@ -217,12 +280,26 @@ fn main() {
                         outcome.stream.iter().map(Vec::len).sum::<usize>(),
                     );
                     if s.census_present {
-                        println!(
-                            "censuses: raw={} after_presync={} after_clc={}",
-                            s.raw_violations,
-                            s.after_presync_violations,
-                            s.after_clc_violations,
-                        );
+                        if method == 2 {
+                            // The online census rides in the presync slot.
+                            println!(
+                                "censuses: raw={} online={}",
+                                s.raw_violations, s.after_presync_violations,
+                            );
+                        } else if s.after_clc_violations == u64::MAX {
+                            // u64::MAX marks the stage as skipped (interp-only).
+                            println!(
+                                "censuses: raw={} after_presync={}",
+                                s.raw_violations, s.after_presync_violations,
+                            );
+                        } else {
+                            println!(
+                                "censuses: raw={} after_presync={} after_clc={}",
+                                s.raw_violations,
+                                s.after_presync_violations,
+                                s.after_clc_violations,
+                            );
+                        }
                     }
                 }
                 Err(e) => die(&format!("submit failed: {e}")),

@@ -6,8 +6,10 @@
 //! the field that could not be read — never a panic.
 
 use clocksync::{
-    ClcParams, OffsetMeasurement, ParallelConfig, PipelineConfig, PreSync, TimestampStorage,
+    ClcParams, OffsetMeasurement, OnlineSpec, ParallelConfig, PipelineConfig, PreSync,
+    SyncMethod, TimestampStorage,
 };
+use onlinesync::KalmanParams;
 use simclock::{Dur, Time};
 use std::sync::Arc;
 use tracefmt::{LatencyTable, MinLatency, Rank, UniformLatency};
@@ -270,6 +272,49 @@ pub struct WireParallel {
     pub shard_size: u32,
 }
 
+/// Online drift-filter tuning on the wire (read when the method byte
+/// selects the online method; carried — at 24 bytes — either way).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireKalman {
+    /// Drift random-walk intensity, ppm²/s.
+    pub drift_noise_ppm2_per_s: f64,
+    /// Offset white-noise floor, µs²/s.
+    pub offset_noise_us2_per_s: f64,
+    /// Probe measurement-noise floor, µs.
+    pub probe_noise_floor_us: f64,
+}
+
+impl Default for WireKalman {
+    fn default() -> Self {
+        let p = KalmanParams::default();
+        WireKalman {
+            drift_noise_ppm2_per_s: p.drift_noise_ppm2_per_s,
+            offset_noise_us2_per_s: p.offset_noise_us2_per_s,
+            probe_noise_floor_us: p.probe_noise_floor_us,
+        }
+    }
+}
+
+impl WireKalman {
+    /// The filter-facing parameter struct.
+    pub fn to_params(self) -> KalmanParams {
+        KalmanParams {
+            drift_noise_ppm2_per_s: self.drift_noise_ppm2_per_s,
+            offset_noise_us2_per_s: self.offset_noise_us2_per_s,
+            probe_noise_floor_us: self.probe_noise_floor_us,
+        }
+    }
+
+    /// From the filter-facing parameter struct.
+    pub fn from_params(p: KalmanParams) -> Self {
+        WireKalman {
+            drift_noise_ppm2_per_s: p.drift_noise_ppm2_per_s,
+            offset_noise_us2_per_s: p.offset_noise_us2_per_s,
+            probe_noise_floor_us: p.probe_noise_floor_us,
+        }
+    }
+}
+
 /// The complete job header: everything the server needs to build a
 /// `JobSpec` except the stream bytes themselves.
 #[derive(Debug, Clone, PartialEq)]
@@ -296,6 +341,13 @@ pub struct WireJobConfig {
     pub init: Vec<Option<WireMeasurement>>,
     /// Finalize measurements (None = align-only data).
     pub fin: Option<Vec<Option<WireMeasurement>>>,
+    /// Synchronization method: 0 interp-only, 1 presync + CLC, 2 online.
+    pub method: u8,
+    /// Online filter tuning (meaningful when `method == 2`).
+    pub kalman: WireKalman,
+    /// Per-process probe schedules for the online method (index =
+    /// process; empty unless `method == 2`).
+    pub probes: Vec<Vec<WireMeasurement>>,
 }
 
 impl WireJobConfig {
@@ -327,6 +379,23 @@ impl WireJobConfig {
             lmin,
             init: Vec::new(),
             fin: None,
+            method: match &cfg.method {
+                SyncMethod::Interp => 0,
+                SyncMethod::Clc => 1,
+                SyncMethod::Online(_) => 2,
+            },
+            kalman: match &cfg.method {
+                SyncMethod::Online(spec) => WireKalman::from_params(spec.kalman),
+                _ => WireKalman::default(),
+            },
+            probes: match &cfg.method {
+                SyncMethod::Online(spec) => spec
+                    .probes
+                    .iter()
+                    .map(|ps| ps.iter().map(WireMeasurement::from_measurement).collect())
+                    .collect(),
+                _ => Vec::new(),
+            },
         }
     }
 
@@ -369,6 +438,24 @@ impl WireJobConfig {
                 workers: p.workers as usize,
                 shard_size: (p.shard_size as usize).max(1),
             }),
+            method: match self.method {
+                0 => SyncMethod::Interp,
+                1 => SyncMethod::Clc,
+                2 => SyncMethod::Online(OnlineSpec {
+                    probes: Arc::new(
+                        self.probes
+                            .iter()
+                            .map(|ps| {
+                                ps.iter()
+                                    .map(|m| m.to_measurement())
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect(),
+                    ),
+                    kalman: self.kalman.to_params(),
+                }),
+                _ => return Err(WireError::BadPayload("method")),
+            },
         })
     }
 
@@ -688,6 +775,19 @@ impl Frame {
                         enc_measurements(&mut e, fin);
                     }
                 }
+                e.u8(cfg.method);
+                e.f64(cfg.kalman.drift_noise_ppm2_per_s);
+                e.f64(cfg.kalman.offset_noise_us2_per_s);
+                e.f64(cfg.kalman.probe_noise_floor_us);
+                e.u32(cfg.probes.len() as u32);
+                for ps in &cfg.probes {
+                    e.u32(ps.len() as u32);
+                    for m in ps {
+                        e.i64(m.worker_time_ps);
+                        e.i64(m.offset_ps);
+                        e.i64(m.rtt_ps);
+                    }
+                }
             }
             Frame::Chunk(bytes) => e.bytes(bytes),
             Frame::ChunkEnd | Frame::Cancel => {}
@@ -804,6 +904,35 @@ impl Frame {
                     1 => Some(dec_measurements(&mut d)?),
                     _ => return Err(WireError::BadPayload("fin flag")),
                 };
+                let method = d.u8("method")?;
+                if method > 2 {
+                    return Err(WireError::BadPayload("method"));
+                }
+                let kalman = WireKalman {
+                    drift_noise_ppm2_per_s: d.f64("kalman drift noise")?,
+                    offset_noise_us2_per_s: d.f64("kalman offset noise")?,
+                    probe_noise_floor_us: d.f64("kalman probe floor")?,
+                };
+                let n_lists = d.u32("probe proc count")? as usize;
+                if n_lists > payload.len() {
+                    return Err(WireError::BadPayload("probe proc count"));
+                }
+                let mut probes = Vec::with_capacity(n_lists);
+                for _ in 0..n_lists {
+                    let k = d.u32("probe count")? as usize;
+                    if k.saturating_mul(24) > payload.len() {
+                        return Err(WireError::BadPayload("probe count"));
+                    }
+                    let mut list = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        list.push(WireMeasurement {
+                            worker_time_ps: d.i64("probe worker_time")?,
+                            offset_ps: d.i64("probe offset")?,
+                            rtt_ps: d.i64("probe rtt")?,
+                        });
+                    }
+                    probes.push(list);
+                }
                 d.finish("job config trailing bytes")?;
                 Frame::JobConfig(Box::new(WireJobConfig {
                     mode,
@@ -817,6 +946,9 @@ impl Frame {
                     lmin,
                     init,
                     fin,
+                    method,
+                    kalman,
+                    probes,
                 }))
             }
             FrameKind::Chunk => Frame::Chunk(payload.to_vec()),
@@ -908,6 +1040,28 @@ mod tests {
             lmin: WireLatency::Table { n: 2, entries: vec![0, 4_000_000, 4_000_000, 0] },
             init: vec![None, Some(WireMeasurement { worker_time_ps: 1, offset_ps: -2, rtt_ps: 3 })],
             fin: Some(vec![None, None]),
+            method: 1,
+            kalman: WireKalman::default(),
+            probes: Vec::new(),
+        }
+    }
+
+    fn online_config() -> WireJobConfig {
+        WireJobConfig {
+            method: 2,
+            kalman: WireKalman {
+                drift_noise_ppm2_per_s: 2.5,
+                offset_noise_us2_per_s: 0.5,
+                probe_noise_floor_us: 3.0,
+            },
+            probes: vec![
+                Vec::new(),
+                vec![
+                    WireMeasurement { worker_time_ps: 10, offset_ps: 20, rtt_ps: 30 },
+                    WireMeasurement { worker_time_ps: 40, offset_ps: -50, rtt_ps: 60 },
+                ],
+            ],
+            ..config()
         }
     }
 
@@ -916,6 +1070,7 @@ mod tests {
         roundtrip(Frame::Hello { magic: crate::MAGIC, version: 1, token: "tenant-a".into() });
         roundtrip(Frame::HelloAck { version: 1, credit: 1 << 20 });
         roundtrip(Frame::JobConfig(Box::new(config())));
+        roundtrip(Frame::JobConfig(Box::new(online_config())));
         roundtrip(Frame::Chunk(vec![1, 2, 3, 255]));
         roundtrip(Frame::Chunk(Vec::new()));
         roundtrip(Frame::ChunkEnd);
@@ -961,6 +1116,38 @@ mod tests {
         let model = cfg.lmin.to_model();
         assert_eq!(model.l_min(Rank(0), Rank(1)), Dur::from_us(4));
         assert_eq!(model.l_min(Rank(0), Rank(0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn online_job_config_restores_method_probes_and_tuning() {
+        let cfg = online_config();
+        let pipeline = cfg.pipeline_config().expect("valid");
+        match &pipeline.method {
+            SyncMethod::Online(spec) => {
+                assert_eq!(spec.kalman.drift_noise_ppm2_per_s, 2.5);
+                assert_eq!(spec.kalman.probe_noise_floor_us, 3.0);
+                assert_eq!(spec.probes.len(), 2);
+                assert!(spec.probes[0].is_empty());
+                assert_eq!(spec.probes[1].len(), 2);
+                assert_eq!(spec.probes[1][0].worker_time.as_ps(), 10);
+            }
+            other => panic!("expected online method, got {other:?}"),
+        }
+        // Round trip back through WireJobConfig::new preserves the method
+        // byte, tuning, and every probe.
+        let back = WireJobConfig::new(&pipeline, cfg.lmin.clone());
+        assert_eq!(back.method, 2);
+        assert_eq!(back.kalman, cfg.kalman);
+        assert_eq!(back.probes, cfg.probes);
+    }
+
+    #[test]
+    fn unknown_method_byte_is_rejected() {
+        let cfg = WireJobConfig { method: 3, ..config() };
+        assert!(matches!(
+            cfg.pipeline_config(),
+            Err(WireError::BadPayload("method"))
+        ));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use scan::FrameScanner;
 pub const MAGIC: u32 = 0x0057_5344;
 
 /// Protocol version this crate speaks.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// Upper bound on a frame's declared payload length (kind byte included).
 /// Large objects — trace streams, corrected traces — are chunked into

@@ -9,16 +9,21 @@
 //!   exchanges at distance `2^level`, sleep padding around the solve);
 //! * [`pingpong`] — the latency measurements behind Table II;
 //! * [`sweep`] — Sweep3D-like wavefront pipelines (the CLC stress case);
-//! * [`openmp`] — the parallel-for benchmark behind Figs. 3 and 8.
+//! * [`openmp`] — the parallel-for benchmark behind Figs. 3 and 8;
+//! * [`churn`] — dynamic-membership scenarios over an `onlinesync`
+//!   [`ClockNetwork`](onlinesync::ClockNetwork): NTP islands, WAN links,
+//!   join/leave churn, and per-node Cristian probe schedules.
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod openmp;
 pub mod pingpong;
 pub mod pop;
 pub mod smg;
 pub mod sweep;
 
+pub use churn::{churn_scenario, ChurnScenario, ProbeMeasurement};
 pub use openmp::{
     check_run, placement_ablation, run_benchmark, run_benchmark_placed, violation_sweep,
     OmpViolationRow,

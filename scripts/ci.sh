@@ -18,7 +18,10 @@
 #    BENCH_incremental.json and the residency gate fails the script if
 #    the windowed engine's resident columns stop being O(window); the
 #    syncd_net smoke run refreshes BENCH_syncd_net.json and the wire
-#    gate bounds socket-vs-in-process overhead
+#    gate bounds socket-vs-in-process overhead; the online smoke run
+#    refreshes BENCH_online.json and the online gate fails the script
+#    unless the no-lookahead filter strictly undercuts endpoint
+#    interpolation's violation census on every non-constant drift model
 # 5. VOPR chaos campaign: 500 seeded simulation schedules against the
 #    stepped service (5000 with DRIFT_STRESS=1); any failing seed is
 #    shrunk, written to vopr-failure-<seed>.simt, and printed with a
@@ -69,6 +72,9 @@ cargo bench -p bench --bench incremental -- --test
 
 echo "==> bench check: cargo bench -p bench --bench syncd_net -- --test"
 cargo bench -p bench --bench syncd_net -- --test
+
+echo "==> bench check: cargo bench -p bench --bench online -- --test"
+cargo bench -p bench --bench online -- --test
 
 # Perf smoke gate: the replay CLC must not fall behind serial where real
 # cores exist. One worker runs per process timeline, so on a single-core
@@ -146,6 +152,42 @@ if ! awk -v m="$res_margin" 'BEGIN { exit !(m >= 4.0) }'; then
     echo "residency gate: windowed columns only ${res_margin}x below the batch gather (need >= 4.0x)" >&2
     exit 1
 fi
+
+# Online-sync gate: the whole point of the online method is that a
+# drift-tracking filter with NO lookahead still beats postmortem endpoint
+# interpolation wherever drift is non-constant. The bench races the
+# methods over fixed-seed scenarios and records violation censuses —
+# integer counts from a deterministic pipeline, so the gate is
+# machine-independent and holds at every CPU count. The online census
+# must be strictly below interpolation's on every non-constant drift
+# model, and never above it on the dynamic-membership churn scenarios.
+echo "==> online gate: violation censuses from BENCH_online.json"
+for model in sawtooth sinusoid randomwalk; do
+    oi=$(sed -n "s/.*\"census_${model}_interp\": \([0-9]*\).*/\1/p" BENCH_online.json)
+    oo=$(sed -n "s/.*\"census_${model}_online\": \([0-9]*\).*/\1/p" BENCH_online.json)
+    if [[ -z "$oi" || -z "$oo" ]]; then
+        echo "online gate: could not read ${model} censuses from BENCH_online.json" >&2
+        exit 1
+    fi
+    echo "    ${model}: interp ${oi} -> online ${oo}"
+    if [[ "$oo" -ge "$oi" ]]; then
+        echo "online gate: ${model}: online census ${oo} not strictly below interp ${oi}" >&2
+        exit 1
+    fi
+done
+for model in churn_2_islands churn_3_islands_heavy; do
+    oi=$(sed -n "s/.*\"census_${model}_interp\": \([0-9]*\).*/\1/p" BENCH_online.json)
+    oo=$(sed -n "s/.*\"census_${model}_online\": \([0-9]*\).*/\1/p" BENCH_online.json)
+    if [[ -z "$oi" || -z "$oo" ]]; then
+        echo "online gate: could not read ${model} censuses from BENCH_online.json" >&2
+        exit 1
+    fi
+    echo "    ${model}: interp ${oi} -> online ${oo}"
+    if [[ "$oo" -gt "$oi" ]]; then
+        echo "online gate: ${model}: online census ${oo} above interp ${oi}" >&2
+        exit 1
+    fi
+done
 
 # VOPR campaign: every seed must pass every invariant and replay
 # identically from its decision trace. On failure the runner prints the

@@ -16,6 +16,10 @@
 //!   linear offset interpolation (Eq. 3), logical clocks, the Controlled
 //!   Logical Clock with amortization and collective mapping, and the
 //!   classic baselines;
+//! * [`onlinesync`] — online synchronization: a recursive drift/offset
+//!   Kalman filter over Cristian probes, a streaming timestamp corrector,
+//!   and dynamic-topology clock networks (churn, NTP islands, evolving
+//!   sync spanning trees);
 //! * [`workloads`] — POP-like, SMG2000-like, ping-pong and OpenMP workload
 //!   generators;
 //! * [`experiments`] — regenerates every table and figure of the paper;
@@ -66,6 +70,7 @@ pub use clocksync;
 pub use experiments;
 pub use mpisim;
 pub use netsim;
+pub use onlinesync;
 pub use simclock;
 pub use syncd;
 pub use syncd_client;
@@ -78,8 +83,9 @@ pub mod prelude {
     pub use clocksync::{
         controlled_logical_clock, controlled_logical_clock_parallel, estimate_offset,
         synchronize, ClcParams, LinearInterpolation, OffsetAlignment, OffsetMeasurement,
-        PipelineConfig, PreSync, ProbeSample, TimestampMap,
+        PipelineConfig, PreSync, ProbeSample, SyncMethod, TimestampMap,
     };
+    pub use onlinesync::{ClockNetwork, DriftKalman, NetworkConfig, OnlineCorrector};
     pub use mpisim::{
         probe_all_workers, probe_worker, run, Cluster, MpiOp, OmpConfig, Program, RankProgram,
         RunOptions, ThreadPlacement,

@@ -50,6 +50,7 @@ fn columnar_is_bit_identical_across_the_config_matrix() {
                         clc: Some(ClcParams::default()),
                         parallel,
                         storage: TimestampStorage::Aos,
+                        ..PipelineConfig::default()
                     };
                     let cfg_col = PipelineConfig {
                         storage: TimestampStorage::Columnar,

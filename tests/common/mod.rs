@@ -286,6 +286,7 @@ pub fn v3_ingest_differential_matrix() {
                             parallel: workers
                                 .map(|w| ParallelConfig { workers: w, shard_size: 57 }),
                             storage,
+                            ..PipelineConfig::default()
                         };
 
                         // Reference: one-shot v2 decode, then synchronize.

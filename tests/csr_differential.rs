@@ -100,6 +100,7 @@ fn clc_is_bit_identical_through_maps_and_csr() {
                 clc: Some(ClcParams::default()),
                 parallel: None,
                 storage: TimestampStorage::Aos,
+                ..PipelineConfig::default()
             };
             let mut ref_trace = base.clone();
             let rep_ref = synchronize(&mut ref_trace, &init, Some(&fin), &lmin, &cfg_ref)

@@ -402,3 +402,47 @@ fn router_steals_work_and_placement_never_changes_bits() {
     assert!(stolen > 0, "node 1 should have received stolen tickets");
     router.shutdown();
 }
+
+/// An online-method job over the socket: the method byte, Kalman tuning
+/// and per-process probe schedules survive the wire round trip, and the
+/// returned stream is bit-identical to the direct `SyncMethod::Online`
+/// run. The online path runs no CLC, so the summary must report zero
+/// jumps.
+#[test]
+fn loopback_online_method_matches_direct() {
+    use drift_lab::clocksync::{OnlineSpec, SyncMethod};
+
+    let (trace, init, fin, lmin) = drifted_trace(4, 300, "sinusoid", 42);
+    // Minimal but real probe schedules: the endpoint fixes per process.
+    let probes: Vec<Vec<OffsetMeasurement>> = init
+        .iter()
+        .zip(&fin)
+        .map(|(i, f)| i.iter().chain(f.iter()).copied().collect())
+        .collect();
+    let cfg = PipelineConfig {
+        method: SyncMethod::Online(OnlineSpec::new(probes)),
+        ..PipelineConfig::default()
+    };
+
+    let mut direct = trace.clone();
+    let report =
+        synchronize(&mut direct, &init, Some(&fin), &lmin, &cfg).expect("direct online run");
+
+    let v2 = to_binary_columnar_blocked(&trace, 32).to_vec();
+    let server = test_server();
+    let mut client = SyncClient::connect(server.local_addr(), "tok").expect("connect");
+    let req = request(&cfg, lmin, &init, &fin, WireMode::Batch, vec![v2]);
+    let out = client.submit(&req).expect("socket online job");
+
+    let returned =
+        from_binary_columnar(out.stream.concat().into()).expect("returned stream decodes");
+    assert_identical(&direct, &returned, "online method (over socket)");
+    assert_eq!(
+        out.summary.raw_violations as usize,
+        report.raw.total_violations(),
+        "online: raw census over the wire"
+    );
+    assert_eq!(out.summary.n_jumps, 0, "online runs no CLC, so no jumps");
+    assert!(out.jumps.is_empty(), "online: no jump frames");
+    server.shutdown();
+}

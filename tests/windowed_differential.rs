@@ -117,6 +117,7 @@ fn windowed_engine_differential_matrix() {
                         parallel: workers
                             .map(|w| ParallelConfig { workers: w, shard_size: 57 }),
                         storage: TimestampStorage::Columnar,
+                        ..PipelineConfig::default()
                     };
                     let mut batch = base.clone();
                     let report =
@@ -156,6 +157,7 @@ fn windowed_engine_handles_v2_streams_in_the_matrix() {
             clc: Some(ClcParams::default()),
             parallel: None,
             storage: TimestampStorage::Columnar,
+            ..PipelineConfig::default()
         };
         let mut batch = base.clone();
         let report = synchronize(&mut batch, &init, Some(&fin), &lmin, &cfg).unwrap();
@@ -182,6 +184,7 @@ fn windowed_residency_stays_bounded_while_batch_grows() {
         clc: Some(ClcParams::default()),
         parallel: None,
         storage: TimestampStorage::Columnar,
+        ..PipelineConfig::default()
     };
     let mut peaks = Vec::new();
     for msgs in [400usize, 3200] {
